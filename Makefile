@@ -1,0 +1,53 @@
+# starmagic — reproduction of "Implementation of Magic-sets in a Relational
+# Database System" (Mumick & Pirahesh, SIGMOD 1994).
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench table1 sweep ablation fuzz examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/engine/ ./internal/core/
+
+cover:
+	$(GO) test -cover ./...
+
+# Table 1 + figure benchmarks (testing.B)
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The paper's Table 1, normalized elapsed times
+table1:
+	$(GO) run ./cmd/table1 -reps 5
+
+sweep:
+	$(GO) run ./cmd/table1 -reps 3 -sweep
+
+ablation:
+	$(GO) run ./cmd/table1 -reps 3 -ablation
+
+# Parser robustness fuzzing (bounded)
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s -run xxx ./internal/sql/
+	$(GO) test -fuzz FuzzLikeMatch -fuzztime 15s -run xxx ./internal/exec/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/decisionsupport
+	$(GO) run ./examples/extensibility
+	$(GO) run ./examples/recursion
+	$(GO) run ./examples/tpcd
+
+clean:
+	$(GO) clean -testcache

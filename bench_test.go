@@ -1,0 +1,188 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation:
+//
+//   - Table 1 (experiments A–H): BenchmarkExp<ID>/<strategy> measures one
+//     execution of the experiment's prepared plan under each strategy.
+//     Compare the per-op times of the three strategies of one experiment to
+//     obtain the paper's normalized rows (Original = 100); `go run
+//     ./cmd/table1` prints them directly.
+//   - Figures 1/4 (the magic transformation of query D):
+//     BenchmarkPipelineQueryD measures the three-phase rewrite+costing
+//     pipeline that produces those graphs.
+//   - §3.2 (join-order determination cost): BenchmarkJoinOrderHeuristic
+//     measures the two plan-optimization passes of the heuristic on an
+//     8-way join; `go run ./cmd/optcost` prints the 2^n comparison.
+//
+// Run with: go test -bench=. -benchmem .
+package starmagic_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"starmagic/internal/bench"
+	"starmagic/internal/core"
+	"starmagic/internal/engine"
+	"starmagic/internal/semant"
+	"starmagic/internal/sql"
+)
+
+// benchCfg keeps bench runtime moderate; use cmd/table1 -scale for larger
+// runs.
+var benchCfg = bench.Config{
+	Departments: 100, EmpsPerDept: 20, SalesPerDept: 80, OrdersPerDept: 80, Seed: 1994,
+}
+
+var (
+	benchOnce sync.Once
+	benchDBV  *engine.Database
+	benchErr  error
+)
+
+func benchDB(b *testing.B) *engine.Database {
+	benchOnce.Do(func() { benchDBV, benchErr = bench.NewDB(benchCfg) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDBV
+}
+
+// benchmarkExperiment runs one (experiment, strategy) pair.
+func benchmarkExperiment(b *testing.B, id string, strategy engine.Strategy) {
+	db := benchDB(b)
+	var exp bench.Experiment
+	for _, e := range bench.Experiments() {
+		if e.ID == id {
+			exp = e
+		}
+	}
+	if exp.ID == "" {
+		b.Fatalf("no experiment %s", id)
+	}
+	p, err := db.Prepare(exp.Query, strategy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1, experiments A–H × {Original, Correlated, EMST}.
+func BenchmarkExpA(b *testing.B) { runStrategies(b, "A") }
+func BenchmarkExpB(b *testing.B) { runStrategies(b, "B") }
+func BenchmarkExpC(b *testing.B) { runStrategies(b, "C") }
+func BenchmarkExpD(b *testing.B) { runStrategies(b, "D") }
+func BenchmarkExpE(b *testing.B) { runStrategies(b, "E") }
+func BenchmarkExpF(b *testing.B) { runStrategies(b, "F") }
+func BenchmarkExpG(b *testing.B) { runStrategies(b, "G") }
+func BenchmarkExpH(b *testing.B) { runStrategies(b, "H") }
+
+func runStrategies(b *testing.B, id string) {
+	b.Run("original", func(b *testing.B) { benchmarkExperiment(b, id, engine.Original) })
+	b.Run("correlated", func(b *testing.B) { benchmarkExperiment(b, id, engine.Correlated) })
+	b.Run("emst", func(b *testing.B) { benchmarkExperiment(b, id, engine.EMST) })
+}
+
+// BenchmarkPipelineQueryD measures the optimization pipeline that produces
+// the Figure 1/Figure 4 graph sequence for the paper's query D.
+func BenchmarkPipelineQueryD(b *testing.B) {
+	db := benchDB(b)
+	queryD := bench.Experiments()[6].Query // experiment G is the query-D shape
+	q, err := sql.ParseQuery(queryD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := semant.NewBuilder(db.Catalog()).Build(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Optimize(g, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecursiveTC measures the deductive-database headline: bounded
+// transitive closure with and without magic (Original computes the full
+// closure; EMST seeds the fixpoint with the query constant).
+func BenchmarkRecursiveTC(b *testing.B) {
+	db := engine.New()
+	if _, err := db.Exec(`
+	CREATE TABLE edge (src INT, dst INT, PRIMARY KEY (src, dst));
+	CREATE INDEX edge_src ON edge (src);
+	CREATE VIEW tc (src, dst) AS
+	  SELECT src, dst FROM edge
+	  UNION
+	  SELECT t.src, e.dst FROM tc t, edge e WHERE t.dst = e.src;`); err != nil {
+		b.Fatal(err)
+	}
+	var script strings.Builder
+	script.WriteString("INSERT INTO edge VALUES ")
+	for c := 0; c < 40; c++ {
+		for i := 0; i < 14; i++ {
+			if c+i > 0 {
+				script.WriteString(", ")
+			}
+			fmt.Fprintf(&script, "(%d, %d)", c*1000+i, c*1000+i+1)
+		}
+	}
+	if _, err := db.Exec(script.String()); err != nil {
+		b.Fatal(err)
+	}
+	const query = "SELECT dst FROM tc WHERE src = 7000"
+	for _, s := range []engine.Strategy{engine.Original, engine.EMST} {
+		b.Run(s.String(), func(b *testing.B) {
+			p, err := db.Prepare(query, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinOrderHeuristic measures the §3.2 heuristic: two plan-
+// optimization passes around EMST on an n-way join, for n = 4 and 8.
+func BenchmarkJoinOrderHeuristic(b *testing.B) {
+	db := benchDB(b)
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var from, where []string
+			for i := 0; i < n; i++ {
+				from = append(from, fmt.Sprintf("employee e%d", i))
+				if i > 0 {
+					where = append(where, fmt.Sprintf("e%d.workdept = e%d.workdept", i-1, i))
+				}
+			}
+			where = append(where, "e0.empno < 1050")
+			query := "SELECT e0.empno FROM " + strings.Join(from, ", ") +
+				" WHERE " + strings.Join(where, " AND ")
+			q, err := sql.ParseQuery(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := semant.NewBuilder(db.Catalog()).Build(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Optimize(g, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+// Command magicsql is an interactive SQL shell (and script runner) for the
+// starmagic engine. SELECT statements run under the EMST pipeline by
+// default; dot-commands switch strategies and show optimizer output:
+//
+//	.strategy emst|original|correlated    pick the execution strategy
+//	.explain SELECT ...                   show the rewrite phases and costs
+//	.timing on|off                        print elapsed times
+//	.tables                               list tables and views
+//	.help                                 this text
+//
+// Usage:
+//
+//	magicsql [script.sql ...]        run scripts, then read from stdin
+//	echo "SELECT 1" | magicsql       pipe statements
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"starmagic/internal/engine"
+)
+
+func main() {
+	db := engine.New()
+	sh := &shell{db: db, strategy: engine.EMST, out: os.Stdout}
+	for _, path := range os.Args[1:] {
+		script, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "magicsql:", err)
+			os.Exit(1)
+		}
+		if err := sh.runScript(string(script)); err != nil {
+			fmt.Fprintln(os.Stderr, "magicsql:", err)
+			os.Exit(1)
+		}
+	}
+	stat, _ := os.Stdin.Stat()
+	interactive := (stat.Mode() & os.ModeCharDevice) != 0
+	if interactive {
+		fmt.Println("starmagic SQL shell — .help for commands, statements end with ;")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Print("magic> ")
+			} else {
+				fmt.Print("   ... ")
+			}
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			sh.dotCommand(trimmed)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			if err := sh.runScript(buf.String()); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		if err := sh.runScript(buf.String()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type shell struct {
+	db       *engine.Database
+	strategy engine.Strategy
+	timing   bool
+	out      io.Writer
+}
+
+// runScript executes statements; SELECTs print result tables.
+func (sh *shell) runScript(script string) error {
+	// Split crude statement boundaries while respecting strings is already
+	// handled by the parser; feed whole chunks and dispatch on first token.
+	for _, stmt := range splitStatements(script) {
+		trimmed := strings.TrimSpace(stmt)
+		if trimmed == "" {
+			continue
+		}
+		first := strings.ToUpper(firstWord(trimmed))
+		if first == "SELECT" || strings.HasPrefix(trimmed, "(") {
+			res, err := sh.db.QueryWith(trimmed, sh.strategy)
+			if err != nil {
+				return err
+			}
+			sh.printResult(res)
+			continue
+		}
+		if _, err := sh.db.Exec(trimmed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sh *shell) dotCommand(line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".help":
+		fmt.Fprintln(sh.out, ".strategy emst|original|correlated — pick execution strategy")
+		fmt.Fprintln(sh.out, ".explain SELECT ...                — show rewrite phases and costs")
+		fmt.Fprintln(sh.out, ".timing on|off                     — print elapsed times")
+		fmt.Fprintln(sh.out, ".tables                            — list tables and views")
+	case ".strategy":
+		if len(fields) < 2 {
+			fmt.Fprintf(sh.out, "strategy: %s\n", sh.strategy)
+			return
+		}
+		s, err := engine.ParseStrategy(fields[1])
+		if err != nil {
+			fmt.Fprintln(sh.out, err)
+			return
+		}
+		sh.strategy = s
+		fmt.Fprintf(sh.out, "strategy: %s\n", s)
+	case ".timing":
+		sh.timing = len(fields) > 1 && fields[1] == "on"
+		fmt.Fprintf(sh.out, "timing: %v\n", sh.timing)
+	case ".tables":
+		for _, t := range sh.db.Catalog().Tables() {
+			fmt.Fprintf(sh.out, "table %s (%d rows)\n", t.Name, t.RowCount)
+		}
+		for _, v := range sh.db.Catalog().Views() {
+			fmt.Fprintf(sh.out, "view  %s\n", v.Name)
+		}
+	case ".explain":
+		query := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
+		out, err := sh.db.Explain(query, sh.strategy)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		fmt.Fprint(sh.out, out)
+	default:
+		fmt.Fprintf(sh.out, "unknown command %s (.help for help)\n", fields[0])
+	}
+}
+
+func (sh *shell) printResult(res *engine.Result) {
+	widths := make([]int, len(res.Columns))
+	cells := make([][]string, 0, len(res.Rows)+1)
+	header := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, row := range res.Rows {
+		line := make([]string, len(row))
+		for i, d := range row {
+			line[i] = d.Format()
+			if len(line[i]) > widths[i] {
+				widths[i] = len(line[i])
+			}
+		}
+		cells = append(cells, line)
+	}
+	for ri, line := range cells {
+		var sb strings.Builder
+		for i, cell := range line {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		fmt.Fprintln(sh.out, sb.String())
+		if ri == 0 {
+			fmt.Fprintln(sh.out, strings.Repeat("-", len(sb.String())))
+		}
+	}
+	fmt.Fprintf(sh.out, "(%d rows)\n", len(res.Rows))
+	if sh.timing {
+		fmt.Fprintf(sh.out, "optimize %v, execute %v (strategy %s, emst-plan=%v)\n",
+			res.Plan.OptimizeTime, res.Plan.ExecTime, res.Plan.Strategy, res.Plan.UsedEMST)
+	}
+}
+
+// splitStatements splits on top-level semicolons, respecting string
+// literals.
+func splitStatements(script string) []string {
+	var out []string
+	var sb strings.Builder
+	inStr := false
+	for i := 0; i < len(script); i++ {
+		c := script[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			sb.WriteByte(c)
+		case c == ';' && !inStr:
+			out = append(out, sb.String())
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	out = append(out, sb.String())
+	return out
+}
+
+func firstWord(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"starmagic/internal/engine"
+)
+
+func newShell() (*shell, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return &shell{db: engine.New(), strategy: engine.EMST, out: &buf}, &buf
+}
+
+func TestSplitStatements(t *testing.T) {
+	got := splitStatements("SELECT 1; SELECT 'a;b'; INSERT INTO t VALUES ('x')")
+	if len(got) != 3 {
+		t.Fatalf("split into %d: %q", len(got), got)
+	}
+	if !strings.Contains(got[1], "a;b") {
+		t.Errorf("semicolon inside string split: %q", got[1])
+	}
+}
+
+func TestShellRunScriptAndPrint(t *testing.T) {
+	sh, buf := newShell()
+	script := `
+	CREATE TABLE t (a INT, b VARCHAR(5), PRIMARY KEY (a));
+	INSERT INTO t VALUES (1, 'x'), (2, 'y');
+	SELECT a, b FROM t WHERE a = 2;`
+	if err := sh.runScript(script); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"a | b", "2 | y", "(1 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellDotCommands(t *testing.T) {
+	sh, buf := newShell()
+	if err := sh.runScript("CREATE TABLE t (a INT, PRIMARY KEY (a)); CREATE VIEW v AS SELECT a FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	sh.dotCommand(".tables")
+	sh.dotCommand(".strategy correlated")
+	sh.dotCommand(".strategy")
+	sh.dotCommand(".timing on")
+	sh.dotCommand(".help")
+	sh.dotCommand(".explain SELECT a FROM v WHERE a = 1")
+	sh.dotCommand(".bogus")
+	out := buf.String()
+	for _, want := range []string{"table t", "view  v", "strategy: correlated", "timing: true", "-- initial --", "unknown command"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if sh.strategy != engine.Correlated {
+		t.Error("strategy not switched")
+	}
+}
+
+func TestShellTimingOutput(t *testing.T) {
+	sh, buf := newShell()
+	sh.timing = true
+	if err := sh.runScript("CREATE TABLE t (a INT, PRIMARY KEY (a)); INSERT INTO t VALUES (1); SELECT a FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "optimize") {
+		t.Errorf("timing line missing:\n%s", buf.String())
+	}
+}
+
+func TestShellErrorPropagates(t *testing.T) {
+	sh, _ := newShell()
+	if err := sh.runScript("SELECT * FROM missing"); err == nil {
+		t.Error("missing table did not error")
+	}
+}

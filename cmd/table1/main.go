@@ -1,0 +1,79 @@
+// Command table1 regenerates the paper's Table 1: elapsed times of eight
+// decision-support experiments under the Original, Correlated and EMST
+// strategies, normalized to Original = 100.
+//
+// Usage:
+//
+//	table1 [-scale N] [-reps N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"starmagic/internal/bench"
+	"starmagic/internal/engine"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "data size multiplier")
+	reps := flag.Int("reps", 3, "executions per measurement (fastest wins)")
+	verbose := flag.Bool("v", false, "print raw timings, counters, and regimes")
+	ablation := flag.Bool("ablation", false, "also run the design-choice ablation study on experiments G and H")
+	sweep := flag.Bool("sweep", false, "also sweep outer width on the experiment-C query (crossover curve)")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig().WithScale(*scale)
+	fmt.Printf("loading benchmark data (scale %d: %d departments, %d employees, %d sales, %d orders)...\n",
+		*scale, cfg.Departments, cfg.Departments*cfg.EmpsPerDept,
+		cfg.Departments*cfg.SalesPerDept, cfg.Departments*cfg.OrdersPerDept)
+	db, err := bench.NewDB(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+
+	rows, err := bench.Table1(db, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Println("Table 1: Elapsed Time (Original = 100)")
+	fmt.Print(bench.FormatTable(rows))
+
+	if *ablation {
+		fmt.Println()
+		fmt.Println("Ablation study (full EMST = 100 per experiment; plan always executed)")
+		arows, err := bench.RunAblations(db, []string{"B", "G", "H", "S"}, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatAblations(arows))
+	}
+
+	if *sweep {
+		fmt.Println()
+		fmt.Println("Outer-width sweep over the unindexed fact view (Original = 100 per row)")
+		pts, err := bench.Sweep(db, []int{1, 2, 5, 10, 20, 40, 80, 120, 150}, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatSweep(pts))
+	}
+
+	if *verbose {
+		fmt.Println()
+		for _, r := range rows {
+			fmt.Printf("Exp %s — %s\n  regime: %s\n", r.Experiment.ID, r.Experiment.Name, r.Experiment.Regime)
+			for _, s := range []engine.Strategy{engine.Original, engine.Correlated, engine.EMST} {
+				m := r.Raw[s]
+				fmt.Printf("  %-10s %12v rows=%-6d base-rows=%-8d probes=%-8d emst-plan=%v\n",
+					s, m.Elapsed, m.Rows, m.Counters.BaseRows, m.Counters.HashProbes, m.UsedEMST)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Quickstart: the paper's running example (Example 1.1) end to end.
+//
+// We create the employee/department schema, define the mgrSal and
+// avgMgrSal views, load data, and run query D — "the average salary of all
+// the managers in the department named Planning" — under all three
+// execution strategies, printing the rows, the plan decision, and the
+// work counters that show magic restricting the computation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"starmagic"
+)
+
+func main() {
+	db := starmagic.Open()
+
+	db.MustExec(`
+	CREATE TABLE department (deptno INT, deptname VARCHAR(30), mgrno INT, PRIMARY KEY (deptno));
+	CREATE TABLE employee (empno INT, empname VARCHAR(30), workdept INT, salary FLOAT, PRIMARY KEY (empno));
+	CREATE INDEX emp_dept ON employee (workdept);
+
+	-- The two views of the paper's Example 1.1 (GROUPBY is the paper's
+	-- spelling; GROUP BY works too).
+	CREATE VIEW mgrSal (empno, empname, workdept, salary) AS
+	  SELECT e.empno, e.empname, e.workdept, e.salary
+	  FROM employee e, department d WHERE e.empno = d.mgrno;
+	CREATE VIEW avgMgrSal (workdept, avgsalary) AS
+	  SELECT workdept, AVG(salary) FROM mgrSal GROUPBY workdept;
+	`)
+
+	// Load 50 departments with 30 employees each; the manager of each
+	// department is its first employee.
+	var deptRows, empRows []starmagic.Row
+	for d := 1; d <= 50; d++ {
+		name := fmt.Sprintf("Dept%02d", d)
+		if d == 1 {
+			name = "Planning"
+		}
+		deptRows = append(deptRows, starmagic.Row{
+			starmagic.Int(int64(d)), starmagic.String(name), starmagic.Int(int64(d*100 + 1)),
+		})
+		for i := 1; i <= 30; i++ {
+			empno := int64(d*100 + i)
+			empRows = append(empRows, starmagic.Row{
+				starmagic.Int(empno),
+				starmagic.String(fmt.Sprintf("emp%04d", empno)),
+				starmagic.Int(int64(d)),
+				starmagic.Float(30000 + float64((empno*37)%50000)),
+			})
+		}
+	}
+	if err := db.InsertRows("department", deptRows); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.InsertRows("employee", empRows); err != nil {
+		log.Fatal(err)
+	}
+
+	const queryD = `
+	SELECT d.deptname, s.workdept, s.avgsalary
+	FROM department d, avgMgrSal s
+	WHERE d.deptno = s.workdept AND d.deptname = 'Planning'`
+
+	for _, strategy := range []starmagic.Strategy{
+		starmagic.StrategyOriginal, starmagic.StrategyCorrelated, starmagic.StrategyEMST,
+	} {
+		res, err := db.QueryWith(queryD, strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s ", strategy)
+		for _, row := range res.Rows {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print(" | ")
+				}
+				fmt.Print(v.Format())
+			}
+		}
+		fmt.Printf("   (exec %v, %d base rows read, emst-plan=%v)\n",
+			res.Plan.ExecTime, res.Plan.Counters.BaseRows, res.Plan.UsedEMST)
+	}
+
+	// EXPLAIN shows the QGM graph through the three rewrite phases — the
+	// textual form of the paper's Figure 4.
+	fmt.Println("\n--- EXPLAIN (EMST) ---")
+	out, err := db.Explain(queryD, starmagic.StrategyEMST)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,3 @@
+module starmagic
+
+go 1.22

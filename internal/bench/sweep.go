@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"starmagic/internal/engine"
+)
+
+// Sweep traces the regime boundary the paper's Table 1 samples pointwise:
+// the experiment-C query with the outer width (number of departments whose
+// rows reach the view) varied from one department to most of them. As the
+// width grows, Correlated crosses from beating Original to collapsing,
+// while EMST degrades gracefully toward Original — the crossover the
+// paper's stability argument is about.
+type SweepPoint struct {
+	// Width is the number of departments bound into the view.
+	Width int
+	// Original, Correlated, EMST are normalized elapsed times
+	// (Original = 100).
+	Original, Correlated, EMST float64
+	// UsedEMST reports whether the cost comparison committed to the magic
+	// plan at this width.
+	UsedEMST bool
+}
+
+// Sweep measures the normalized times at each width over the unindexed
+// orders fact table.
+func Sweep(db *engine.Database, widths []int, reps int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, w := range widths {
+		e := Experiment{
+			ID:   fmt.Sprintf("W%d", w),
+			Name: "sweep",
+			Query: fmt.Sprintf(`SELECT d.deptname, v.total FROM department d, deptOrders v
+				WHERE d.deptno = v.deptno AND d.deptno <= %d`, w),
+		}
+		pt := SweepPoint{Width: w}
+		var base time.Duration
+		for _, s := range []engine.Strategy{engine.Original, engine.Correlated, engine.EMST} {
+			m, err := Run(db, e, s, reps)
+			if err != nil {
+				return nil, fmt.Errorf("width %d %v: %w", w, s, err)
+			}
+			switch s {
+			case engine.Original:
+				base = m.Elapsed
+				pt.Original = 100
+			case engine.Correlated:
+				pt.Correlated = 100 * m.Elapsed.Seconds() / base.Seconds()
+			case engine.EMST:
+				pt.EMST = 100 * m.Elapsed.Seconds() / base.Seconds()
+				pt.UsedEMST = m.UsedEMST
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatSweep renders the sweep as an aligned table.
+func FormatSweep(points []SweepPoint) string {
+	s := fmt.Sprintf("%-7s %10s %12s %10s %10s\n", "width", "Original", "Correlated", "EMST", "emst-plan")
+	for _, p := range points {
+		s += fmt.Sprintf("%-7d %10.2f %12.2f %10.2f %10v\n",
+			p.Width, p.Original, p.Correlated, p.EMST, p.UsedEMST)
+	}
+	return s
+}

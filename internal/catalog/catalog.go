@@ -1,0 +1,246 @@
+// Package catalog holds schema metadata: base tables with their columns,
+// keys and statistics, and view definitions (stored as SQL text, expanded by
+// the semantic analyzer). The plan optimizer (internal/opt) consumes the
+// statistics for cardinality and selectivity estimation, exactly the role
+// catalog statistics play in Starburst's plan optimization phase (§3.2).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"starmagic/internal/datum"
+)
+
+// Column describes one column of a base table or view.
+type Column struct {
+	Name string
+	Type datum.Type
+}
+
+// ColumnStats carries per-column statistics used by the cost model.
+type ColumnStats struct {
+	// DistinctCount is the number of distinct non-NULL values.
+	DistinctCount int64
+	// NullCount is the number of NULL values.
+	NullCount int64
+	// Min and Max bound the non-NULL values (valid only when
+	// DistinctCount > 0 and the type is ordered).
+	Min, Max datum.D
+}
+
+// Table is a base-table descriptor.
+type Table struct {
+	Name    string
+	Columns []Column
+	// Keys lists sets of column ordinals that are unique keys. The first
+	// entry, when present, is the primary key.
+	Keys [][]int
+	// Indexes lists column ordinal sets with hash indexes available to the
+	// executor.
+	Indexes [][]int
+
+	// RowCount and Stats are filled by Analyze.
+	RowCount int64
+	Stats    []ColumnStats
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasKey reports whether cols (in any order) contains some unique key of t.
+func (t *Table) HasKey(cols []int) bool {
+	set := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	for _, key := range t.Keys {
+		all := true
+		for _, k := range key {
+			if !set[k] {
+				all = false
+				break
+			}
+		}
+		if all && len(key) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasIndex reports whether an index exists exactly on cols (order
+// insensitive).
+func (t *Table) HasIndex(cols []int) bool {
+	want := append([]int(nil), cols...)
+	sort.Ints(want)
+	for _, idx := range t.Indexes {
+		have := append([]int(nil), idx...)
+		sort.Ints(have)
+		if len(have) == len(want) {
+			eq := true
+			for i := range have {
+				if have[i] != want[i] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// View is a stored view definition. Definitions are kept as SQL text and
+// re-parsed on use, mirroring how the paper treats each view as a blob of
+// SQL (§2).
+type View struct {
+	Name string
+	// Columns optionally renames the view's output columns (CREATE VIEW
+	// v(a, b) AS ...). Empty means inherit from the defining query.
+	Columns []string
+	SQL     string
+}
+
+// Catalog is the schema directory. It is not safe for concurrent mutation;
+// the engine serializes DDL.
+type Catalog struct {
+	tables map[string]*Table
+	views  map[string]*View
+	order  []string // creation order, for deterministic listing
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// AddTable registers a base table. The name must be unused.
+func (c *Catalog) AddTable(t *Table) error {
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("table %q already exists", t.Name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("view %q already exists", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		ck := key(col.Name)
+		if seen[ck] {
+			return fmt.Errorf("duplicate column %q in table %q", col.Name, t.Name)
+		}
+		seen[ck] = true
+	}
+	c.tables[k] = t
+	c.order = append(c.order, k)
+	return nil
+}
+
+// AddView registers a view definition. The name must be unused.
+func (c *Catalog) AddView(v *View) error {
+	k := key(v.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("table %q already exists", v.Name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("view %q already exists", v.Name)
+	}
+	c.views[k] = v
+	c.order = append(c.order, k)
+	return nil
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	k := key(name)
+	if _, ok := c.views[k]; !ok {
+		return fmt.Errorf("view %q does not exist", name)
+	}
+	delete(c.views, k)
+	for i, n := range c.order {
+		if n == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Table resolves a base table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// View resolves a view by name.
+func (c *Catalog) View(name string) (*View, bool) {
+	v, ok := c.views[key(name)]
+	return v, ok
+}
+
+// Tables returns all base tables in creation order.
+func (c *Catalog) Tables() []*Table {
+	var out []*Table
+	for _, k := range c.order {
+		if t, ok := c.tables[k]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Views returns all views in creation order.
+func (c *Catalog) Views() []*View {
+	var out []*View
+	for _, k := range c.order {
+		if v, ok := c.views[k]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AnalyzeTable computes RowCount and per-column statistics from the rows.
+// The storage layer calls this from Database.Analyze.
+func AnalyzeTable(t *Table, rows []datum.Row) {
+	t.RowCount = int64(len(rows))
+	t.Stats = make([]ColumnStats, len(t.Columns))
+	for ci := range t.Columns {
+		distinct := make(map[string]struct{})
+		st := &t.Stats[ci]
+		for _, r := range rows {
+			d := r[ci]
+			if d.IsNull() {
+				st.NullCount++
+				continue
+			}
+			distinct[datum.Row{d}.Key()] = struct{}{}
+			if st.DistinctCount == 0 && len(distinct) == 1 {
+				st.Min, st.Max = d, d
+			}
+			if datum.Compare(d, st.Min) < 0 {
+				st.Min = d
+			}
+			if datum.Compare(d, st.Max) > 0 {
+				st.Max = d
+			}
+			st.DistinctCount = int64(len(distinct))
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package catalog
+
+import (
+	"testing"
+
+	"starmagic/internal/datum"
+)
+
+func deptTable() *Table {
+	return &Table{
+		Name: "department",
+		Columns: []Column{
+			{Name: "deptno", Type: datum.TInt},
+			{Name: "deptname", Type: datum.TString},
+			{Name: "mgrno", Type: datum.TInt},
+		},
+		Keys:    [][]int{{0}},
+		Indexes: [][]int{{0}},
+	}
+}
+
+func TestAddAndResolve(t *testing.T) {
+	c := New()
+	if err := c.AddTable(deptTable()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("DEPARTMENT"); !ok {
+		t.Error("case-insensitive table lookup failed")
+	}
+	if err := c.AddTable(deptTable()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := c.AddView(&View{Name: "department", SQL: "SELECT 1"}); err == nil {
+		t.Error("view shadowing a table accepted")
+	}
+	if err := c.AddView(&View{Name: "v", SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.View("V"); !ok {
+		t.Error("case-insensitive view lookup failed")
+	}
+	if err := c.AddTable(&Table{Name: "v"}); err == nil {
+		t.Error("table shadowing a view accepted")
+	}
+	if len(c.Tables()) != 1 || len(c.Views()) != 1 {
+		t.Errorf("listing wrong: %d tables, %d views", len(c.Tables()), len(c.Views()))
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	c := New()
+	err := c.AddTable(&Table{Name: "t", Columns: []Column{
+		{Name: "a", Type: datum.TInt}, {Name: "A", Type: datum.TInt},
+	}})
+	if err == nil {
+		t.Error("duplicate column names accepted")
+	}
+}
+
+func TestDropView(t *testing.T) {
+	c := New()
+	if err := c.AddView(&View{Name: "v", SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.View("v"); ok {
+		t.Error("view survived drop")
+	}
+	if err := c.DropView("v"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	d := deptTable()
+	if d.ColumnIndex("MGRNO") != 2 {
+		t.Error("case-insensitive column index failed")
+	}
+	if d.ColumnIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestHasKey(t *testing.T) {
+	d := deptTable()
+	if !d.HasKey([]int{0}) {
+		t.Error("primary key not detected")
+	}
+	if !d.HasKey([]int{0, 1}) {
+		t.Error("superset of key not detected")
+	}
+	if d.HasKey([]int{1}) {
+		t.Error("non-key column reported as key")
+	}
+	empty := &Table{Name: "e"}
+	if empty.HasKey([]int{0}) {
+		t.Error("keyless table reported a key")
+	}
+}
+
+func TestHasIndex(t *testing.T) {
+	d := deptTable()
+	if !d.HasIndex([]int{0}) {
+		t.Error("index on deptno not found")
+	}
+	if d.HasIndex([]int{1}) {
+		t.Error("spurious index")
+	}
+	multi := &Table{Name: "m", Indexes: [][]int{{2, 0}}}
+	if !multi.HasIndex([]int{0, 2}) {
+		t.Error("order-insensitive index match failed")
+	}
+}
+
+func TestAnalyzeTable(t *testing.T) {
+	d := deptTable()
+	rows := []datum.Row{
+		{datum.Int(1), datum.String("Planning"), datum.Int(10)},
+		{datum.Int(2), datum.String("Dev"), datum.Int(20)},
+		{datum.Int(3), datum.String("Dev"), datum.NullOf(datum.TInt)},
+	}
+	AnalyzeTable(d, rows)
+	if d.RowCount != 3 {
+		t.Errorf("RowCount = %d", d.RowCount)
+	}
+	if d.Stats[0].DistinctCount != 3 || d.Stats[1].DistinctCount != 2 {
+		t.Errorf("distinct counts = %d, %d", d.Stats[0].DistinctCount, d.Stats[1].DistinctCount)
+	}
+	if d.Stats[2].NullCount != 1 || d.Stats[2].DistinctCount != 2 {
+		t.Errorf("mgrno stats = %+v", d.Stats[2])
+	}
+	if d.Stats[0].Min.I != 1 || d.Stats[0].Max.I != 3 {
+		t.Errorf("min/max = %#v/%#v", d.Stats[0].Min, d.Stats[0].Max)
+	}
+}
+
+func TestAnalyzeEmptyTable(t *testing.T) {
+	d := deptTable()
+	AnalyzeTable(d, nil)
+	if d.RowCount != 0 || d.Stats[0].DistinctCount != 0 {
+		t.Error("empty-table stats wrong")
+	}
+}

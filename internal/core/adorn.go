@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+)
+
+// Binding records one adorned column of a quantifier's ranged box: output
+// ordinal Ord of the child is restricted by the expression Other (over
+// quantifiers eligible to pass information into q), with comparison
+// ChildCol Op Other. Eq distinguishes 'b' (equality) from 'c' (condition)
+// adornments.
+type Binding struct {
+	Ord   int
+	Op    datum.CmpOp
+	Other qgm.Expr
+	Eq    bool
+	// pred is the predicate of the parent box the binding came from; it
+	// stays in the parent (magic only adds implied filters below).
+	pred qgm.Expr
+}
+
+// adornQuantifier implements the heart of adorn-box (Algorithm 4.1) for one
+// quantifier q of box b: find the predicates of b that can pass information
+// into q from the eligible quantifiers, and derive the bcf adornment.
+//
+// A predicate binds q when it is a comparison with one side a plain column
+// of q and the other side referencing only eligible quantifiers. Equality
+// gives a 'b'; other comparison operators give a 'c'. (Local predicates —
+// references to q only — are handled by the independent predicate-pushdown
+// rule, which EMST runs alongside; see §4: "The EMST rule uses the
+// predicate pushdown rule to push predicates into each referenced table".)
+func adornQuantifier(b *qgm.Box, q *qgm.Quantifier, eligible []*qgm.Quantifier) []Binding {
+	elig := map[*qgm.Quantifier]bool{}
+	for _, e := range eligible {
+		elig[e] = true
+	}
+	// Quantifiers of b itself that are NOT eligible (they follow q in the
+	// join order, or are subquery quantifiers) cannot pass information.
+	// Quantifiers of ANCESTOR boxes can: their bindings are fixed before b
+	// evaluates — Algorithm 4.1 step 2's correlation eligibility. The magic
+	// boxes built from such predicates carry correlated references and are
+	// evaluated (memoized) per outer binding.
+	local := map[*qgm.Quantifier]bool{}
+	for _, lq := range b.Quantifiers {
+		local[lq] = true
+	}
+	var bindings []Binding
+	for _, p := range b.Preds {
+		cmp, ok := p.(*qgm.Cmp)
+		if !ok {
+			continue
+		}
+		tryBind := func(mine, other qgm.Expr, op datum.CmpOp) bool {
+			cr, ok := mine.(*qgm.ColRef)
+			if !ok || cr.Q != q {
+				return false
+			}
+			// The other side may reference eligible quantifiers, ancestor
+			// (correlated) quantifiers, or nothing at all — a constant also
+			// binds ("we push all equality ... predicates using magic,
+			// replacing traditional predicate pushdown"); constants matter
+			// for shared and recursive views that the local pushdown rule
+			// must not touch.
+			onlyEligible := true
+			qgm.VisitRefs(other, func(c *qgm.ColRef) {
+				if !elig[c.Q] && local[c.Q] {
+					onlyEligible = false
+				}
+			})
+			if !onlyEligible {
+				return false
+			}
+			bindings = append(bindings, Binding{
+				Ord:   cr.Ord,
+				Op:    op,
+				Other: other,
+				Eq:    op == datum.EQ,
+				pred:  p,
+			})
+			return true
+		}
+		if tryBind(cmp.L, cmp.R, cmp.Op) {
+			continue
+		}
+		tryBind(cmp.R, cmp.L, cmp.Op.Flip())
+	}
+
+	// Equality wins over conditions on the same ordinal; deduplicate so the
+	// adornment and the magic table stay minimal (one magic column per
+	// bound ordinal).
+	sort.SliceStable(bindings, func(i, j int) bool {
+		if bindings[i].Ord != bindings[j].Ord {
+			return bindings[i].Ord < bindings[j].Ord
+		}
+		return bindings[i].Eq && !bindings[j].Eq
+	})
+	var out []Binding
+	seenEq := map[int]bool{}
+	for _, bd := range bindings {
+		if bd.Eq {
+			if seenEq[bd.Ord] {
+				continue // one equality binding per ordinal suffices
+			}
+			seenEq[bd.Ord] = true
+			out = append(out, bd)
+			continue
+		}
+		if seenEq[bd.Ord] {
+			continue // 'b' subsumes 'c' on the same ordinal
+		}
+		out = append(out, bd)
+	}
+	return out
+}
+
+// adornmentString renders the bcf adornment of a box with n outputs under
+// the given bindings (§2: "b for bound by an equality predicate, c for
+// conditioned, f for free").
+func adornmentString(n int, bindings []Binding) string {
+	letters := make([]byte, n)
+	for i := range letters {
+		letters[i] = 'f'
+	}
+	for _, bd := range bindings {
+		if bd.Ord >= n {
+			continue
+		}
+		if bd.Eq {
+			letters[bd.Ord] = 'b'
+		} else if letters[bd.Ord] == 'f' {
+			letters[bd.Ord] = 'c'
+		}
+	}
+	return string(letters)
+}
+
+// allFree reports an all-f adornment.
+func allFree(adornment string) bool {
+	return !strings.ContainsAny(adornment, "bc")
+}

@@ -1,0 +1,88 @@
+// Package core implements the paper's primary contribution: the Extended
+// Magic-Sets Transformation (EMST) as a rewrite rule over QGM, combining
+// adornment (Algorithm 4.1, adorn-box) and magic transformation (Algorithm
+// 4.2, magic-process) in one pass, with bcf adornments, supplementary-magic
+// and condition-magic boxes, the AMQ/NMQ extensibility property (§4.2/§5),
+// and the three-phase pipeline with cost-based join orders and the
+// no-degradation guarantee (§3.2–3.3, Figures 2 and 3).
+package core
+
+import (
+	"starmagic/internal/qgm"
+)
+
+// boxProperty describes how a box kind participates in EMST (§4.2).
+type boxProperty struct {
+	// amq: the kind accepts a magic quantifier — a new table reference can
+	// be inserted with join semantics to restrict the computation inside
+	// the box. Select boxes are AMQ; union-, groupby-, and difference-
+	// boxes are NMQ.
+	amq bool
+	// nmqMap, for NMQ kinds, maps a restriction on output ordinal boxOrd
+	// through the box onto (quantifier, child output ordinal) pairs, so
+	// the restriction can be passed down into the box's inputs (§4.2:
+	// "an NMQ box may be able to pass the restriction represented by the
+	// magic table down into its quantifiers").
+	nmqMap func(b *qgm.Box, boxOrd int) []QuantBinding
+}
+
+// QuantBinding says: the restriction on the parent output applies to
+// output ChildOrd of the box Quant ranges over.
+type QuantBinding struct {
+	Quant    *qgm.Quantifier
+	ChildOrd int
+}
+
+var properties = map[qgm.BoxKind]boxProperty{
+	qgm.KindSelect: {amq: true},
+	qgm.KindGroupBy: {amq: false, nmqMap: func(b *qgm.Box, boxOrd int) []QuantBinding {
+		if boxOrd >= len(b.GroupBy) {
+			return nil // aggregated column: not passable
+		}
+		cr, ok := b.GroupBy[boxOrd].(*qgm.ColRef)
+		if !ok {
+			return nil
+		}
+		return []QuantBinding{{Quant: cr.Q, ChildOrd: cr.Ord}}
+	}},
+	qgm.KindUnion:     {amq: false, nmqMap: positionalNMQMap},
+	qgm.KindIntersect: {amq: false, nmqMap: positionalNMQMap},
+	qgm.KindExcept:    {amq: false, nmqMap: positionalNMQMap},
+}
+
+// positionalNMQMap passes a restriction positionally into every branch of a
+// set operation. For EXCEPT this is sound on both sides: rows of the right
+// input outside the restriction can only match left rows that the
+// restriction already excluded.
+func positionalNMQMap(b *qgm.Box, boxOrd int) []QuantBinding {
+	var out []QuantBinding
+	for _, q := range b.Quantifiers {
+		out = append(out, QuantBinding{Quant: q, ChildOrd: boxOrd})
+	}
+	return out
+}
+
+// RegisterBoxKind declares the EMST property of an extension box kind (§5:
+// "the customizer is required to state whether a quantifier can be inserted
+// into the box with a join semantics (AMQ or NMQ) — a simple property to
+// state"). nmqMap may be nil for NMQ kinds that cannot pass restrictions
+// down; such boxes simply stop the descent (still correct: magic only adds
+// filters).
+func RegisterBoxKind(kind qgm.BoxKind, amq bool, nmqMap func(b *qgm.Box, boxOrd int) []QuantBinding) {
+	properties[kind] = boxProperty{amq: amq, nmqMap: nmqMap}
+}
+
+// IsAMQ reports whether the box kind accepts magic quantifiers. Unknown
+// kinds default to NMQ, the safe choice.
+func IsAMQ(kind qgm.BoxKind) bool {
+	return properties[kind].amq
+}
+
+// nmqBindings maps a restriction on boxOrd through an NMQ box.
+func nmqBindings(b *qgm.Box, boxOrd int) []QuantBinding {
+	p, ok := properties[b.Kind]
+	if !ok || p.nmqMap == nil {
+		return nil
+	}
+	return p.nmqMap(b, boxOrd)
+}

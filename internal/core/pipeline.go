@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"starmagic/internal/opt"
+	"starmagic/internal/qgm"
+	"starmagic/internal/rewrite"
+)
+
+// Options configures the optimization pipeline.
+type Options struct {
+	// SkipEMST runs only phase-1 rewrite plus plan optimization (the
+	// "Original" strategy of Table 1).
+	SkipEMST bool
+	// Snapshots records a dump of the graph after each phase (qgmviz and
+	// the Figure 1/4 tests read them).
+	Snapshots bool
+	// Validate runs Graph.Check after every rule application.
+	Validate bool
+	// Trace receives one line per rule application when non-nil.
+	Trace func(rule string, box *qgm.Box)
+
+	// Ablations disable individual design choices for the ablation study
+	// (cmd/table1 -ablation); all false in normal operation.
+	Ablations Ablations
+}
+
+// Ablations switches off individual EMST design decisions so their
+// contribution can be measured.
+type Ablations struct {
+	// NoSupplementary: magic boxes re-join the eligible prefix instead of
+	// sharing it through a supplementary-magic-box.
+	NoSupplementary bool
+	// NoDistinctPullup: magic tables keep their enforced DISTINCT, which
+	// also blocks the phase-3 merges that depend on the inference.
+	NoDistinctPullup bool
+	// NoPhase3: deliver the raw phase-2 magic graph without simplification
+	// (how deductive-database implementations left it, §1).
+	NoPhase3 bool
+	// DeclarationOrderSIPS: ignore the plan optimizer's join orders and
+	// adorn in declaration order (what systems without cost-based sips do,
+	// §2: "deductive database systems don't do any cost-based optimization
+	// to determine the join orders needed for magic").
+	DeclarationOrderSIPS bool
+}
+
+// Snapshot is the state of the graph after one pipeline stage.
+type Snapshot struct {
+	Name  string
+	Stats qgm.Stats
+	Dump  string
+	// DOT is the Graphviz rendering of the same graph (cmd/qgmviz -dot).
+	DOT string
+}
+
+// Result reports what the pipeline did.
+type Result struct {
+	// Graph is the graph to execute (the transformed graph, or the
+	// pre-EMST graph when the cost comparison favored it).
+	Graph *qgm.Graph
+	// UsedEMST reports whether the executed plan is the EMST-transformed
+	// one.
+	UsedEMST bool
+	// CostBefore/CostAfter are the optimizer's estimates for the pre- and
+	// post-EMST plans (§3.2 step 5).
+	CostBefore, CostAfter float64
+	// PlansConsidered sums join orders examined across both plan-
+	// optimization invocations.
+	PlansConsidered int
+	// Snapshots, when requested, holds the graph after each phase.
+	Snapshots []Snapshot
+}
+
+// Optimize runs the paper's optimization architecture (Figures 2 and 3):
+//
+//	phase-1 query rewrite (no EMST; rules that need no join orders)
+//	plan optimization            → join orders + cost of the no-EMST plan
+//	phase-2 query rewrite        → the EMST rule, using those join orders
+//	phase-3 query rewrite        → simplify the magic graph (EMST disabled)
+//	plan optimization            → cost of the EMST plan
+//	cost comparison              → execute the cheaper plan
+//
+// The back edge from plan optimization to query rewrite in Figure 2 is the
+// call sequence here. The guarantee (§3.2): usage of the EMST rule cannot
+// degrade the query plan produced without it.
+func Optimize(g *qgm.Graph, o Options) (*Result, error) {
+	res := &Result{}
+	snap := func(name string) {
+		if o.Snapshots {
+			res.Snapshots = append(res.Snapshots, Snapshot{
+				Name:  name,
+				Stats: g.Stats(),
+				Dump:  g.Dump(),
+				DOT:   g.DumpDOT(name),
+			})
+		}
+	}
+	snap("initial")
+
+	// Phase 1: rewrite rules that do not depend on join orders.
+	if err := runPhase(g, o, Phase1Rules()...); err != nil {
+		return nil, fmt.Errorf("phase 1: %w", err)
+	}
+	snap("phase1")
+
+	// Plan optimization #1: join orders for EMST, and the no-EMST cost.
+	r1 := opt.Optimize(g)
+	res.CostBefore = r1.Cost
+	res.PlansConsidered += r1.PlansConsidered
+
+	if o.SkipEMST {
+		res.Graph = g
+		res.CostAfter = r1.Cost
+		return res, nil
+	}
+
+	// Keep the pre-EMST plan for the cost comparison.
+	fallback := g.CloneGraph()
+
+	if o.Ablations.DeclarationOrderSIPS {
+		for _, b := range g.Reachable() {
+			b.JoinOrder = nil
+		}
+	}
+
+	// Phase 2: EMST plus the join-order-independent rules (the paper keeps
+	// graph-simplifying merges for phase 3).
+	emst := NewEMSTRule()
+	emst.NoSupplementary = o.Ablations.NoSupplementary
+	phase2 := []rewrite.Rule{emst, rewrite.LocalPushdownRule{}}
+	if !o.Ablations.NoDistinctPullup {
+		phase2 = append(phase2, rewrite.DistinctPullupRule{})
+	}
+	if err := runPhase(g, o, phase2...); err != nil {
+		return nil, fmt.Errorf("phase 2: %w", err)
+	}
+	clearMagicLinks(g)
+	snap("phase2")
+
+	// Phase 3: simplify the magic graph; EMST disabled.
+	if !o.Ablations.NoPhase3 {
+		phase3 := Phase3Rules()
+		if o.Ablations.NoDistinctPullup {
+			phase3 = withoutRule(phase3, rewrite.DistinctPullupRule{}.Name())
+		}
+		if err := runPhase(g, o, phase3...); err != nil {
+			return nil, fmt.Errorf("phase 3: %w", err)
+		}
+	}
+	snap("phase3")
+
+	// Plan optimization #2 and the cost comparison.
+	r2 := opt.Optimize(g)
+	res.CostAfter = r2.Cost
+	res.PlansConsidered += r2.PlansConsidered
+	if r2.Cost <= r1.Cost {
+		res.Graph = g
+		res.UsedEMST = true
+	} else {
+		res.Graph = fallback
+	}
+	return res, nil
+}
+
+// Phase1Rules are the join-order-independent rewrite rules (§3.3): local
+// predicate pushdown (the paper's "local magic" rule), duplicate-
+// elimination pull-up, redundant join elimination, the merge rule, plus
+// projection pruning and trivial-select cleanup.
+func Phase1Rules() []rewrite.Rule {
+	return []rewrite.Rule{
+		rewrite.MergeRule{},
+		rewrite.LocalPushdownRule{},
+		rewrite.ProjectionPruneRule{},
+		rewrite.DistinctPullupRule{},
+		rewrite.RedundantJoinRule{},
+		rewrite.TrivialSelectRule{},
+	}
+}
+
+// Phase2Rules activate EMST alongside the rules it cooperates with; the
+// merge rule stays disabled so the magic structure remains visible until
+// phase 3 (Figure 3).
+func Phase2Rules() []rewrite.Rule {
+	return []rewrite.Rule{
+		NewEMSTRule(),
+		rewrite.LocalPushdownRule{},
+		rewrite.DistinctPullupRule{},
+	}
+}
+
+// Phase3Rules simplify the transformed graph with EMST disabled.
+func Phase3Rules() []rewrite.Rule {
+	return Phase1Rules()
+}
+
+func withoutRule(rules []rewrite.Rule, name string) []rewrite.Rule {
+	var out []rewrite.Rule
+	for _, r := range rules {
+		if r.Name() != name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func runPhase(g *qgm.Graph, o Options, rules ...rewrite.Rule) error {
+	engine := rewrite.NewEngine(rules...)
+	ctx := &rewrite.Context{G: g, Validate: o.Validate, Trace: o.Trace}
+	return engine.Run(ctx)
+}
+
+// clearMagicLinks drops the MagicBox/MagicCols bookkeeping once phase 2 is
+// complete: the restrictions have been materialized as magic quantifiers
+// and predicates; the links would otherwise pin boxes and block phase-3
+// merges.
+func clearMagicLinks(g *qgm.Graph) {
+	for _, b := range g.Reachable() {
+		b.MagicBox = nil
+		b.MagicCols = nil
+	}
+	g.GC()
+}

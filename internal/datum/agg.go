@@ -1,0 +1,151 @@
+package datum
+
+import "fmt"
+
+// AggKind enumerates the SQL aggregate functions.
+type AggKind uint8
+
+// Aggregate functions supported by the engine. CountStar is COUNT(*).
+const (
+	AggCount AggKind = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return "AGG?"
+}
+
+// AggKindFromName resolves a SQL function name to an aggregate kind.
+func AggKindFromName(name string) (AggKind, bool) {
+	switch name {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// ResultType returns the type an aggregate produces when applied to input of
+// type in.
+func (k AggKind) ResultType(in Type) Type {
+	switch k {
+	case AggCount, AggCountStar:
+		return TInt
+	case AggAvg:
+		return TFloat
+	case AggSum:
+		if in == TFloat {
+			return TFloat
+		}
+		return TInt
+	default:
+		return in
+	}
+}
+
+// AggState accumulates one aggregate over one group. SQL semantics: NULL
+// inputs are ignored by every aggregate except COUNT(*); an empty group
+// yields NULL for all aggregates except COUNT/COUNT(*), which yield 0.
+// DISTINCT aggregation is handled by the caller (it deduplicates inputs
+// before calling Add).
+type AggState struct {
+	Kind    AggKind
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	extreme D
+}
+
+// NewAggState returns a fresh accumulator for kind k.
+func NewAggState(k AggKind) *AggState { return &AggState{Kind: k} }
+
+// Add folds one input value into the aggregate. For COUNT(*) the value is
+// ignored (callers may pass any datum).
+func (s *AggState) Add(v D) error {
+	if s.Kind == AggCountStar {
+		s.count++
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	switch s.Kind {
+	case AggCount:
+		s.count++
+	case AggSum, AggAvg:
+		if !numeric(v.T) {
+			return fmt.Errorf("%s over non-numeric type %s", s.Kind, v.T)
+		}
+		s.count++
+		if v.T == TFloat {
+			s.isFloat = true
+		}
+		s.sumI += v.I
+		s.sumF += v.AsFloat()
+	case AggMin:
+		if s.count == 0 || Compare(v, s.extreme) < 0 {
+			s.extreme = v
+		}
+		s.count++
+	case AggMax:
+		if s.count == 0 || Compare(v, s.extreme) > 0 {
+			s.extreme = v
+		}
+		s.count++
+	}
+	return nil
+}
+
+// Result returns the aggregate's final value.
+func (s *AggState) Result() D {
+	switch s.Kind {
+	case AggCount, AggCountStar:
+		return Int(s.count)
+	case AggSum:
+		if s.count == 0 {
+			return NullOf(TInt)
+		}
+		if s.isFloat {
+			return Float(s.sumF)
+		}
+		return Int(s.sumI)
+	case AggAvg:
+		if s.count == 0 {
+			return NullOf(TFloat)
+		}
+		return Float(s.sumF / float64(s.count))
+	case AggMin, AggMax:
+		if s.count == 0 {
+			return Null()
+		}
+		return s.extreme
+	}
+	return Null()
+}

@@ -1,0 +1,674 @@
+// Package engine glues the layers into a database: SQL in, rows out. It
+// owns the catalog and storage, executes DDL and INSERT statements, and
+// runs queries under one of the three strategies the paper's Table 1
+// compares — Original (phase-1 rewrite only), Correlated (views evaluated
+// per outer row), and EMST (the full three-phase magic pipeline with the
+// cost-comparison guarantee). It is the executable form of the paper's
+// Figure 2 architecture.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/core"
+	"starmagic/internal/datum"
+	"starmagic/internal/exec"
+	"starmagic/internal/opt"
+	"starmagic/internal/qgm"
+	"starmagic/internal/rewrite"
+	"starmagic/internal/semant"
+	"starmagic/internal/sql"
+	"starmagic/internal/storage"
+)
+
+// Strategy selects how a query is optimized and executed.
+type Strategy int
+
+// Strategies (the three columns of the paper's Table 1).
+const (
+	// EMST runs the full three-phase pipeline; the cheaper of the pre- and
+	// post-transformation plans executes (§3.2). This is the default.
+	EMST Strategy = iota
+	// Original runs only phase-1 rewrite: views materialize in full.
+	Original
+	// Correlated pushes join predicates into private view copies as
+	// correlation and re-evaluates them per outer row without caching.
+	Correlated
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case EMST:
+		return "emst"
+	case Original:
+		return "original"
+	case Correlated:
+		return "correlated"
+	}
+	return "?"
+}
+
+// ParseStrategy resolves a strategy name.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "emst", "magic":
+		return EMST, nil
+	case "original", "orig":
+		return Original, nil
+	case "correlated", "corr":
+		return Correlated, nil
+	}
+	return EMST, fmt.Errorf("unknown strategy %q (want emst, original, or correlated)", name)
+}
+
+// Database is an embedded starmagic instance. It is safe for concurrent
+// use: DDL and data loading serialize behind a write lock; queries share a
+// read lock (each execution uses its own evaluator state).
+type Database struct {
+	mu    sync.RWMutex
+	cat   *catalog.Catalog
+	store *storage.Store
+	// statsDirty triggers re-ANALYZE before the next optimization.
+	statsDirty bool
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{cat: catalog.New(), store: storage.NewStore()}
+}
+
+// Catalog exposes the schema directory (read-mostly; use Exec for DDL).
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Store exposes the storage layer for bulk loading.
+func (db *Database) Store() *storage.Store { return db.store }
+
+// Exec runs a script of DDL/INSERT statements separated by semicolons and
+// returns the number of rows inserted.
+func (db *Database) Exec(script string) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return 0, err
+	}
+	var inserted int64
+	for _, st := range stmts {
+		n, err := db.execStmt(st)
+		if err != nil {
+			return inserted, err
+		}
+		inserted += n
+	}
+	return inserted, nil
+}
+
+func (db *Database) execStmt(st sql.Statement) (int64, error) {
+	switch s := st.(type) {
+	case *sql.CreateTable:
+		return 0, db.createTable(s)
+	case *sql.CreateView:
+		// Register first so the body may reference the view itself
+		// (recursive views), then validate. Unresolved table references are
+		// tolerated — they may be forward references to views defined later
+		// (mutual recursion); every other error rejects the definition.
+		if err := db.cat.AddView(&catalog.View{Name: s.Name, Columns: s.Cols, SQL: s.SQL}); err != nil {
+			return 0, err
+		}
+		if _, err := semant.NewBuilder(db.cat).Build(s.Query); err != nil {
+			if strings.Contains(err.Error(), "table or view") && strings.Contains(err.Error(), "not found") {
+				return 0, nil // deferred: resolved at first use
+			}
+			_ = db.cat.DropView(s.Name)
+			return 0, fmt.Errorf("view %s: %w", s.Name, err)
+		}
+		return 0, nil
+	case *sql.CreateIndex:
+		return 0, db.createIndex(s)
+	case *sql.DropView:
+		return 0, db.cat.DropView(s.Name)
+	case *sql.Delete:
+		return db.deleteRows(s)
+	case *sql.Update:
+		return db.updateRows(s)
+	case *sql.Insert:
+		return db.insert(s)
+	case *sql.SelectStatement:
+		return 0, fmt.Errorf("use Query for SELECT statements")
+	}
+	return 0, fmt.Errorf("unsupported statement %T", st)
+}
+
+func (db *Database) createTable(s *sql.CreateTable) error {
+	t := &catalog.Table{Name: s.Name}
+	for _, c := range s.Cols {
+		t.Columns = append(t.Columns, catalog.Column{Name: c.Name, Type: c.Type})
+	}
+	resolve := func(names []string) ([]int, error) {
+		out := make([]int, len(names))
+		for i, n := range names {
+			ord := t.ColumnIndex(n)
+			if ord < 0 {
+				return nil, fmt.Errorf("table %s: unknown key column %q", s.Name, n)
+			}
+			out[i] = ord
+		}
+		return out, nil
+	}
+	if len(s.PrimaryKey) > 0 {
+		pk, err := resolve(s.PrimaryKey)
+		if err != nil {
+			return err
+		}
+		t.Keys = append(t.Keys, pk)
+		t.Indexes = append(t.Indexes, pk)
+	}
+	for _, u := range s.Uniques {
+		cols, err := resolve(u)
+		if err != nil {
+			return err
+		}
+		t.Keys = append(t.Keys, cols)
+		t.Indexes = append(t.Indexes, cols)
+	}
+	if err := db.cat.AddTable(t); err != nil {
+		return err
+	}
+	db.store.Create(t)
+	return nil
+}
+
+func (db *Database) createIndex(s *sql.CreateIndex) error {
+	t, ok := db.cat.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("table %q not found", s.Table)
+	}
+	cols := make([]int, len(s.Cols))
+	for i, n := range s.Cols {
+		ord := t.ColumnIndex(n)
+		if ord < 0 {
+			return fmt.Errorf("table %s: unknown column %q", s.Table, n)
+		}
+		cols[i] = ord
+	}
+	if t.HasIndex(cols) {
+		return nil
+	}
+	t.Indexes = append(t.Indexes, cols)
+	if s.Unique {
+		t.Keys = append(t.Keys, cols)
+	}
+	// Rebuild storage so the new index covers existing rows.
+	rel, _ := db.store.Relation(s.Table)
+	rows := rel.Rows()
+	nrel := db.store.Create(t)
+	for _, r := range rows {
+		if err := nrel.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *Database) insert(s *sql.Insert) (int64, error) {
+	rel, ok := db.store.Relation(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("table %q not found", s.Table)
+	}
+	if s.Query != nil {
+		return db.insertSelect(rel, s)
+	}
+	var n int64
+	for _, rowExprs := range s.Rows {
+		row := make(datum.Row, len(rowExprs))
+		for i, e := range rowExprs {
+			v, err := evalConstExpr(e)
+			if err != nil {
+				return n, err
+			}
+			row[i] = v
+		}
+		if err := rel.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	db.statsDirty = true
+	return n, nil
+}
+
+// compileRowExpr binds an expression against a single table's columns and
+// returns an evaluator over stored rows. Subqueries are rejected (DML
+// predicates are row-local).
+func (db *Database) compileRowExpr(table *catalog.Table, e sql.Expr) (func(datum.Row) (datum.D, error), error) {
+	// Build a throwaway single-table graph to reuse name resolution.
+	sel := &sql.Select{
+		Items: []sql.SelectItem{{Expr: e, Alias: "x"}},
+		From:  []sql.TableRef{{Table: table.Name}},
+		Limit: -1,
+	}
+	g, err := semant.NewBuilder(db.cat).Build(sel)
+	if err != nil {
+		return nil, err
+	}
+	top := g.Top
+	if len(top.Quantifiers) != 1 || top.Quantifiers[0].Type != qgm.ForEach {
+		return nil, fmt.Errorf("subqueries are not supported in DELETE/UPDATE expressions")
+	}
+	q := top.Quantifiers[0]
+	if q.Ranges.Kind != qgm.KindBaseTable {
+		return nil, fmt.Errorf("DELETE/UPDATE require a base table, not a view")
+	}
+	expr := top.Output[0].Expr
+	return func(row datum.Row) (datum.D, error) {
+		return exec.EvalExpr(expr, exec.Env{q: row})
+	}, nil
+}
+
+// deleteRows implements DELETE FROM t [WHERE pred].
+func (db *Database) deleteRows(s *sql.Delete) (int64, error) {
+	rel, ok := db.store.Relation(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("table %q not found", s.Table)
+	}
+	var pred func(datum.Row) (datum.D, error)
+	if s.Where != nil {
+		var err error
+		pred, err = db.compileRowExpr(rel.Meta, s.Where)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var kept []datum.Row
+	var n int64
+	for _, row := range rel.Rows() {
+		remove := true
+		if pred != nil {
+			v, err := pred(row)
+			if err != nil {
+				return 0, err
+			}
+			remove = !v.IsNull() && v.T == datum.TBool && v.B
+		}
+		if remove {
+			n++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	if err := rel.Rebuild(kept); err != nil {
+		return 0, err
+	}
+	db.statsDirty = true
+	return n, nil
+}
+
+// updateRows implements UPDATE t SET c = e, ... [WHERE pred].
+func (db *Database) updateRows(s *sql.Update) (int64, error) {
+	rel, ok := db.store.Relation(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("table %q not found", s.Table)
+	}
+	t := rel.Meta
+	type setter struct {
+		ord int
+		fn  func(datum.Row) (datum.D, error)
+	}
+	var setters []setter
+	for _, a := range s.Set {
+		ord := t.ColumnIndex(a.Column)
+		if ord < 0 {
+			return 0, fmt.Errorf("table %s: unknown column %q", s.Table, a.Column)
+		}
+		fn, err := db.compileRowExpr(t, a.Expr)
+		if err != nil {
+			return 0, err
+		}
+		setters = append(setters, setter{ord: ord, fn: fn})
+	}
+	var pred func(datum.Row) (datum.D, error)
+	if s.Where != nil {
+		var err error
+		pred, err = db.compileRowExpr(t, s.Where)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var out []datum.Row
+	var n int64
+	for _, row := range rel.Rows() {
+		match := true
+		if pred != nil {
+			v, err := pred(row)
+			if err != nil {
+				return 0, err
+			}
+			match = !v.IsNull() && v.T == datum.TBool && v.B
+		}
+		if !match {
+			out = append(out, row)
+			continue
+		}
+		// Evaluate every SET expression against the OLD row, then apply.
+		updated := row.Clone()
+		for _, st := range setters {
+			v, err := st.fn(row)
+			if err != nil {
+				return 0, err
+			}
+			updated[st.ord] = v
+		}
+		out = append(out, updated)
+		n++
+	}
+	if err := rel.Rebuild(out); err != nil {
+		return 0, err
+	}
+	db.statsDirty = true
+	return n, nil
+}
+
+// insertSelect executes INSERT INTO t SELECT ... — the source query runs
+// under the full EMST pipeline, and its rows are loaded into the table.
+func (db *Database) insertSelect(rel *storage.Relation, s *sql.Insert) (int64, error) {
+	// Called with db.mu held (via Exec).
+	if db.statsDirty {
+		db.analyzeLocked()
+	}
+	g, err := semant.NewBuilder(db.cat).Build(s.Query)
+	if err != nil {
+		return 0, err
+	}
+	t, _ := db.cat.Table(s.Table)
+	if got, want := len(g.Top.Output)-g.HiddenCols, len(t.Columns); got != want {
+		return 0, fmt.Errorf("INSERT INTO %s: query yields %d columns, table has %d", s.Table, got, want)
+	}
+	res, err := core.Optimize(g, core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	rows, err := exec.New(db.store).EvalGraph(res.Graph)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, row := range rows {
+		if err := rel.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	db.statsDirty = true
+	return n, nil
+}
+
+// evalConstExpr evaluates a constant INSERT expression (literals, unary
+// minus, arithmetic).
+func evalConstExpr(e sql.Expr) (datum.D, error) {
+	switch x := e.(type) {
+	case *sql.Lit:
+		return x.Value, nil
+	case *sql.Unary:
+		if x.Op == sql.OpNeg {
+			v, err := evalConstExpr(x.X)
+			if err != nil {
+				return datum.Null(), err
+			}
+			return datum.Neg(v)
+		}
+	case *sql.Bin:
+		l, err := evalConstExpr(x.L)
+		if err != nil {
+			return datum.Null(), err
+		}
+		r, err := evalConstExpr(x.R)
+		if err != nil {
+			return datum.Null(), err
+		}
+		switch x.Op {
+		case sql.OpAdd:
+			return datum.Arith(datum.Add, l, r)
+		case sql.OpSub:
+			return datum.Arith(datum.Sub, l, r)
+		case sql.OpMul:
+			return datum.Arith(datum.Mul, l, r)
+		case sql.OpDiv:
+			return datum.Arith(datum.Div, l, r)
+		}
+	}
+	return datum.Null(), fmt.Errorf("INSERT values must be constant expressions, got %T", e)
+}
+
+// InsertRows bulk-loads rows through the Go API (faster than INSERT text).
+func (db *Database) InsertRows(table string, rows []datum.Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel, ok := db.store.Relation(table)
+	if !ok {
+		return fmt.Errorf("table %q not found", table)
+	}
+	for _, r := range rows {
+		if err := rel.Insert(r); err != nil {
+			return err
+		}
+	}
+	db.statsDirty = true
+	return nil
+}
+
+// Analyze recomputes optimizer statistics for every table.
+func (db *Database) Analyze() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.analyzeLocked()
+}
+
+func (db *Database) analyzeLocked() {
+	for _, t := range db.cat.Tables() {
+		if rel, ok := db.store.Relation(t.Name); ok {
+			catalog.AnalyzeTable(t, rel.Rows())
+		}
+	}
+	db.statsDirty = false
+}
+
+// Result is a query result.
+type Result struct {
+	Columns []string
+	Rows    []datum.Row
+	Plan    PlanInfo
+}
+
+// PlanInfo reports how the query was optimized and executed.
+type PlanInfo struct {
+	Strategy        Strategy
+	UsedEMST        bool
+	CostBefore      float64
+	CostAfter       float64
+	PlansConsidered int
+	Counters        exec.Counters
+	OptimizeTime    time.Duration
+	ExecTime        time.Duration
+}
+
+// Query optimizes and executes a SELECT under the default EMST strategy.
+func (db *Database) Query(query string) (*Result, error) {
+	return db.QueryWith(query, EMST)
+}
+
+// QueryWith optimizes and executes a SELECT under the given strategy.
+func (db *Database) QueryWith(query string, strategy Strategy) (*Result, error) {
+	p, err := db.Prepare(query, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute()
+}
+
+// Prepared is an optimized, re-executable query.
+type Prepared struct {
+	db       *Database
+	graph    *qgm.Graph
+	columns  []string
+	strategy Strategy
+	info     PlanInfo
+}
+
+// Prepare parses, binds and optimizes a query for repeated execution.
+func (db *Database) Prepare(query string, strategy Strategy) (*Prepared, error) {
+	db.mu.Lock()
+	if db.statsDirty {
+		db.analyzeLocked()
+	}
+	db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	g, err := buildGraph(db.cat, query)
+	if err != nil {
+		return nil, err
+	}
+	visible := len(g.Top.Output) - g.HiddenCols
+	cols := make([]string, visible)
+	for i := 0; i < visible; i++ {
+		cols[i] = g.Top.Output[i].Name
+	}
+	start := time.Now()
+	info := PlanInfo{Strategy: strategy}
+	switch strategy {
+	case Original:
+		res, err := core.Optimize(g, core.Options{SkipEMST: true})
+		if err != nil {
+			return nil, err
+		}
+		g = res.Graph
+		info.CostBefore, info.CostAfter = res.CostBefore, res.CostAfter
+		info.PlansConsidered = res.PlansConsidered
+	case Correlated:
+		if err := runPhase1(g); err != nil {
+			return nil, err
+		}
+		opt.Optimize(g)
+		rewrite.CorrelateViews(g)
+		r := opt.Optimize(g)
+		info.CostAfter = r.Cost
+		info.PlansConsidered = r.PlansConsidered
+	case EMST:
+		res, err := core.Optimize(g, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		g = res.Graph
+		info.UsedEMST = res.UsedEMST
+		info.CostBefore, info.CostAfter = res.CostBefore, res.CostAfter
+		info.PlansConsidered = res.PlansConsidered
+	default:
+		return nil, fmt.Errorf("unknown strategy %v", strategy)
+	}
+	info.OptimizeTime = time.Since(start)
+	if err := g.Check(); err != nil {
+		return nil, fmt.Errorf("engine: optimized graph invalid: %w", err)
+	}
+	return &Prepared{db: db, graph: g, columns: cols, strategy: strategy, info: info}, nil
+}
+
+// Execute runs the prepared plan with a fresh evaluator.
+func (p *Prepared) Execute() (*Result, error) {
+	p.db.mu.RLock()
+	defer p.db.mu.RUnlock()
+	ev := exec.New(p.db.store)
+	if p.strategy == Correlated {
+		ev.NoSubqueryCache = true
+	}
+	start := time.Now()
+	rows, err := ev.EvalGraph(p.graph)
+	if err != nil {
+		return nil, err
+	}
+	info := p.info
+	info.ExecTime = time.Since(start)
+	info.Counters = ev.Counters
+	return &Result{Columns: p.columns, Rows: rows, Plan: info}, nil
+}
+
+// Graph exposes the optimized graph (qgmviz and tests inspect it).
+func (p *Prepared) Graph() *qgm.Graph { return p.graph }
+
+// Explain returns a human-readable account of the optimization: the QGM
+// graph after each rewrite phase, the costs, and the chosen plan — the
+// textual equivalent of the paper's Figure 4 panels.
+func (db *Database) Explain(query string, strategy Strategy) (string, error) {
+	db.mu.Lock()
+	if db.statsDirty {
+		db.analyzeLocked()
+	}
+	db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	g, err := buildGraph(db.cat, query)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "strategy: %s\n", strategy)
+	switch strategy {
+	case Correlated:
+		fmt.Fprintf(&sb, "-- initial --\n%s\n", g.Dump())
+		if err := runPhase1(g); err != nil {
+			return "", err
+		}
+		opt.Optimize(g)
+		rewrite.CorrelateViews(g)
+		opt.Optimize(g)
+		fmt.Fprintf(&sb, "-- correlated --\n%s", g.Dump())
+	default:
+		o := core.Options{Snapshots: true, SkipEMST: strategy == Original}
+		res, err := core.Optimize(g, o)
+		if err != nil {
+			return "", err
+		}
+		for _, snap := range res.Snapshots {
+			fmt.Fprintf(&sb, "-- %s -- (%s)\n%s\n", snap.Name, snap.Stats, snap.Dump)
+		}
+		fmt.Fprintf(&sb, "cost before EMST: %.1f\ncost after EMST:  %.1f\nexecuting: ", res.CostBefore, res.CostAfter)
+		if res.UsedEMST {
+			sb.WriteString("EMST plan\n")
+		} else {
+			sb.WriteString("pre-EMST plan\n")
+		}
+		writeJoinOrders(&sb, res.Graph)
+	}
+	return sb.String(), nil
+}
+
+// writeJoinOrders lists the plan optimizer's chosen quantifier order per
+// select box of the executed plan.
+func writeJoinOrders(sb *strings.Builder, g *qgm.Graph) {
+	sb.WriteString("join orders:\n")
+	for _, b := range g.Reachable() {
+		if b.Kind != qgm.KindSelect || len(b.Quantifiers) < 2 {
+			continue
+		}
+		fmt.Fprintf(sb, "  %s:", b.Name)
+		for _, q := range b.OrderedQuantifiers() {
+			fmt.Fprintf(sb, " %s", q.Name)
+		}
+		sb.WriteString("\n")
+	}
+}
+
+func buildGraph(cat *catalog.Catalog, query string) (*qgm.Graph, error) {
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return semant.NewBuilder(cat).Build(q)
+}
+
+func runPhase1(g *qgm.Graph) error {
+	engine := rewrite.NewEngine(core.Phase1Rules()...)
+	return engine.Run(&rewrite.Context{G: g})
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// graphDB builds a small directed graph for transitive-closure tests:
+//
+//	1 -> 2 -> 3 -> 4      5 -> 6      7 -> 7 (self loop)
+//	      \-> 5
+func graphDB(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	if _, err := db.Exec(`
+	CREATE TABLE edge (src INT, dst INT, PRIMARY KEY (src, dst));
+	CREATE INDEX edge_src ON edge (src);
+	INSERT INTO edge VALUES (1, 2), (2, 3), (3, 4), (2, 5), (5, 6), (7, 7);
+	CREATE VIEW tc (src, dst) AS
+	  SELECT src, dst FROM edge
+	  UNION
+	  SELECT t.src, e.dst FROM tc t, edge e WHERE t.dst = e.src;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	db := graphDB(t)
+	res, err := db.Query("SELECT dst FROM tc WHERE src = 1 ORDER BY dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(rowsAsStrings(res), ",")
+	if got != "2,3,4,5,6" {
+		t.Errorf("tc(1) = %s; want 2,3,4,5,6", got)
+	}
+}
+
+func TestTransitiveClosureAllStrategies(t *testing.T) {
+	db := graphDB(t)
+	queries := []string{
+		"SELECT src, dst FROM tc",
+		"SELECT COUNT(*) FROM tc",
+		"SELECT src FROM tc WHERE dst = 6",
+		"SELECT t.src, e.dst FROM tc t, edge e WHERE t.dst = e.src AND t.src = 1",
+	}
+	for _, q := range queries {
+		ref, err := db.QueryWith(q, Original)
+		if err != nil {
+			t.Fatalf("original %q: %v", q, err)
+		}
+		want := canonical(ref)
+		for _, s := range []Strategy{Correlated, EMST} {
+			res, err := db.QueryWith(q, s)
+			if err != nil {
+				t.Fatalf("%v %q: %v", s, q, err)
+			}
+			if got := canonical(res); got != want {
+				t.Errorf("%v %q:\ngot  %s\nwant %s", s, q, got, want)
+			}
+		}
+	}
+}
+
+func TestSelfLoopTerminates(t *testing.T) {
+	db := graphDB(t)
+	res, err := db.Query("SELECT dst FROM tc WHERE src = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 7 {
+		t.Errorf("tc(7) = %v; want {7}", rowsAsStrings(res))
+	}
+}
+
+func TestRecursionSetSemantics(t *testing.T) {
+	db := graphDB(t)
+	// Even with duplicate base edges the fixpoint stays a set.
+	if _, err := db.Exec("CREATE TABLE edge2 (src INT, dst INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO edge2 VALUES (1, 2), (1, 2), (2, 3)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE VIEW tc2 (src, dst) AS
+		SELECT src, dst FROM edge2
+		UNION ALL
+		SELECT t.src, e.dst FROM tc2 t, edge2 e WHERE t.dst = e.src`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT src, dst FROM tc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rowsAsStrings(res) {
+		if seen[r] {
+			t.Fatalf("duplicate row %q in fixpoint result", r)
+		}
+		seen[r] = true
+	}
+	if len(res.Rows) != 3 { // (1,2),(2,3),(1,3)
+		t.Errorf("tc2 rows = %v", rowsAsStrings(res))
+	}
+}
+
+func TestRecursiveViewUsedTwice(t *testing.T) {
+	db := graphDB(t)
+	res, err := db.Query(`SELECT a.src, b.dst FROM tc a, tc b
+		WHERE a.dst = b.src AND a.src = 1 AND b.dst = 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths 1 ->* x ->* 4: x in {2, 3}.
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", rowsAsStrings(res))
+	}
+}
+
+func TestMutuallyRecursiveViews(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`
+	CREATE TABLE step (a INT, b INT, PRIMARY KEY (a, b));
+	INSERT INTO step VALUES (0, 1), (1, 2), (2, 3), (3, 4);
+	-- even(x, y): y reachable from x in an even number of steps (incl. 0
+	-- steps is omitted; base is two steps).
+	CREATE VIEW oddr (a, b) AS
+	  SELECT a, b FROM step
+	  UNION
+	  SELECT e.a, s.b FROM evenr e, step s WHERE e.b = s.a;
+	CREATE VIEW evenr (a, b) AS
+	  SELECT o.a, s.b FROM oddr o, step s WHERE o.b = s.a;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT b FROM oddr WHERE a = 0 ORDER BY b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(rowsAsStrings(res), ",")
+	if got != "1,3" {
+		t.Errorf("odd reach = %s; want 1,3", got)
+	}
+	res, err = db.Query("SELECT b FROM evenr WHERE a = 0 ORDER BY b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = strings.Join(rowsAsStrings(res), ",")
+	if got != "2,4" {
+		t.Errorf("even reach = %s; want 2,4", got)
+	}
+}
+
+func TestAggregationAboveRecursionIsStratified(t *testing.T) {
+	db := graphDB(t)
+	// Aggregating the COMPLETED fixpoint is stratified and allowed.
+	res, err := db.Query("SELECT src, COUNT(*) FROM tc GROUP BY src HAVING COUNT(*) > 2 ORDER BY src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(rowsAsStrings(res), ";")
+	if got != "1|5;2|4" { // tc(1) has 5 rows, tc(2) has 4 (3,4,5,6)
+		t.Errorf("agg over tc = %s", got)
+	}
+}
+
+func TestDivergentRecursionCapped(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`
+	CREATE TABLE seed (n INT, PRIMARY KEY (n));
+	INSERT INTO seed VALUES (0);
+	CREATE VIEW counter (n) AS
+	  SELECT n FROM seed UNION SELECT n + 1 FROM counter;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := db.Query("SELECT COUNT(*) FROM counter")
+	if err == nil || !strings.Contains(err.Error(), "fixpoint") {
+		t.Errorf("divergent recursion should hit the iteration cap, got %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package exec
+
+import "testing"
+
+func TestSearchedCase(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store, `SELECT empname,
+		CASE WHEN salary >= 800 THEN 'high' WHEN salary >= 500 THEN 'mid' ELSE 'low' END
+		FROM employee`)
+	expect(t, got, []string{
+		"alice|high", "bob|mid", "carol|high", "dan|mid", "eve|mid", "frank|low", "grace|low",
+	})
+}
+
+func TestSimpleCase(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store, `SELECT empname,
+		CASE workdept WHEN 1 THEN 'plan' WHEN 2 THEN 'dev' END
+		FROM employee WHERE workdept IS NOT NULL AND workdept < 3`)
+	expect(t, got, []string{
+		"alice|plan", "bob|plan", "carol|dev", "dan|dev", "eve|dev",
+	})
+}
+
+func TestCaseWithoutElseYieldsNull(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store,
+		"SELECT CASE WHEN salary > 900 THEN 'top' END FROM employee WHERE empno = 102")
+	expect(t, got, []string{"NULL"})
+}
+
+func TestCaseInPredicate(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store, `SELECT empname FROM employee
+		WHERE CASE WHEN workdept IS NULL THEN 0 ELSE workdept END = 0`)
+	expect(t, got, []string{"grace"})
+}
+
+func TestCaseInGroupedSelect(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store, `SELECT
+		CASE WHEN workdept IS NULL THEN -1 ELSE workdept END, COUNT(*)
+		FROM employee GROUP BY workdept`)
+	expect(t, got, []string{"-1|1", "1|2", "2|3", "3|1"})
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store,
+		"SELECT UPPER(empname), LOWER('ABC'), LENGTH(empname), ABS(0 - salary) FROM employee WHERE empno = 101")
+	expect(t, got, []string{"ALICE|abc|5|1000"})
+}
+
+func TestCoalesceAndNullif(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store,
+		"SELECT empname, COALESCE(workdept, -1) FROM employee WHERE workdept IS NULL")
+	expect(t, got, []string{"grace|-1"})
+	got = runQuery(t, cat, store,
+		"SELECT NULLIF(workdept, 1), COALESCE(NULLIF(workdept, 1), 99) FROM employee WHERE empno = 101")
+	expect(t, got, []string{"NULL|99"})
+}
+
+func TestFunctionsInWhere(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store,
+		"SELECT empname FROM employee WHERE LENGTH(empname) = 3")
+	expect(t, got, []string{"bob", "dan", "eve"})
+	got = runQuery(t, cat, store,
+		"SELECT empname FROM employee WHERE UPPER(empname) = 'ALICE'")
+	expect(t, got, []string{"alice"})
+}
+
+func TestFunctionNullPropagation(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store,
+		"SELECT ABS(workdept), UPPER(NULL || 'x') FROM employee WHERE empno = 302")
+	expect(t, got, []string{"NULL|NULL"})
+}
+
+func TestCaseFirstMatchWins(t *testing.T) {
+	cat, store := testDB(t)
+	got := runQuery(t, cat, store,
+		"SELECT CASE WHEN 1 = 1 THEN 'a' WHEN 1 = 1 THEN 'b' END")
+	expect(t, got, []string{"a"})
+}
+
+func TestAggregateOverCase(t *testing.T) {
+	cat, store := testDB(t)
+	// Pivot-style conditional aggregation: SUM(CASE ...).
+	got := runQuery(t, cat, store, `SELECT
+		SUM(CASE WHEN workdept = 1 THEN salary ELSE 0 END),
+		SUM(CASE WHEN workdept = 2 THEN salary ELSE 0 END)
+		FROM employee`)
+	expect(t, got, []string{"1500|2100"})
+}

@@ -1,0 +1,1075 @@
+// Package exec evaluates QGM graphs: a box-at-a-time interpreter with
+// pipelined nested-loop/hash joins inside select boxes, memoized
+// materialization of shared (common-subexpression) boxes, index lookups on
+// base tables, and the E/A/S quantifier semantics of subqueries.
+//
+// The executor is deliberately strategy-agnostic: the three execution
+// strategies compared in the paper's Table 1 (Original, Correlated, EMST)
+// are different QGM graphs produced by the rewrite layers, evaluated by this
+// same engine. The only strategy knob here is NoSubqueryCache, which models
+// tuple-at-a-time correlated re-execution (the "Correlated" column).
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+	"starmagic/internal/storage"
+)
+
+// Counters records work done during evaluation; benchmarks and tests use
+// them to validate cost shapes deterministically.
+type Counters struct {
+	BaseRows      int64 // rows read from base relations
+	BoxEvals      int64 // box materializations (excluding memo hits)
+	SubqueryEvals int64 // subquery evaluations for E/A/S quantifiers
+	HashBuilds    int64 // transient join hash tables built
+	HashProbes    int64 // probes into transient join hash tables
+	IndexLookups  int64 // base-table index probes
+	OutputRows    int64 // rows produced by box evaluations
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.BaseRows += other.BaseRows
+	c.BoxEvals += other.BoxEvals
+	c.SubqueryEvals += other.SubqueryEvals
+	c.HashBuilds += other.HashBuilds
+	c.HashProbes += other.HashProbes
+	c.IndexLookups += other.IndexLookups
+	c.OutputRows += other.OutputRows
+}
+
+// Evaluator executes QGM graphs against a store.
+type Evaluator struct {
+	store *storage.Store
+
+	// NoSubqueryCache disables memoization of correlated evaluations,
+	// modeling tuple-at-a-time correlated execution (Table 1's "Correlated"
+	// strategy). Box-level materialization of closed boxes is also
+	// disabled so every use re-evaluates.
+	NoSubqueryCache bool
+
+	// MaxRows aborts runaway evaluations (0 = unlimited).
+	MaxRows int64
+
+	// MaxRecursion bounds fixpoint iterations for recursive views
+	// (0 = default 1000).
+	MaxRecursion int
+
+	Counters Counters
+
+	memo       map[*qgm.Box][]datum.Row
+	subCache   map[*qgm.Quantifier]map[string][]datum.Row
+	free       map[*qgm.Box][]corrRef
+	hashCache  map[*qgm.Quantifier]map[string]map[string][]datum.Row
+	inProgress map[*qgm.Box]bool
+	recActive  map[*qgm.Box]bool
+}
+
+// corrRef is a free (outer) column reference of a box subtree.
+type corrRef struct {
+	q   *qgm.Quantifier
+	ord int
+}
+
+// New returns an evaluator over the store.
+func New(store *storage.Store) *Evaluator {
+	return &Evaluator{
+		store:     store,
+		memo:      map[*qgm.Box][]datum.Row{},
+		subCache:  map[*qgm.Quantifier]map[string][]datum.Row{},
+		free:      map[*qgm.Box][]corrRef{},
+		hashCache: map[*qgm.Quantifier]map[string]map[string][]datum.Row{},
+	}
+}
+
+// KindHandler evaluates an extension box kind.
+type KindHandler func(ev *Evaluator, b *qgm.Box, env Env) ([]datum.Row, error)
+
+var kindHandlers = map[qgm.BoxKind]KindHandler{}
+
+// RegisterKind installs an executor for an extension box kind. It mirrors
+// the paper's extensibility story (§5): a database customizer adding a new
+// operation supplies its evaluation alongside its AMQ/NMQ declaration.
+func RegisterKind(k qgm.BoxKind, h KindHandler) { kindHandlers[k] = h }
+
+// EvalGraph evaluates the whole query: the top box plus top-level ORDER BY
+// and LIMIT.
+func (ev *Evaluator) EvalGraph(g *qgm.Graph) ([]datum.Row, error) {
+	rows, err := ev.EvalBox(g.Top, Env{})
+	if err != nil {
+		return nil, err
+	}
+	if len(g.OrderBy) > 0 {
+		sorted := make([]datum.Row, len(rows))
+		copy(sorted, rows)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			for _, spec := range g.OrderBy {
+				c := datum.SortCompare(sorted[i][spec.Ord], sorted[j][spec.Ord])
+				if spec.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		rows = sorted
+	}
+	if g.Limit >= 0 && int64(len(rows)) > g.Limit {
+		rows = rows[:g.Limit]
+	}
+	if g.HiddenCols > 0 {
+		trimmed := make([]datum.Row, len(rows))
+		for i, r := range rows {
+			trimmed[i] = r[:len(r)-g.HiddenCols]
+		}
+		rows = trimmed
+	}
+	return rows, nil
+}
+
+// EvalBox evaluates one box under the environment. Closed boxes (no free
+// references) are materialized once and memoized, implementing QGM common
+// subexpressions; correlated boxes evaluate per call.
+func (ev *Evaluator) EvalBox(b *qgm.Box, env Env) ([]datum.Row, error) {
+	if b.Recursive {
+		return ev.evalRecursive(b, env)
+	}
+	closed := len(ev.freeRefs(b)) == 0
+	if closed && !ev.NoSubqueryCache {
+		if rows, ok := ev.memo[b]; ok {
+			return rows, nil
+		}
+	}
+	// A closed box re-entered during its own evaluation means the graph is
+	// cyclic (recursive); this engine evaluates only nonrecursive graphs.
+	if closed {
+		if ev.inProgress == nil {
+			ev.inProgress = map[*qgm.Box]bool{}
+		}
+		if ev.inProgress[b] {
+			return nil, fmt.Errorf("exec: cyclic (recursive) query graph at box %q", b.Name)
+		}
+		ev.inProgress[b] = true
+		defer delete(ev.inProgress, b)
+	}
+	rows, err := ev.evalBoxNow(b, env)
+	if err != nil {
+		return nil, err
+	}
+	if closed && !ev.NoSubqueryCache {
+		ev.memo[b] = rows
+	}
+	return rows, nil
+}
+
+// evalRecursive iterates a recursive view's fixpoint root to a fixpoint:
+// each round re-evaluates the body with the previous round's accumulated
+// set visible through the root's memo entry, accumulating new rows under
+// set semantics until no round adds one.
+func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
+	if ev.recActive == nil {
+		ev.recActive = map[*qgm.Box]bool{}
+	}
+	if ev.recActive[b] {
+		// Re-entry from within the body: the previous round's set.
+		return ev.memo[b], nil
+	}
+	if rows, ok := ev.memo[b]; ok {
+		return rows, nil
+	}
+	ev.recActive[b] = true
+	defer delete(ev.recActive, b)
+
+	scc := ev.sccMembers(b)
+	maxIter := ev.MaxRecursion
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	var cur []datum.Row
+	seen := map[string]bool{}
+	for iter := 0; ; iter++ {
+		if iter >= maxIter {
+			return nil, fmt.Errorf("exec: recursive view %q did not reach a fixpoint in %d iterations", b.Name, maxIter)
+		}
+		ev.memo[b] = cur
+		ev.invalidateSCC(b, scc)
+		rows, err := ev.evalBoxNow(b, env)
+		if err != nil {
+			return nil, err
+		}
+		grew := false
+		for _, r := range rows {
+			k := r.Key()
+			if !seen[k] {
+				seen[k] = true
+				cur = append(cur, r)
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	ev.memo[b] = cur
+	return cur, nil
+}
+
+// sccMembers returns the boxes of b's recursive component: reachable from b
+// and able to reach b.
+func (ev *Evaluator) sccMembers(b *qgm.Box) []*qgm.Box {
+	var reach func(from, to *qgm.Box, seen map[*qgm.Box]bool) bool
+	reach = func(from, to *qgm.Box, seen map[*qgm.Box]bool) bool {
+		if from == to {
+			return true
+		}
+		if from == nil || seen[from] {
+			return false
+		}
+		seen[from] = true
+		for _, q := range from.Quantifiers {
+			if reach(q.Ranges, to, seen) {
+				return true
+			}
+		}
+		return reach(from.MagicBox, to, seen)
+	}
+	var members []*qgm.Box
+	visited := map[*qgm.Box]bool{}
+	var collect func(x *qgm.Box)
+	collect = func(x *qgm.Box) {
+		if x == nil || visited[x] {
+			return
+		}
+		visited[x] = true
+		if x != b {
+			back := false
+			for _, q := range x.Quantifiers {
+				if q.Ranges == b || reach(q.Ranges, b, map[*qgm.Box]bool{}) {
+					back = true
+					break
+				}
+			}
+			if back {
+				members = append(members, x)
+			}
+		}
+		for _, q := range x.Quantifiers {
+			collect(q.Ranges)
+		}
+		collect(x.MagicBox)
+	}
+	collect(b)
+	return members
+}
+
+// invalidateSCC clears per-round caches of the recursive component so each
+// fixpoint round re-evaluates against the updated set.
+func (ev *Evaluator) invalidateSCC(b *qgm.Box, scc []*qgm.Box) {
+	inSCC := map[*qgm.Box]bool{b: true}
+	for _, x := range scc {
+		inSCC[x] = true
+	}
+	for _, x := range scc {
+		delete(ev.memo, x)
+	}
+	clearQuants := func(box *qgm.Box) {
+		for _, q := range box.Quantifiers {
+			if inSCC[q.Ranges] {
+				delete(ev.hashCache, q)
+				delete(ev.subCache, q)
+			}
+		}
+	}
+	clearQuants(b)
+	for _, x := range scc {
+		clearQuants(x)
+	}
+}
+
+func (ev *Evaluator) evalBoxNow(b *qgm.Box, env Env) ([]datum.Row, error) {
+	ev.Counters.BoxEvals++
+	var rows []datum.Row
+	var err error
+	switch b.Kind {
+	case qgm.KindBaseTable:
+		rows, err = ev.evalBase(b)
+	case qgm.KindSelect:
+		rows, err = ev.evalSelect(b, env)
+	case qgm.KindGroupBy:
+		rows, err = ev.evalGroupBy(b, env)
+	case qgm.KindUnion:
+		rows, err = ev.evalUnion(b, env)
+	case qgm.KindIntersect, qgm.KindExcept:
+		rows, err = ev.evalIntersectExcept(b, env)
+	default:
+		h, ok := kindHandlers[b.Kind]
+		if !ok {
+			return nil, fmt.Errorf("exec: no handler for box kind %s", b.Kind)
+		}
+		rows, err = h(ev, b, env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev.Counters.OutputRows += int64(len(rows))
+	if ev.MaxRows > 0 && ev.Counters.OutputRows > ev.MaxRows {
+		return nil, fmt.Errorf("exec: row budget exceeded (%d rows)", ev.Counters.OutputRows)
+	}
+	return rows, nil
+}
+
+func (ev *Evaluator) evalBase(b *qgm.Box) ([]datum.Row, error) {
+	rel, ok := ev.store.Relation(b.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no storage for table %q", b.Table.Name)
+	}
+	ev.Counters.BaseRows += int64(rel.Len())
+	return rel.Rows(), nil
+}
+
+// selectPlan is the per-box execution plan computed once per evaluation:
+// which predicates run at which join stage, and which subquery quantifiers
+// are checked at the end.
+type selectPlan struct {
+	fQuants []*qgm.Quantifier
+	sQuants []*qgm.Quantifier // Scalar
+	qQuants []*qgm.Quantifier // Exists / ForAll
+	// stagePreds[i] holds predicates evaluable once fQuants[:i] are bound.
+	stagePreds [][]qgm.Expr
+	// postPreds are evaluated after scalar quantifiers are bound.
+	postPreds []qgm.Expr
+	// matchPreds[q] are the match predicates of subquery quantifier q.
+	matchPreds map[*qgm.Quantifier][]qgm.Expr
+}
+
+func buildSelectPlan(b *qgm.Box, outer Env) *selectPlan {
+	p := &selectPlan{matchPreds: map[*qgm.Quantifier][]qgm.Expr{}}
+	for _, q := range b.OrderedQuantifiers() {
+		switch q.Type {
+		case qgm.ForEach:
+			p.fQuants = append(p.fQuants, q)
+		case qgm.Scalar:
+			p.sQuants = append(p.sQuants, q)
+		default:
+			p.qQuants = append(p.qQuants, q)
+		}
+	}
+	p.stagePreds = make([][]qgm.Expr, len(p.fQuants)+1)
+
+	local := map[*qgm.Quantifier]int{} // F quantifier -> position+1
+	for i, q := range p.fQuants {
+		local[q] = i + 1
+	}
+	subq := map[*qgm.Quantifier]bool{}
+	for _, q := range p.sQuants {
+		subq[q] = true
+	}
+	eaq := map[*qgm.Quantifier]bool{}
+	for _, q := range p.qQuants {
+		eaq[q] = true
+	}
+
+	for _, pred := range b.Preds {
+		var ea *qgm.Quantifier
+		stage := 0
+		needsScalar := false
+		unbound := false
+		qgm.VisitRefs(pred, func(c *qgm.ColRef) {
+			switch {
+			case eaq[c.Q]:
+				ea = c.Q
+			case subq[c.Q]:
+				needsScalar = true
+			case local[c.Q] > 0:
+				if local[c.Q] > stage {
+					stage = local[c.Q]
+				}
+			default:
+				if _, ok := outer[c.Q]; !ok {
+					unbound = true
+				}
+			}
+		})
+		switch {
+		case unbound:
+			// Reference to an outer quantifier not bound in this call:
+			// schedule last; evaluation will error with a clear message.
+			p.postPreds = append(p.postPreds, pred)
+		case ea != nil:
+			p.matchPreds[ea] = append(p.matchPreds[ea], pred)
+		case needsScalar:
+			p.postPreds = append(p.postPreds, pred)
+		default:
+			p.stagePreds[stage] = append(p.stagePreds[stage], pred)
+		}
+	}
+	return p
+}
+
+func (ev *Evaluator) evalSelect(b *qgm.Box, env Env) ([]datum.Row, error) {
+	plan := buildSelectPlan(b, env)
+	var out []datum.Row
+
+	// Stage-0 predicates (constants and outer-only): if any is not TRUE the
+	// box is empty.
+	for _, pred := range plan.stagePreds[0] {
+		tv, err := EvalPred(pred, env)
+		if err != nil {
+			return nil, err
+		}
+		if tv != datum.True {
+			return nil, nil
+		}
+	}
+
+	cur := env.clone()
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(plan.fQuants) {
+			ok, err := ev.finishRow(b, plan, cur)
+			if err == nil && ok {
+				// Scalar-quantifier bindings stay live for the projection.
+				var row datum.Row
+				row, err = ev.projectRow(b, cur)
+				if err == nil {
+					out = append(out, row)
+				}
+			}
+			for _, sq := range plan.sQuants {
+				delete(cur, sq)
+			}
+			return err
+		}
+		q := plan.fQuants[i]
+		return ev.joinStage(b, plan, q, i, cur, func() error { return rec(i + 1) })
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+
+	if b.Distinct != qgm.DistinctPreserve {
+		out = dedupe(out)
+	}
+	return out, nil
+}
+
+// joinStage binds quantifier q (stage i) to each qualifying row and calls
+// next. It picks an access path: base-table index lookup, transient hash
+// join, or nested-loop scan with filters.
+func (ev *Evaluator) joinStage(b *qgm.Box, plan *selectPlan, q *qgm.Quantifier, i int, cur Env, next func() error) error {
+	preds := plan.stagePreds[i+1]
+
+	// Split stage predicates into equality keys usable for hashing/index
+	// and residual filters.
+	type eqKey struct {
+		mine  qgm.Expr // references only q (+ outer constants)
+		other qgm.Expr // references already-bound quantifiers
+	}
+	var keys []eqKey
+	var residual []qgm.Expr
+	isMine := func(e qgm.Expr) bool {
+		found, onlyQ := false, true
+		qgm.VisitRefs(e, func(c *qgm.ColRef) {
+			if c.Q == q {
+				found = true
+			} else if _, bound := cur[c.Q]; !bound {
+				onlyQ = false
+			}
+		})
+		return found && onlyQ
+	}
+	isBound := func(e qgm.Expr) bool {
+		ok := true
+		qgm.VisitRefs(e, func(c *qgm.ColRef) {
+			if c.Q == q {
+				ok = false
+			} else if _, bound := cur[c.Q]; !bound {
+				ok = false
+			}
+		})
+		return ok
+	}
+	for _, pred := range preds {
+		if cmp, okc := pred.(*qgm.Cmp); okc && cmp.Op == datum.EQ {
+			switch {
+			case isMine(cmp.L) && isBound(cmp.R):
+				keys = append(keys, eqKey{mine: cmp.L, other: cmp.R})
+				continue
+			case isMine(cmp.R) && isBound(cmp.L):
+				keys = append(keys, eqKey{mine: cmp.R, other: cmp.L})
+				continue
+			}
+		}
+		residual = append(residual, pred)
+	}
+
+	emit := func(row datum.Row) (bool, error) {
+		cur[q] = row
+		for _, pred := range residual {
+			tv, err := EvalPred(pred, cur)
+			if err != nil {
+				return false, err
+			}
+			if tv != datum.True {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Access path 1: base-table index lookup when every key is a plain
+	// column of an indexed column set.
+	if q.Ranges.Kind == qgm.KindBaseTable && len(keys) > 0 {
+		cols := make([]int, 0, len(keys))
+		plain := true
+		for _, k := range keys {
+			cr, okc := k.mine.(*qgm.ColRef)
+			if !okc || cr.Q != q {
+				plain = false
+				break
+			}
+			cols = append(cols, cr.Ord)
+		}
+		if plain {
+			rel, okr := ev.store.Relation(q.Ranges.Table.Name)
+			if okr {
+				probe := make(datum.Row, len(keys))
+				for j, k := range keys {
+					v, err := EvalExpr(k.other, cur)
+					if err != nil {
+						return err
+					}
+					probe[j] = v
+				}
+				if rows, used := rel.Lookup(cols, probe); used {
+					ev.Counters.IndexLookups++
+					for _, row := range rows {
+						ok, err := emit(row)
+						if err != nil {
+							return err
+						}
+						if ok {
+							if err := next(); err != nil {
+								return err
+							}
+						}
+					}
+					delete(cur, q)
+					return nil
+				}
+			}
+		}
+	}
+
+	// Materialize the child rows.
+	rows, err := ev.EvalBox(q.Ranges, cur)
+	if err != nil {
+		return err
+	}
+
+	// Access path 2: transient hash join on the equality keys. When the
+	// child is closed (materialized once) and the key expressions reference
+	// only q, the hash table itself is reusable across outer bindings and
+	// cached per (quantifier, key set).
+	if len(keys) > 0 && len(rows) > 4 {
+		cacheable := !ev.NoSubqueryCache && len(ev.freeRefs(q.Ranges)) == 0
+		keySig := ""
+		for _, k := range keys {
+			strict := true
+			qgm.VisitRefs(k.mine, func(c *qgm.ColRef) {
+				if c.Q != q {
+					strict = false
+				}
+			})
+			if !strict {
+				cacheable = false
+			}
+			keySig += k.mine.String() + "|"
+		}
+		var ht map[string][]datum.Row
+		if cacheable {
+			if byKey := ev.hashCache[q]; byKey != nil {
+				ht = byKey[keySig]
+			}
+		}
+		if ht == nil {
+			ev.Counters.HashBuilds++
+			ht = make(map[string][]datum.Row, len(rows))
+			probeEnv := cur.clone()
+			for _, row := range rows {
+				probeEnv[q] = row
+				key := make(datum.Row, len(keys))
+				nullKey := false
+				for j, k := range keys {
+					v, err := EvalExpr(k.mine, probeEnv)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() {
+						nullKey = true
+						break
+					}
+					key[j] = v
+				}
+				if nullKey {
+					continue // equality never matches NULL
+				}
+				ks := key.Key()
+				ht[ks] = append(ht[ks], row)
+			}
+			if cacheable {
+				byKey := ev.hashCache[q]
+				if byKey == nil {
+					byKey = map[string]map[string][]datum.Row{}
+					ev.hashCache[q] = byKey
+				}
+				byKey[keySig] = ht
+			}
+		}
+		delete(cur, q)
+
+		probe := make(datum.Row, len(keys))
+		nullProbe := false
+		for j, k := range keys {
+			v, err := EvalExpr(k.other, cur)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				nullProbe = true
+				break
+			}
+			probe[j] = v
+		}
+		if nullProbe {
+			return nil
+		}
+		ev.Counters.HashProbes++
+		for _, row := range ht[probe.Key()] {
+			ok, err := emit(row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := next(); err != nil {
+					return err
+				}
+			}
+		}
+		delete(cur, q)
+		return nil
+	}
+
+	// Access path 3: nested-loop scan with all predicates as filters.
+	for _, k := range keys {
+		residual = append(residual, &qgm.Cmp{Op: datum.EQ, L: k.mine, R: k.other})
+	}
+	for _, row := range rows {
+		ok, err := emit(row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := next(); err != nil {
+				return err
+			}
+		}
+	}
+	delete(cur, q)
+	return nil
+}
+
+// finishRow binds scalar quantifiers, evaluates post-predicates, and checks
+// E/A quantifiers. It reports whether the current binding qualifies.
+func (ev *Evaluator) finishRow(b *qgm.Box, plan *selectPlan, cur Env) (bool, error) {
+	for _, q := range plan.sQuants {
+		rows, err := ev.evalSubquery(q, cur)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case len(rows) == 0:
+			null := make(datum.Row, len(q.Ranges.Output))
+			for i := range null {
+				null[i] = datum.NullOf(q.Ranges.Output[i].Type)
+			}
+			cur[q] = null
+		case len(rows) == 1:
+			cur[q] = rows[0]
+		default:
+			return false, fmt.Errorf("exec: scalar subquery returned %d rows", len(rows))
+		}
+	}
+	for _, pred := range plan.postPreds {
+		tv, err := EvalPred(pred, cur)
+		if err != nil {
+			return false, err
+		}
+		if tv != datum.True {
+			return false, nil
+		}
+	}
+
+	for _, q := range plan.qQuants {
+		rows, err := ev.evalSubquery(q, cur)
+		if err != nil {
+			return false, err
+		}
+		match := plan.matchPreds[q]
+		pass, err := ev.checkQuantifier(q, match, rows, cur)
+		if err != nil {
+			return false, err
+		}
+		if !pass {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// checkQuantifier applies E/A semantics: Exists passes iff some subquery row
+// satisfies every match predicate; ForAll passes iff every subquery row does
+// (vacuously true on empty input). UNKNOWN does not satisfy.
+func (ev *Evaluator) checkQuantifier(q *qgm.Quantifier, match []qgm.Expr, rows []datum.Row, cur Env) (bool, error) {
+	rowOK := func(row datum.Row) (bool, error) {
+		cur[q] = row
+		defer delete(cur, q)
+		for _, pred := range match {
+			tv, err := EvalPred(pred, cur)
+			if err != nil {
+				return false, err
+			}
+			if tv != datum.True {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	if q.Type == qgm.Exists {
+		for _, row := range rows {
+			ok, err := rowOK(row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	// ForAll.
+	for _, row := range rows {
+		ok, err := rowOK(row)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalSubquery evaluates the subquery of quantifier q under the current
+// bindings, memoizing per distinct correlation values unless disabled.
+func (ev *Evaluator) evalSubquery(q *qgm.Quantifier, cur Env) ([]datum.Row, error) {
+	refs := ev.freeRefs(q.Ranges)
+	if ev.NoSubqueryCache {
+		ev.Counters.SubqueryEvals++
+		return ev.EvalBox(q.Ranges, cur)
+	}
+	if len(refs) == 0 {
+		return ev.EvalBox(q.Ranges, cur) // memoized at box level
+	}
+	key, err := corrKey(refs, cur)
+	if err != nil {
+		return nil, err
+	}
+	cache := ev.subCache[q]
+	if cache == nil {
+		cache = map[string][]datum.Row{}
+		ev.subCache[q] = cache
+	}
+	if rows, ok := cache[key]; ok {
+		return rows, nil
+	}
+	ev.Counters.SubqueryEvals++
+	rows, err := ev.EvalBox(q.Ranges, cur)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = rows
+	return rows, nil
+}
+
+func corrKey(refs []corrRef, env Env) (string, error) {
+	key := make(datum.Row, len(refs))
+	for i, r := range refs {
+		row, ok := env[r.q]
+		if !ok {
+			return "", fmt.Errorf("exec: unbound correlation quantifier %q", r.q.Name)
+		}
+		key[i] = row[r.ord]
+	}
+	return key.Key(), nil
+}
+
+func (ev *Evaluator) projectRow(b *qgm.Box, cur Env) (datum.Row, error) {
+	row := make(datum.Row, len(b.Output))
+	for i, oc := range b.Output {
+		v, err := EvalExpr(oc.Expr, cur)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func (ev *Evaluator) evalGroupBy(b *qgm.Box, env Env) ([]datum.Row, error) {
+	inQ := b.Quantifiers[0]
+	rows, err := ev.EvalBox(inQ.Ranges, env)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		key      datum.Row
+		states   []*datum.AggState
+		distinct []map[string]bool
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	cur := env.clone()
+	for _, row := range rows {
+		cur[inQ] = row
+		key := make(datum.Row, len(b.GroupBy))
+		for i, ge := range b.GroupBy {
+			v, err := EvalExpr(ge, cur)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		ks := key.Key()
+		grp, ok := groups[ks]
+		if !ok {
+			grp = &group{key: key}
+			for _, a := range b.Aggs {
+				grp.states = append(grp.states, datum.NewAggState(a.Kind))
+				if a.Distinct {
+					grp.distinct = append(grp.distinct, map[string]bool{})
+				} else {
+					grp.distinct = append(grp.distinct, nil)
+				}
+			}
+			groups[ks] = grp
+			order = append(order, ks)
+		}
+		for i, a := range b.Aggs {
+			var v datum.D
+			if a.Arg != nil {
+				v, err = EvalExpr(a.Arg, cur)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if a.Distinct {
+				if v.IsNull() {
+					continue
+				}
+				dk := datum.Row{v}.Key()
+				if grp.distinct[i][dk] {
+					continue
+				}
+				grp.distinct[i][dk] = true
+			}
+			if err := grp.states[i].Add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	delete(cur, inQ)
+
+	// Scalar aggregation (no GROUP BY) over empty input yields one row.
+	if len(groups) == 0 && len(b.GroupBy) == 0 {
+		row := make(datum.Row, len(b.Output))
+		for i, a := range b.Aggs {
+			row[i] = datum.NewAggState(a.Kind).Result()
+		}
+		return []datum.Row{row}, nil
+	}
+
+	out := make([]datum.Row, 0, len(groups))
+	for _, ks := range order {
+		grp := groups[ks]
+		row := make(datum.Row, 0, len(b.Output))
+		row = append(row, grp.key...)
+		for _, st := range grp.states {
+			row = append(row, st.Result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) evalUnion(b *qgm.Box, env Env) ([]datum.Row, error) {
+	var out []datum.Row
+	for _, q := range b.Quantifiers {
+		rows, err := ev.EvalBox(q.Ranges, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	if b.Distinct != qgm.DistinctPreserve {
+		out = dedupe(out)
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) evalIntersectExcept(b *qgm.Box, env Env) ([]datum.Row, error) {
+	left, err := ev.EvalBox(b.Quantifiers[0].Ranges, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ev.EvalBox(b.Quantifiers[1].Ranges, env)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, row := range right {
+		counts[row.Key()]++
+	}
+	distinct := b.Distinct != qgm.DistinctPreserve
+	var out []datum.Row
+	seen := map[string]bool{}
+	for _, row := range left {
+		key := row.Key()
+		inRight := counts[key] > 0
+		switch b.Kind {
+		case qgm.KindIntersect:
+			if !inRight {
+				continue
+			}
+			if distinct {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			} else {
+				counts[key]-- // INTERSECT ALL: min of multiplicities
+			}
+			out = append(out, row)
+		case qgm.KindExcept:
+			if distinct {
+				if inRight || seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, row)
+			} else {
+				if inRight {
+					counts[key]-- // EXCEPT ALL: subtract multiplicities
+					continue
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func dedupe(rows []datum.Row) []datum.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, row := range rows {
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// freeRefs computes (and caches) the free column references of a box
+// subtree: references to quantifiers declared outside it. A box with no
+// free references is closed and can be materialized once.
+func (ev *Evaluator) freeRefs(b *qgm.Box) []corrRef {
+	if refs, ok := ev.free[b]; ok {
+		return refs
+	}
+	owned := map[*qgm.Quantifier]bool{}
+	var collect func(box *qgm.Box)
+	seen := map[*qgm.Box]bool{}
+	collect = func(box *qgm.Box) {
+		if seen[box] {
+			return
+		}
+		seen[box] = true
+		for _, q := range box.Quantifiers {
+			owned[q] = true
+			collect(q.Ranges)
+		}
+		if box.MagicBox != nil {
+			collect(box.MagicBox)
+		}
+	}
+	collect(b)
+
+	dedup := map[corrRef]bool{}
+	var refs []corrRef
+	addFrom := func(e qgm.Expr) {
+		if e == nil {
+			return
+		}
+		qgm.VisitRefs(e, func(c *qgm.ColRef) {
+			if !owned[c.Q] {
+				r := corrRef{q: c.Q, ord: c.Ord}
+				if !dedup[r] {
+					dedup[r] = true
+					refs = append(refs, r)
+				}
+			}
+		})
+	}
+	for box := range seen {
+		for _, e := range box.Preds {
+			addFrom(e)
+		}
+		for _, oc := range box.Output {
+			addFrom(oc.Expr)
+		}
+		for _, e := range box.GroupBy {
+			addFrom(e)
+		}
+		for _, a := range box.Aggs {
+			addFrom(a.Arg)
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].q.ID != refs[j].q.ID {
+			return refs[i].q.ID < refs[j].q.ID
+		}
+		return refs[i].ord < refs[j].ord
+	})
+	ev.free[b] = refs
+	return refs
+}
+
+// ResetCaches clears memoized materializations; callers re-executing after
+// data changes must reset.
+func (ev *Evaluator) ResetCaches() {
+	ev.memo = map[*qgm.Box][]datum.Row{}
+	ev.subCache = map[*qgm.Quantifier]map[string][]datum.Row{}
+	ev.free = map[*qgm.Box][]corrRef{}
+	ev.hashCache = map[*qgm.Quantifier]map[string]map[string][]datum.Row{}
+}

@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// likeReference is an obviously-correct recursive LIKE matcher used as the
+// oracle for the iterative implementation.
+func likeReference(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeReference(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeReference(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeReference(s[1:], p[1:])
+	}
+}
+
+// TestLikeMatchesReference cross-checks the two matchers over random
+// inputs drawn from a small alphabet (small alphabets maximize pattern
+// collisions).
+func TestLikeMatchesReference(t *testing.T) {
+	alphabet := []byte("ab%_")
+	fromBits := func(bits uint32, n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[(bits>>(2*uint(i)))&3])
+		}
+		return sb.String()
+	}
+	f := func(sBits, pBits uint32, sLen, pLen uint8) bool {
+		s := strings.ReplaceAll(strings.ReplaceAll(fromBits(sBits, int(sLen%8)), "%", "a"), "_", "b")
+		p := fromBits(pBits, int(pLen%8))
+		return likeMatch(s, p) == likeReference(s, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzLikeMatch asserts agreement with the reference for arbitrary inputs.
+// Run with: go test -fuzz FuzzLikeMatch ./internal/exec
+func FuzzLikeMatch(f *testing.F) {
+	f.Add("mississippi", "%iss%ppi")
+	f.Add("", "%")
+	f.Add("abc", "_b_")
+	f.Fuzz(func(t *testing.T, s, p string) {
+		if len(s) > 64 || len(p) > 16 {
+			return // keep the exponential reference tractable
+		}
+		if likeMatch(s, p) != likeReference(s, p) {
+			t.Fatalf("likeMatch(%q, %q) = %v, reference disagrees", s, p, likeMatch(s, p))
+		}
+	})
+}

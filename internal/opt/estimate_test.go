@@ -1,0 +1,194 @@
+package opt
+
+import (
+	"testing"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+)
+
+// statCatalog builds a catalog with min/max statistics for range tests.
+func statTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "k", Type: datum.TInt},
+			{Name: "v", Type: datum.TFloat},
+			{Name: "s", Type: datum.TString},
+		},
+		Keys:     [][]int{{0}},
+		RowCount: 1000,
+		Stats: []catalog.ColumnStats{
+			{DistinctCount: 1000, Min: datum.Int(0), Max: datum.Int(999)},
+			{DistinctCount: 100, Min: datum.Float(0), Max: datum.Float(10)},
+			{DistinctCount: 50, Min: datum.String("a"), Max: datum.String("z")},
+		},
+	}
+}
+
+func statGraph() (*qgm.Graph, *qgm.Box, *qgm.Quantifier) {
+	g := qgm.NewGraph()
+	base := g.NewBox(qgm.KindBaseTable, "T")
+	base.Table = statTable()
+	for _, c := range base.Table.Columns {
+		base.Output = append(base.Output, qgm.OutputCol{Name: c.Name, Type: c.Type})
+	}
+	sel := g.NewBox(qgm.KindSelect, "S")
+	q := g.AddQuantifier(sel, qgm.ForEach, "t", base)
+	for i, c := range base.Output {
+		sel.Output = append(sel.Output, qgm.OutputCol{Name: c.Name, Expr: q.Col(i), Type: c.Type})
+	}
+	g.Top = sel
+	return g, sel, q
+}
+
+func TestRangeSelectivityInterpolation(t *testing.T) {
+	_, sel, q := statGraph()
+	e := NewEstimator()
+	// k < 100 over [0, 999] → ~10%.
+	s := e.Selectivity(sel, &qgm.Cmp{Op: datum.LT, L: q.Col(0), R: &qgm.Const{Val: datum.Int(100)}})
+	if s < 0.05 || s > 0.15 {
+		t.Errorf("k < 100 selectivity = %v; want ~0.1", s)
+	}
+	// k > 900 → ~10%.
+	s = e.Selectivity(sel, &qgm.Cmp{Op: datum.GT, L: q.Col(0), R: &qgm.Const{Val: datum.Int(900)}})
+	if s < 0.05 || s > 0.15 {
+		t.Errorf("k > 900 selectivity = %v", s)
+	}
+	// Constant on the left flips the operator.
+	s = e.Selectivity(sel, &qgm.Cmp{Op: datum.GT, L: &qgm.Const{Val: datum.Int(100)}, R: q.Col(0)})
+	if s < 0.05 || s > 0.15 {
+		t.Errorf("100 > k selectivity = %v", s)
+	}
+	// String columns fall back to the default range guess.
+	s = e.Selectivity(sel, &qgm.Cmp{Op: datum.LT, L: q.Col(2), R: &qgm.Const{Val: datum.String("m")}})
+	if s != rangeSelectivity {
+		t.Errorf("string range selectivity = %v; want default %v", s, rangeSelectivity)
+	}
+}
+
+func TestDistinctCapsSelectCard(t *testing.T) {
+	g, sel, q := statGraph()
+	_ = g
+	// Project only the FLOAT column (100 distinct) with DISTINCT.
+	sel.Output = []qgm.OutputCol{{Name: "v", Expr: q.Col(1), Type: datum.TFloat}}
+	sel.Distinct = qgm.DistinctEnforce
+	e := NewEstimator()
+	if c := e.Card(sel); c > 110 {
+		t.Errorf("distinct card = %v; want ≤ ~100", c)
+	}
+}
+
+func TestNDVDampedByLocalFilters(t *testing.T) {
+	_, sel, q := statGraph()
+	// A 1% local filter should shrink the projected NDV of v noticeably.
+	sel.Preds = []qgm.Expr{&qgm.Cmp{Op: datum.LT, L: q.Col(0), R: &qgm.Const{Val: datum.Int(10)}}}
+	e := NewEstimator()
+	ndv := e.NDV(sel, 1)
+	if ndv > 50 {
+		t.Errorf("filtered NDV = %v; want < 50 (sqrt damping of ~1%% filter)", ndv)
+	}
+	if ndv < 1 {
+		t.Errorf("NDV below 1: %v", ndv)
+	}
+}
+
+func TestUnionIntersectExceptCards(t *testing.T) {
+	g, selA, _ := statGraph()
+	selB, _ := g.CopyBox(selA)
+	mk := func(kind qgm.BoxKind) *qgm.Box {
+		b := g.NewBox(kind, "setop")
+		g.AddQuantifier(b, qgm.ForEach, "l", selA)
+		g.AddQuantifier(b, qgm.ForEach, "r", selB)
+		for _, c := range selA.Output {
+			b.Output = append(b.Output, qgm.OutputCol{Name: c.Name, Type: c.Type})
+		}
+		return b
+	}
+	e := NewEstimator()
+	u := e.Card(mk(qgm.KindUnion))
+	if u < 1500 || u > 2500 {
+		t.Errorf("union card = %v; want ~2000", u)
+	}
+	i := e.Card(mk(qgm.KindIntersect))
+	if i >= u {
+		t.Errorf("intersect card %v should be below union %v", i, u)
+	}
+	x := e.Card(mk(qgm.KindExcept))
+	if x >= 1000 {
+		t.Errorf("except card = %v; want < left card", x)
+	}
+}
+
+func TestBoxCosts(t *testing.T) {
+	g, selA, q := statGraph()
+	_ = q
+	e := NewEstimator()
+	if c := e.boxCost(selA.Quantifiers[0].Ranges); c != 0 {
+		t.Errorf("base cost = %v; want 0", c)
+	}
+	gb := g.NewBox(qgm.KindGroupBy, "GB")
+	inQ := g.AddQuantifier(gb, qgm.ForEach, "i", selA)
+	gb.GroupBy = []qgm.Expr{inQ.Col(0)}
+	gb.Output = []qgm.OutputCol{{Name: "k", Type: datum.TInt}}
+	if c := e.boxCost(gb); c <= 0 {
+		t.Errorf("group cost = %v", c)
+	}
+}
+
+func TestGreedyOrderFallback(t *testing.T) {
+	// 13 quantifiers exceed dpLimit; greedy must produce a full order fast.
+	g := qgm.NewGraph()
+	base := g.NewBox(qgm.KindBaseTable, "T")
+	base.Table = statTable()
+	for _, c := range base.Table.Columns {
+		base.Output = append(base.Output, qgm.OutputCol{Name: c.Name, Type: c.Type})
+	}
+	sel := g.NewBox(qgm.KindSelect, "S")
+	var quants []*qgm.Quantifier
+	for i := 0; i < 13; i++ {
+		quants = append(quants, g.AddQuantifier(sel, qgm.ForEach, "q", base))
+	}
+	for i := 1; i < 13; i++ {
+		sel.Preds = append(sel.Preds, &qgm.Cmp{Op: datum.EQ, L: quants[i-1].Col(0), R: quants[i].Col(0)})
+	}
+	sel.Output = []qgm.OutputCol{{Name: "k", Expr: quants[0].Col(0), Type: datum.TInt}}
+	g.Top = sel
+	e := NewEstimator()
+	considered := orderSelectBox(e, sel)
+	if sel.JoinOrder == nil || len(sel.JoinOrder) != 13 {
+		t.Fatalf("greedy produced no full order: %v", sel.JoinOrder)
+	}
+	if considered > 13*13 {
+		t.Errorf("greedy considered too many orders: %d", considered)
+	}
+}
+
+func TestMinMaxTracing(t *testing.T) {
+	_, sel, _ := statGraph()
+	e := NewEstimator()
+	// Through the select box's plain projection back to base stats.
+	lo, hi, ok := e.minMax(sel, 0)
+	if !ok || lo != 0 || hi != 999 {
+		t.Errorf("minMax = %v %v %v", lo, hi, ok)
+	}
+	// String column has stats but non-numeric type.
+	if _, _, ok := e.minMax(sel, 2); ok {
+		t.Error("string minMax should fail")
+	}
+}
+
+func TestEstimatorDefaultsWithoutStats(t *testing.T) {
+	g := qgm.NewGraph()
+	base := g.NewBox(qgm.KindBaseTable, "NoStats")
+	base.Table = &catalog.Table{Name: "nostats", Columns: []catalog.Column{{Name: "a", Type: datum.TInt}}}
+	base.Output = []qgm.OutputCol{{Name: "a", Type: datum.TInt}}
+	e := NewEstimator()
+	if c := e.Card(base); c != defaultTableRows {
+		t.Errorf("card = %v; want default %v", c, defaultTableRows)
+	}
+	if n := e.NDV(base, 0); n <= 0 || n > defaultTableRows {
+		t.Errorf("ndv = %v", n)
+	}
+}

@@ -1,0 +1,164 @@
+package qgm
+
+import (
+	"fmt"
+)
+
+// Check validates graph invariants. The rewrite engine runs it after every
+// rule application in tests; a violation indicates a rule bug.
+//
+// Invariants:
+//   - Top is set and registered.
+//   - Every quantifier's Ranges box is registered, and its Parent pointer is
+//     correct.
+//   - Every ColRef resolves to a quantifier of the containing box or of an
+//     ancestor box (correlation), with a valid output ordinal.
+//   - Base-table boxes have no quantifiers or predicates.
+//   - Group-by boxes have exactly one ForEach quantifier, no predicates, and
+//     Output = GroupBy columns followed by Aggs.
+//   - Set-operation boxes have ≥2 ForEach quantifiers with equal-arity
+//     outputs (except/intersect exactly 2).
+//   - Select-box outputs have defining expressions.
+func (g *Graph) Check() error {
+	if g.Top == nil {
+		return fmt.Errorf("qgm: graph has no top box")
+	}
+	registered := make(map[*Box]bool, len(g.Boxes))
+	for _, b := range g.Boxes {
+		registered[b] = true
+	}
+	if !registered[g.Top] {
+		return fmt.Errorf("qgm: top box %s is not registered", boxLabel(g.Top))
+	}
+
+	// visible computes, for each box, the quantifiers in scope: its own
+	// plus those of every ancestor chain through which it is reachable.
+	// Build reachability from Top downward.
+	type frame struct {
+		box   *Box
+		scope map[*Quantifier]bool
+	}
+	seen := map[*Box]bool{}
+	var errs []error
+	var visit func(f frame)
+	visit = func(f frame) {
+		b := f.box
+		// A box may be visited through several parents (common
+		// subexpression); validate it once, with the first scope. Shared
+		// boxes must not be correlated, which this also effectively checks
+		// (their refs must resolve within their own quantifiers).
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		scope := map[*Quantifier]bool{}
+		for q := range f.scope {
+			scope[q] = true
+		}
+		for _, q := range b.Quantifiers {
+			if q.Parent != b {
+				errs = append(errs, fmt.Errorf("box %s: quantifier %s has wrong parent", boxLabel(b), q.Name))
+			}
+			if q.Ranges == nil || !registered[q.Ranges] {
+				errs = append(errs, fmt.Errorf("box %s: quantifier %s ranges over unregistered box", boxLabel(b), q.Name))
+				continue
+			}
+			scope[q] = true
+		}
+		checkRefs := func(what string, e Expr) {
+			if e == nil {
+				return
+			}
+			VisitRefs(e, func(c *ColRef) {
+				if c.Q == nil {
+					errs = append(errs, fmt.Errorf("box %s: %s has nil quantifier ref", boxLabel(b), what))
+					return
+				}
+				if !scope[c.Q] {
+					errs = append(errs, fmt.Errorf("box %s: %s references out-of-scope quantifier %s", boxLabel(b), what, c.Q.Name))
+					return
+				}
+				if c.Q.Ranges == nil || c.Ord < 0 || c.Ord >= len(c.Q.Ranges.Output) {
+					errs = append(errs, fmt.Errorf("box %s: %s references invalid ordinal %d of %s", boxLabel(b), what, c.Ord, c.Q.Name))
+				}
+			})
+		}
+		for _, e := range b.Preds {
+			checkRefs("predicate", e)
+		}
+		for _, oc := range b.Output {
+			checkRefs("output "+oc.Name, oc.Expr)
+		}
+		for _, e := range b.GroupBy {
+			checkRefs("group-by", e)
+		}
+		for _, a := range b.Aggs {
+			checkRefs("aggregate", a.Arg)
+		}
+
+		switch b.Kind {
+		case KindBaseTable:
+			if len(b.Quantifiers) != 0 || len(b.Preds) != 0 {
+				errs = append(errs, fmt.Errorf("base box %s has quantifiers or predicates", boxLabel(b)))
+			}
+			if b.Table == nil {
+				errs = append(errs, fmt.Errorf("base box %s has no table", boxLabel(b)))
+			}
+		case KindSelect:
+			for _, oc := range b.Output {
+				if oc.Expr == nil {
+					errs = append(errs, fmt.Errorf("select box %s: output %s has no expression", boxLabel(b), oc.Name))
+				}
+			}
+		case KindGroupBy:
+			if len(b.Quantifiers) != 1 || b.Quantifiers[0].Type != ForEach {
+				errs = append(errs, fmt.Errorf("group-by box %s must have exactly one F quantifier", boxLabel(b)))
+			}
+			if len(b.Preds) != 0 {
+				errs = append(errs, fmt.Errorf("group-by box %s has predicates", boxLabel(b)))
+			}
+			if len(b.Output) != len(b.GroupBy)+len(b.Aggs) {
+				errs = append(errs, fmt.Errorf("group-by box %s: %d outputs != %d grouping + %d aggs",
+					boxLabel(b), len(b.Output), len(b.GroupBy), len(b.Aggs)))
+			}
+		case KindUnion, KindIntersect, KindExcept:
+			if len(b.Quantifiers) < 2 {
+				errs = append(errs, fmt.Errorf("%s box %s has %d inputs", b.Kind, boxLabel(b), len(b.Quantifiers)))
+			}
+			if b.Kind != KindUnion && len(b.Quantifiers) != 2 {
+				errs = append(errs, fmt.Errorf("%s box %s must have exactly 2 inputs", b.Kind, boxLabel(b)))
+			}
+			for _, q := range b.Quantifiers {
+				if q.Type != ForEach {
+					errs = append(errs, fmt.Errorf("%s box %s has non-F quantifier", b.Kind, boxLabel(b)))
+				}
+				if q.Ranges != nil && len(q.Ranges.Output) != len(b.Output) {
+					errs = append(errs, fmt.Errorf("%s box %s: input %s arity %d != output arity %d",
+						b.Kind, boxLabel(b), q.Name, len(q.Ranges.Output), len(b.Output)))
+				}
+			}
+		}
+
+		for _, q := range b.Quantifiers {
+			if q.Ranges != nil && registered[q.Ranges] {
+				visit(frame{box: q.Ranges, scope: scope})
+			}
+		}
+		if b.MagicBox != nil && registered[b.MagicBox] {
+			visit(frame{box: b.MagicBox, scope: scope})
+		}
+	}
+	visit(frame{box: g.Top, scope: map[*Quantifier]bool{}})
+
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+func boxLabel(b *Box) string {
+	if b.Name != "" {
+		return fmt.Sprintf("%s#%d", b.Name, b.ID)
+	}
+	return fmt.Sprintf("%s#%d", b.Kind, b.ID)
+}

@@ -1,0 +1,257 @@
+package qgm
+
+// CopyBox copies box b into the graph, returning the copy and the
+// quantifier remap table it populated.
+//
+// Sharing rules (§4, Example 4.9): the copy's ForEach quantifiers range over
+// the SAME child boxes as the original — views and base tables are shared
+// common subexpressions, and the EMST rule replaces them with adorned copies
+// box-at-a-time as it descends. Subquery quantifiers (Exists/ForAll/Scalar)
+// deep-copy their child boxes instead, because subquery boxes are private to
+// their parent and may contain correlated references to the parent's
+// quantifiers, which must be remapped to the copy's quantifiers.
+//
+// Expressions referencing quantifiers outside the copied region (outer
+// correlation) keep referencing the original outer quantifiers.
+func (g *Graph) CopyBox(b *Box) (*Box, map[*Quantifier]*Quantifier) {
+	remap := make(map[*Quantifier]*Quantifier)
+	nb := g.copyRec(b, remap, func(q *Quantifier) bool { return q.Type != ForEach })
+	return nb, remap
+}
+
+// CopyTree deep-copies b and every box reachable through its quantifiers,
+// sharing only base-table boxes. The correlate transform uses it to
+// privatize an entire view blob before sinking join predicates into it as
+// correlation (re-computing a nested view per use is precisely what
+// correlated execution does).
+func (g *Graph) CopyTree(b *Box) (*Box, map[*Quantifier]*Quantifier) {
+	remap := make(map[*Quantifier]*Quantifier)
+	nb := g.copyRec(b, remap, func(q *Quantifier) bool { return q.Ranges.Kind != KindBaseTable })
+	return nb, remap
+}
+
+// CloneGraph deep-copies the whole graph into an independent Graph —
+// every box including base tables is copied, so mutating one graph never
+// affects the other. The three-phase pipeline clones the pre-EMST graph so
+// it can fall back to it when the EMST plan does not win the cost
+// comparison (§3.2 step 5).
+func (g *Graph) CloneGraph() *Graph {
+	ng := NewGraph()
+	ng.OrderBy = append([]OrderSpec(nil), g.OrderBy...)
+	ng.Limit = g.Limit
+	ng.HiddenCols = g.HiddenCols
+	remap := make(map[*Quantifier]*Quantifier)
+	shared := map[*Box]*Box{}
+	ng.Top = ng.cloneShared(g.Top, remap, shared)
+	return ng
+}
+
+// cloneShared copies boxes preserving sharing (a box referenced twice in g
+// is copied once).
+func (g *Graph) cloneShared(b *Box, remap map[*Quantifier]*Quantifier, shared map[*Box]*Box) *Box {
+	if nb, ok := shared[b]; ok {
+		return nb
+	}
+	nb := g.NewBox(b.Kind, b.Name)
+	shared[b] = nb
+	nb.Distinct = b.Distinct
+	nb.Table = b.Table
+	nb.Role = b.Role
+	nb.Adornment = b.Adornment
+	nb.MagicCols = append([]MagicCol(nil), b.MagicCols...)
+	nb.JoinOrder = append([]int(nil), b.JoinOrder...)
+	nb.Origin = b.Origin
+	nb.Recursive = b.Recursive
+	for _, q := range b.Quantifiers {
+		nq := g.AddQuantifier(nb, q.Type, q.Name, nil)
+		remap[q] = nq
+	}
+	for i, q := range b.Quantifiers {
+		nb.Quantifiers[i].Ranges = g.cloneShared(q.Ranges, remap, shared)
+	}
+	if b.MagicBox != nil {
+		nb.MagicBox = g.cloneShared(b.MagicBox, remap, shared)
+	}
+	for _, e := range b.Preds {
+		nb.Preds = append(nb.Preds, CopyExpr(e, remap))
+	}
+	for _, oc := range b.Output {
+		noc := OutputCol{Name: oc.Name, Type: oc.Type}
+		if oc.Expr != nil {
+			noc.Expr = CopyExpr(oc.Expr, remap)
+		}
+		nb.Output = append(nb.Output, noc)
+	}
+	for _, e := range b.GroupBy {
+		nb.GroupBy = append(nb.GroupBy, CopyExpr(e, remap))
+	}
+	for _, a := range b.Aggs {
+		na := AggSpec{Kind: a.Kind, Distinct: a.Distinct}
+		if a.Arg != nil {
+			na.Arg = CopyExpr(a.Arg, remap)
+		}
+		nb.Aggs = append(nb.Aggs, na)
+	}
+	return nb
+}
+
+// CopySCC copies an entire recursive component rooted at a fixpoint box:
+// every box of the component (reachable from root and reaching root) is
+// copied exactly once with internal references rewired to the copies, so
+// the copy is an independent cycle. ForEach children outside the component
+// stay shared; subquery children outside it are deep-copied (they are
+// private to their boxes). The EMST rule uses this to build adorned copies
+// of recursive views.
+func (g *Graph) CopySCC(root *Box) (*Box, map[*Quantifier]*Quantifier) {
+	scc := sccOfBox(root)
+	remap := map[*Quantifier]*Quantifier{}
+	copies := map[*Box]*Box{}
+
+	// Pass 1: shells + quantifiers for every member.
+	for _, x := range scc {
+		nb := g.NewBox(x.Kind, x.Name)
+		nb.Distinct = x.Distinct
+		nb.Table = x.Table
+		nb.Role = x.Role
+		nb.Adornment = x.Adornment
+		nb.MagicCols = append([]MagicCol(nil), x.MagicCols...)
+		nb.JoinOrder = append([]int(nil), x.JoinOrder...)
+		nb.Recursive = x.Recursive
+		copies[x] = nb
+	}
+	for _, x := range scc {
+		nb := copies[x]
+		for _, q := range x.Quantifiers {
+			nq := g.AddQuantifier(nb, q.Type, q.Name, q.Ranges)
+			remap[q] = nq
+		}
+	}
+	// Pass 2: rewire children.
+	for _, x := range scc {
+		for i, q := range x.Quantifiers {
+			nq := copies[x].Quantifiers[i]
+			switch {
+			case copies[q.Ranges] != nil:
+				nq.Ranges = copies[q.Ranges]
+			case q.Type != ForEach:
+				nq.Ranges = g.copyRec(q.Ranges, remap, func(qq *Quantifier) bool { return qq.Type != ForEach })
+			}
+		}
+	}
+	// Pass 3: expressions.
+	for _, x := range scc {
+		nb := copies[x]
+		for _, e := range x.Preds {
+			nb.Preds = append(nb.Preds, CopyExpr(e, remap))
+		}
+		for _, oc := range x.Output {
+			noc := OutputCol{Name: oc.Name, Type: oc.Type}
+			if oc.Expr != nil {
+				noc.Expr = CopyExpr(oc.Expr, remap)
+			}
+			nb.Output = append(nb.Output, noc)
+		}
+		for _, e := range x.GroupBy {
+			nb.GroupBy = append(nb.GroupBy, CopyExpr(e, remap))
+		}
+		for _, a := range x.Aggs {
+			na := AggSpec{Kind: a.Kind, Distinct: a.Distinct}
+			if a.Arg != nil {
+				na.Arg = CopyExpr(a.Arg, remap)
+			}
+			nb.Aggs = append(nb.Aggs, na)
+		}
+	}
+	return copies[root], remap
+}
+
+// SCCBoxes returns root plus every box reachable from root that can reach
+// root (the recursive component), in a deterministic order.
+func SCCBoxes(root *Box) []*Box { return sccOfBox(root) }
+
+func sccOfBox(root *Box) []*Box {
+	var reach func(from, to *Box, seen map[*Box]bool) bool
+	reach = func(from, to *Box, seen map[*Box]bool) bool {
+		if from == to {
+			return true
+		}
+		if from == nil || seen[from] {
+			return false
+		}
+		seen[from] = true
+		for _, q := range from.Quantifiers {
+			if reach(q.Ranges, to, seen) {
+				return true
+			}
+		}
+		return reach(from.MagicBox, to, seen)
+	}
+	members := []*Box{root}
+	visited := map[*Box]bool{root: true}
+	var collect func(x *Box)
+	collect = func(x *Box) {
+		for _, q := range x.Quantifiers {
+			c := q.Ranges
+			if c == nil || visited[c] {
+				continue
+			}
+			if reach(c, root, map[*Box]bool{}) {
+				visited[c] = true
+				members = append(members, c)
+				collect(c)
+			}
+		}
+	}
+	collect(root)
+	return members
+}
+
+func (g *Graph) copyRec(b *Box, remap map[*Quantifier]*Quantifier, deep func(*Quantifier) bool) *Box {
+	nb := g.NewBox(b.Kind, b.Name)
+	nb.Distinct = b.Distinct
+	nb.Table = b.Table
+	nb.Role = b.Role
+	nb.Adornment = b.Adornment
+	nb.MagicBox = b.MagicBox
+	nb.MagicCols = append([]MagicCol(nil), b.MagicCols...)
+	nb.JoinOrder = append([]int(nil), b.JoinOrder...)
+	nb.Recursive = b.Recursive
+
+	// Pass 1: create all quantifiers, sharing the original child boxes, so
+	// the remap table is complete before any expression is copied. A
+	// subquery correlated to ANY quantifier of this box then remaps
+	// correctly regardless of declaration order.
+	for _, q := range b.Quantifiers {
+		nq := g.AddQuantifier(nb, q.Type, q.Name, q.Ranges)
+		remap[q] = nq
+	}
+	// Pass 2: deep-copy children selected by the policy (subquery boxes for
+	// CopyBox; everything but base tables for CopyTree).
+	for _, nq := range nb.Quantifiers {
+		if deep(nq) {
+			nq.Ranges = g.copyRec(nq.Ranges, remap, deep)
+		}
+	}
+	// Pass 3: copy expressions with the complete remap table.
+	for _, e := range b.Preds {
+		nb.Preds = append(nb.Preds, CopyExpr(e, remap))
+	}
+	for _, oc := range b.Output {
+		noc := OutputCol{Name: oc.Name, Type: oc.Type}
+		if oc.Expr != nil {
+			noc.Expr = CopyExpr(oc.Expr, remap)
+		}
+		nb.Output = append(nb.Output, noc)
+	}
+	for _, e := range b.GroupBy {
+		nb.GroupBy = append(nb.GroupBy, CopyExpr(e, remap))
+	}
+	for _, a := range b.Aggs {
+		na := AggSpec{Kind: a.Kind, Distinct: a.Distinct}
+		if a.Arg != nil {
+			na.Arg = CopyExpr(a.Arg, remap)
+		}
+		nb.Aggs = append(nb.Aggs, na)
+	}
+	return nb
+}

@@ -1,0 +1,230 @@
+package qgm
+
+import (
+	"strings"
+	"testing"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+)
+
+func TestCloneGraphIsIndependent(t *testing.T) {
+	g, q := buildEmpDept()
+	g.OrderBy = []OrderSpec{{Ord: 0, Desc: true}}
+	g.Limit = 5
+	g.HiddenCols = 0
+	clone := g.CloneGraph()
+	if err := clone.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Limit != 5 || len(clone.OrderBy) != 1 || !clone.OrderBy[0].Desc {
+		t.Errorf("order/limit not cloned: %+v", clone)
+	}
+	// Mutating the original must not affect the clone.
+	q.Preds = nil
+	q.Name = "MUTATED"
+	if len(clone.Top.Preds) != 2 || clone.Top.Name == "MUTATED" {
+		t.Error("clone shares state with original")
+	}
+	// Quantifier identities differ.
+	if clone.Top.Quantifiers[0] == q.Quantifiers[0] {
+		t.Error("clone shares quantifier objects")
+	}
+}
+
+func TestCloneGraphPreservesSharing(t *testing.T) {
+	g, q := buildEmpDept()
+	// Second quantifier over the same department box.
+	g.AddQuantifier(q, ForEach, "d2", q.Quantifiers[1].Ranges)
+	clone := g.CloneGraph()
+	ctop := clone.Top
+	if ctop.Quantifiers[1].Ranges != ctop.Quantifiers[2].Ranges {
+		t.Error("shared box duplicated by clone")
+	}
+}
+
+func TestCloneGraphPreservesMagicMetadata(t *testing.T) {
+	g, q := buildEmpDept()
+	magic := g.NewBox(KindSelect, "m")
+	magic.Role = RoleMagic
+	magic.Output = []OutputCol{{Name: "x", Expr: &Const{Val: datum.Int(1)}, Type: datum.TInt}}
+	q.MagicBox = magic
+	q.MagicCols = []MagicCol{{BoxOrd: 0, MagicOrd: 0}}
+	q.Adornment = "bf"
+	clone := g.CloneGraph()
+	ct := clone.Top
+	if ct.MagicBox == nil || ct.MagicBox == magic {
+		t.Error("magic link not deep-cloned")
+	}
+	if ct.Adornment != "bf" || len(ct.MagicCols) != 1 {
+		t.Error("magic metadata lost")
+	}
+	if ct.MagicBox.Role != RoleMagic {
+		t.Error("role lost")
+	}
+}
+
+func TestCopyTreePrivatizesEverythingButBases(t *testing.T) {
+	g, q := buildEmpDept()
+	// Wrap: top -> mid select -> q's box.
+	mid := g.NewBox(KindSelect, "MID")
+	mq := g.AddQuantifier(mid, ForEach, "m", q)
+	mid.Output = []OutputCol{{Name: "empno", Expr: mq.Col(0), Type: datum.TInt}}
+	g.Top = mid
+
+	cp, _ := g.CopyTree(mid)
+	if cp == mid {
+		t.Fatal("no copy")
+	}
+	if cp.Quantifiers[0].Ranges == q {
+		t.Error("inner select box shared; CopyTree must privatize")
+	}
+	// Base tables stay shared.
+	inner := cp.Quantifiers[0].Ranges
+	if inner.Quantifiers[0].Ranges != q.Quantifiers[0].Ranges {
+		t.Error("base table should stay shared")
+	}
+	g.Top = cp
+	g.GC()
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphStatsCountsMagic(t *testing.T) {
+	g, q := buildEmpDept()
+	m := g.NewBox(KindSelect, "m")
+	m.Role = RoleMagic
+	m.Output = []OutputCol{{Name: "x", Expr: &Const{Val: datum.Int(1)}, Type: datum.TInt}}
+	g.AddQuantifier(q, ForEach, "mq", m)
+	s := g.Stats()
+	if s.MagicBoxes != 1 {
+		t.Errorf("magic boxes = %d", s.MagicBoxes)
+	}
+	if s.Joins != 2 { // three F quantifiers in one select box
+		t.Errorf("joins = %d", s.Joins)
+	}
+}
+
+func TestDumpShowsAdornmentAndRole(t *testing.T) {
+	g, q := buildEmpDept()
+	q.Adornment = "bf"
+	m := g.NewBox(KindSelect, "m_test")
+	m.Role = RoleSuppMagic
+	m.Distinct = DistinctEnforce
+	m.Output = []OutputCol{{Name: "x", Expr: &Const{Val: datum.Int(1)}, Type: datum.TInt}}
+	q.MagicBox = m
+	d := g.Dump()
+	for _, want := range []string{"^bf", "supp-magic", "DISTINCT", "linked-magic"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestBoxesByName(t *testing.T) {
+	g, _ := buildEmpDept()
+	if got := g.BoxesByName("employee"); len(got) != 1 {
+		t.Errorf("BoxesByName(employee) = %d", len(got))
+	}
+	if got := g.BoxesByName("ghost"); len(got) != 0 {
+		t.Errorf("BoxesByName(ghost) = %d", len(got))
+	}
+}
+
+func TestCheckRejectsSetOpArityMismatch(t *testing.T) {
+	g := NewGraph()
+	mk := func(name string, cols int) *Box {
+		b := g.NewBox(KindBaseTable, name)
+		b.Table = &catalog.Table{Name: name}
+		for i := 0; i < cols; i++ {
+			b.Table.Columns = append(b.Table.Columns, catalog.Column{Name: "c", Type: datum.TInt})
+			b.Output = append(b.Output, OutputCol{Name: "c", Type: datum.TInt})
+		}
+		return b
+	}
+	u := g.NewBox(KindUnion, "U")
+	g.AddQuantifier(u, ForEach, "a", mk("t1", 2))
+	g.AddQuantifier(u, ForEach, "b", mk("t2", 3))
+	u.Output = []OutputCol{{Name: "c", Type: datum.TInt}, {Name: "d", Type: datum.TInt}}
+	g.Top = u
+	if err := g.Check(); err == nil {
+		t.Error("arity mismatch not caught")
+	}
+}
+
+func TestCheckRejectsBinaryOpWithThreeInputs(t *testing.T) {
+	g, q := buildEmpDept()
+	ex := g.NewBox(KindExcept, "E")
+	for i := 0; i < 3; i++ {
+		g.AddQuantifier(ex, ForEach, "x", q.Quantifiers[0].Ranges)
+	}
+	ex.Output = []OutputCol{{Name: "empno", Type: datum.TInt}, {Name: "workdept", Type: datum.TInt}}
+	g.Top = ex
+	if err := g.Check(); err == nil {
+		t.Error("ternary except not caught")
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	e := q.Quantifiers[0]
+	cases := []struct {
+		expr Expr
+		want string
+	}{
+		{&Cmp{Op: datum.LT, L: e.Col(0), R: &Const{Val: datum.Int(5)}}, "e.empno < 5"},
+		{&IsNull{X: e.Col(0)}, "e.empno IS NULL"},
+		{&IsNull{X: e.Col(0), Negate: true}, "e.empno IS NOT NULL"},
+		{&Like{X: e.Col(0), Pattern: "a%"}, "e.empno LIKE 'a%'"},
+		{&Not{X: &Const{Val: datum.Bool(true)}}, "NOT (TRUE)"},
+		{&Neg{X: e.Col(0)}, "-(e.empno)"},
+		{&Concat{L: &Const{Val: datum.String("a")}, R: &Const{Val: datum.String("b")}}, "('a' || 'b')"},
+		{&Func{Name: "ABS", Args: []Expr{e.Col(0)}}, "ABS(e.empno)"},
+		{&Case{Whens: []CaseWhen{{When: &Const{Val: datum.Bool(true)}, Then: &Const{Val: datum.Int(1)}}}},
+			"CASE WHEN TRUE THEN 1 END"},
+	}
+	for _, c := range cases {
+		if got := c.expr.String(); got != c.want {
+			t.Errorf("String() = %q; want %q", got, c.want)
+		}
+	}
+}
+
+func TestRewriteRefsOnCaseAndFunc(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	e, d := q.Quantifiers[0], q.Quantifiers[1]
+	expr := &Case{
+		Whens: []CaseWhen{{When: &Cmp{Op: datum.EQ, L: e.Col(0), R: d.Col(0)}, Then: &Func{Name: "ABS", Args: []Expr{e.Col(1)}}}},
+		Else:  e.Col(0),
+	}
+	remap := map[*Quantifier]*Quantifier{e: d}
+	out := CopyExpr(expr, remap)
+	refs := RefsQuantifiers(out)
+	if refs[e] {
+		t.Error("remap did not reach CASE/Func children")
+	}
+	if !EqualExpr(expr, expr) {
+		t.Error("Case must equal itself")
+	}
+	if EqualExpr(expr, out) {
+		t.Error("remapped Case should differ structurally")
+	}
+}
+
+func TestDumpDOT(t *testing.T) {
+	g, q := buildEmpDept()
+	m := g.NewBox(KindSelect, "m_q")
+	m.Role = RoleMagic
+	m.Output = []OutputCol{{Name: "x", Expr: &Const{Val: datum.Int(1)}, Type: datum.TInt}}
+	q.MagicBox = m
+	q.Adornment = "bf"
+	out := g.DumpDOT("test")
+	for _, want := range []string{"digraph qgm", "QUERY^bf", "cylinder", "style=dashed", "lightyellow", "label=\"test\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

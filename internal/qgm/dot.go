@@ -1,0 +1,78 @@
+package qgm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpDOT renders the graph in Graphviz DOT format, drawing the paper's
+// figures: boxes as nodes (select/group-by/union/base shapes, magic roles
+// shaded), quantifier edges labeled with the quantifier name and type, and
+// dashed edges for magic links.
+func (g *Graph) DumpDOT(title string) string {
+	var sb strings.Builder
+	sb.WriteString("digraph qgm {\n")
+	sb.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n")
+	if title != "" {
+		fmt.Fprintf(&sb, "  label=%q; labelloc=t;\n", title)
+	}
+	seen := map[*Box]bool{}
+	var emit func(b *Box)
+	emit = func(b *Box) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		fmt.Fprintf(&sb, "  b%d [label=%q%s];\n", b.ID, dotLabel(b), dotStyle(b))
+		for _, q := range b.OrderedQuantifiers() {
+			emit(q.Ranges)
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=\"%s:%s\"];\n", b.ID, q.Ranges.ID, q.Name, q.Type)
+		}
+		if b.MagicBox != nil {
+			emit(b.MagicBox)
+			fmt.Fprintf(&sb, "  b%d -> b%d [style=dashed, label=\"magic\"];\n", b.ID, b.MagicBox.ID)
+		}
+	}
+	emit(g.Top)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dotLabel(b *Box) string {
+	label := b.Name
+	if label == "" {
+		label = b.Kind.String()
+	}
+	if b.Adornment != "" {
+		label += "^" + b.Adornment
+	}
+	var extra []string
+	if b.Kind == KindGroupBy {
+		extra = append(extra, "GROUP BY")
+	}
+	if b.Distinct == DistinctEnforce {
+		extra = append(extra, "DISTINCT")
+	}
+	if r := b.Role.String(); r != "" {
+		extra = append(extra, r)
+	}
+	if len(extra) > 0 {
+		label += "\\n" + strings.Join(extra, " ")
+	}
+	return label
+}
+
+func dotStyle(b *Box) string {
+	switch {
+	case b.Kind == KindBaseTable:
+		return ", shape=cylinder"
+	case b.Role == RoleMagic || b.Role == RoleCondMagic:
+		return ", shape=box, style=filled, fillcolor=lightyellow"
+	case b.Role == RoleSuppMagic:
+		return ", shape=box, style=filled, fillcolor=lightblue"
+	case b.Kind == KindGroupBy:
+		return ", shape=box, style=rounded"
+	default:
+		return ", shape=box"
+	}
+}

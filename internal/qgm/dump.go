@@ -1,0 +1,184 @@
+package qgm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the graph as indented text, top box first, each box once.
+// cmd/qgmviz uses it to reproduce the paper's Figures 1 and 4; tests pin
+// structural facts against it.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	seen := map[*Box]bool{}
+	var dump func(b *Box, depth int)
+	dump = func(b *Box, depth int) {
+		ind := strings.Repeat("  ", depth)
+		if seen[b] {
+			fmt.Fprintf(&sb, "%s-> %s (shared)\n", ind, boxTitle(b, g))
+			return
+		}
+		seen[b] = true
+		fmt.Fprintf(&sb, "%s%s\n", ind, boxTitle(b, g))
+		if b.Kind == KindBaseTable {
+			return
+		}
+		for _, oc := range b.Output {
+			if oc.Expr != nil {
+				fmt.Fprintf(&sb, "%s  out %s = %s\n", ind, oc.Name, oc.Expr)
+			} else {
+				fmt.Fprintf(&sb, "%s  out %s\n", ind, oc.Name)
+			}
+		}
+		for i, e := range b.GroupBy {
+			fmt.Fprintf(&sb, "%s  group[%d] = %s\n", ind, i, e)
+		}
+		for i, a := range b.Aggs {
+			arg := "*"
+			if a.Arg != nil {
+				arg = a.Arg.String()
+			}
+			distinct := ""
+			if a.Distinct {
+				distinct = "DISTINCT "
+			}
+			fmt.Fprintf(&sb, "%s  agg[%d] = %s(%s%s)\n", ind, i, a.Kind, distinct, arg)
+		}
+		for _, e := range b.Preds {
+			fmt.Fprintf(&sb, "%s  pred %s\n", ind, e)
+		}
+		if b.MagicBox != nil {
+			fmt.Fprintf(&sb, "%s  linked-magic -> %s\n", ind, boxTitle(b.MagicBox, g))
+		}
+		for _, q := range b.OrderedQuantifiers() {
+			fmt.Fprintf(&sb, "%s  quant %s:%s over:\n", ind, q.Name, q.Type)
+			dump(q.Ranges, depth+2)
+		}
+		if b.MagicBox != nil && !seen[b.MagicBox] {
+			fmt.Fprintf(&sb, "%s  magic-box:\n", ind)
+			dump(b.MagicBox, depth+2)
+		}
+	}
+	dump(g.Top, 0)
+	return sb.String()
+}
+
+func boxTitle(b *Box, g *Graph) string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("[%s#%d]", b.Kind, b.ID))
+	if b.Name != "" {
+		parts = append(parts, b.Name)
+	}
+	if b.Adornment != "" {
+		parts = append(parts, "^"+b.Adornment)
+	}
+	if b.Role != RoleNone {
+		parts = append(parts, "<"+b.Role.String()+">")
+	}
+	if b.Distinct == DistinctEnforce {
+		parts = append(parts, "DISTINCT")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Stats summarizes graph complexity: the paper's measure of query
+// complexity is the number of boxes and joins (§2, Example 1.1). Joins
+// counts quantifier pairs joined within select boxes, i.e. per select box
+// with n ForEach quantifiers, n-1 joins.
+type Stats struct {
+	Boxes       int
+	SelectBoxes int
+	GroupBys    int
+	MagicBoxes  int
+	Quantifiers int
+	Joins       int
+}
+
+// Stats computes graph complexity counters over boxes reachable from Top.
+func (g *Graph) Stats() Stats {
+	var s Stats
+	seen := map[*Box]bool{}
+	var visit func(b *Box)
+	visit = func(b *Box) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		s.Boxes++
+		switch {
+		case b.IsMagic():
+			s.MagicBoxes++
+		case b.Kind == KindSelect:
+			s.SelectBoxes++
+		case b.Kind == KindGroupBy:
+			s.GroupBys++
+		}
+		if b.Kind != KindBaseTable {
+			nF := 0
+			for _, q := range b.Quantifiers {
+				s.Quantifiers++
+				if q.Type == ForEach {
+					nF++
+				}
+				visit(q.Ranges)
+			}
+			if b.Kind == KindSelect && nF > 1 {
+				s.Joins += nF - 1
+			}
+		}
+		visit(b.MagicBox)
+	}
+	visit(g.Top)
+	return s
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("boxes=%d (select=%d groupby=%d magic=%d) quantifiers=%d joins=%d",
+		s.Boxes, s.SelectBoxes, s.GroupBys, s.MagicBoxes, s.Quantifiers, s.Joins)
+}
+
+// BoxesByName returns reachable boxes whose name matches, sorted by ID;
+// tests use it to pin down specific boxes.
+func (g *Graph) BoxesByName(name string) []*Box {
+	var out []*Box
+	seen := map[*Box]bool{}
+	var visit func(b *Box)
+	visit = func(b *Box) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		if equalFold(b.Name, name) {
+			out = append(out, b)
+		}
+		for _, q := range b.Quantifiers {
+			visit(q.Ranges)
+		}
+		visit(b.MagicBox)
+	}
+	visit(g.Top)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Reachable returns all boxes reachable from Top in depth-first order.
+func (g *Graph) Reachable() []*Box {
+	var out []*Box
+	seen := map[*Box]bool{}
+	var visit func(b *Box)
+	visit = func(b *Box) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		out = append(out, b)
+		for _, q := range b.Quantifiers {
+			visit(q.Ranges)
+		}
+		visit(b.MagicBox)
+	}
+	visit(g.Top)
+	return out
+}

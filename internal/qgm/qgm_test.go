@@ -1,0 +1,402 @@
+package qgm
+
+import (
+	"strings"
+	"testing"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+)
+
+// buildEmpDept constructs by hand the QGM for
+//
+//	SELECT e.empno FROM employee e, department d
+//	WHERE e.workdept = d.deptno AND d.deptname = 'Planning'
+//
+// over base tables employee(empno, workdept) and department(deptno,
+// deptname).
+func buildEmpDept() (*Graph, *Box) {
+	g := NewGraph()
+	emp := g.NewBox(KindBaseTable, "EMPLOYEE")
+	emp.Table = &catalog.Table{Name: "employee", Columns: []catalog.Column{
+		{Name: "empno", Type: datum.TInt}, {Name: "workdept", Type: datum.TInt},
+	}}
+	emp.Output = []OutputCol{
+		{Name: "empno", Type: datum.TInt},
+		{Name: "workdept", Type: datum.TInt},
+	}
+	dept := g.NewBox(KindBaseTable, "DEPARTMENT")
+	dept.Table = &catalog.Table{Name: "department", Columns: []catalog.Column{
+		{Name: "deptno", Type: datum.TInt}, {Name: "deptname", Type: datum.TString},
+	}}
+	dept.Output = []OutputCol{
+		{Name: "deptno", Type: datum.TInt},
+		{Name: "deptname", Type: datum.TString},
+	}
+	q := g.NewBox(KindSelect, "QUERY")
+	e := g.AddQuantifier(q, ForEach, "e", emp)
+	d := g.AddQuantifier(q, ForEach, "d", dept)
+	q.Preds = []Expr{
+		&Cmp{Op: datum.EQ, L: e.Col(1), R: d.Col(0)},
+		&Cmp{Op: datum.EQ, L: d.Col(1), R: &Const{Val: datum.String("Planning")}},
+	}
+	q.Output = []OutputCol{{Name: "empno", Expr: e.Col(0), Type: datum.TInt}}
+	g.Top = q
+	return g, q
+}
+
+func TestCheckValidGraph(t *testing.T) {
+	g, _ := buildEmpDept()
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCatchesBadOrdinal(t *testing.T) {
+	g, q := buildEmpDept()
+	q.Preds = append(q.Preds, &Cmp{Op: datum.EQ, L: q.Quantifiers[0].Col(99), R: &Const{Val: datum.Int(1)}})
+	if err := g.Check(); err == nil {
+		t.Fatal("bad ordinal not caught")
+	}
+}
+
+func TestCheckCatchesForeignQuantifier(t *testing.T) {
+	g, q := buildEmpDept()
+	g2, q2 := buildEmpDept()
+	_ = g2
+	q.Preds = append(q.Preds, &Cmp{Op: datum.EQ, L: q2.Quantifiers[0].Col(0), R: &Const{Val: datum.Int(1)}})
+	if err := g.Check(); err == nil {
+		t.Fatal("out-of-scope quantifier not caught")
+	}
+}
+
+func TestCheckCatchesMissingTop(t *testing.T) {
+	g := NewGraph()
+	if err := g.Check(); err == nil {
+		t.Fatal("missing top not caught")
+	}
+}
+
+func TestCheckGroupByShape(t *testing.T) {
+	g, q := buildEmpDept()
+	gb := g.NewBox(KindGroupBy, "G")
+	in := g.AddQuantifier(gb, ForEach, "i", q.Quantifiers[0].Ranges)
+	gb.GroupBy = []Expr{in.Col(1)}
+	gb.Aggs = []AggSpec{{Kind: datum.AggCount, Arg: in.Col(0)}}
+	gb.Output = []OutputCol{
+		{Name: "workdept", Type: datum.TInt},
+		{Name: "cnt", Type: datum.TInt},
+	}
+	top := g.NewBox(KindSelect, "TOP")
+	t1 := g.AddQuantifier(top, ForEach, "t", gb)
+	top.Output = []OutputCol{{Name: "workdept", Expr: t1.Col(0), Type: datum.TInt}}
+	g.Top = top
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Break it: add a predicate to the group-by box.
+	gb.Preds = append(gb.Preds, &Const{Val: datum.Bool(true)})
+	if err := g.Check(); err == nil {
+		t.Fatal("predicate on group-by box not caught")
+	}
+}
+
+func TestCorrelatedSubqueryScope(t *testing.T) {
+	// SELECT e.empno FROM employee e WHERE EXISTS
+	//   (SELECT 1 FROM department d WHERE d.deptno = e.workdept)
+	g := NewGraph()
+	emp := g.NewBox(KindBaseTable, "EMPLOYEE")
+	emp.Table = &catalog.Table{Name: "employee", Columns: []catalog.Column{
+		{Name: "empno", Type: datum.TInt}, {Name: "workdept", Type: datum.TInt}}}
+	emp.Output = []OutputCol{{Name: "empno", Type: datum.TInt}, {Name: "workdept", Type: datum.TInt}}
+	dept := g.NewBox(KindBaseTable, "DEPARTMENT")
+	dept.Table = &catalog.Table{Name: "department", Columns: []catalog.Column{{Name: "deptno", Type: datum.TInt}}}
+	dept.Output = []OutputCol{{Name: "deptno", Type: datum.TInt}}
+
+	top := g.NewBox(KindSelect, "QUERY")
+	e := g.AddQuantifier(top, ForEach, "e", emp)
+
+	sub := g.NewBox(KindSelect, "SUB")
+	d := g.AddQuantifier(sub, ForEach, "d", dept)
+	// Correlated predicate inside the subquery box.
+	sub.Preds = []Expr{&Cmp{Op: datum.EQ, L: d.Col(0), R: e.Col(1)}}
+	sub.Output = []OutputCol{{Name: "one", Expr: &Const{Val: datum.Int(1)}, Type: datum.TInt}}
+
+	g.AddQuantifier(top, Exists, "sq", sub)
+	top.Output = []OutputCol{{Name: "empno", Expr: e.Col(0), Type: datum.TInt}}
+	g.Top = top
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyBoxSharesBaseTables(t *testing.T) {
+	g, q := buildEmpDept()
+	cp, remap := g.CopyBox(q)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Quantifiers[0].Ranges != q.Quantifiers[0].Ranges {
+		t.Error("ForEach child should be shared")
+	}
+	if remap[q.Quantifiers[0]] != cp.Quantifiers[0] {
+		t.Error("remap table wrong")
+	}
+	// Copied predicates must reference the copy's quantifiers.
+	refs := RefsQuantifiers(cp.Preds[0])
+	if refs[q.Quantifiers[0]] {
+		t.Error("copied predicate still references original quantifier")
+	}
+	if !refs[cp.Quantifiers[0]] {
+		t.Error("copied predicate does not reference copied quantifier")
+	}
+	// Mutating the copy's predicates must not touch the original.
+	if len(q.Preds) != 2 {
+		t.Error("original predicates changed")
+	}
+}
+
+func TestCopyBoxDeepCopiesSubqueries(t *testing.T) {
+	g := NewGraph()
+	base := g.NewBox(KindBaseTable, "T")
+	base.Table = &catalog.Table{Name: "t", Columns: []catalog.Column{{Name: "a", Type: datum.TInt}}}
+	base.Output = []OutputCol{{Name: "a", Type: datum.TInt}}
+
+	top := g.NewBox(KindSelect, "TOP")
+	tq := g.AddQuantifier(top, ForEach, "t", base)
+
+	sub := g.NewBox(KindSelect, "SUB")
+	sq := g.AddQuantifier(sub, ForEach, "u", base)
+	sub.Preds = []Expr{&Cmp{Op: datum.EQ, L: sq.Col(0), R: tq.Col(0)}} // correlated
+	sub.Output = []OutputCol{{Name: "a", Expr: sq.Col(0), Type: datum.TInt}}
+
+	g.AddQuantifier(top, Exists, "ex", sub)
+	top.Output = []OutputCol{{Name: "a", Expr: tq.Col(0), Type: datum.TInt}}
+	g.Top = top
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, _ := g.CopyBox(top)
+	g.Top = cp
+	g.GC()
+	if err := g.Check(); err != nil {
+		t.Fatalf("after copy+GC: %v", err)
+	}
+	// The subquery box must be a fresh copy whose correlated ref targets the
+	// copy's own quantifier.
+	var exQ *Quantifier
+	for _, q := range cp.Quantifiers {
+		if q.Type == Exists {
+			exQ = q
+		}
+	}
+	if exQ == nil {
+		t.Fatal("no Exists quantifier on copy")
+	}
+	if exQ.Ranges == sub {
+		t.Fatal("subquery box was shared, must be copied")
+	}
+	refs := RefsQuantifiers(exQ.Ranges.Preds[0])
+	if refs[tq] {
+		t.Error("copied subquery still correlated to original outer quantifier")
+	}
+	if !refs[cp.Quantifiers[0]] {
+		t.Error("copied subquery not correlated to copied outer quantifier")
+	}
+}
+
+func TestGC(t *testing.T) {
+	g, q := buildEmpDept()
+	orphan := g.NewBox(KindSelect, "ORPHAN")
+	orphan.Output = []OutputCol{{Name: "x", Expr: &Const{Val: datum.Int(1)}, Type: datum.TInt}}
+	if len(g.Boxes) != 4 {
+		t.Fatalf("expected 4 boxes, got %d", len(g.Boxes))
+	}
+	g.GC()
+	if len(g.Boxes) != 3 {
+		t.Errorf("GC kept %d boxes; want 3", len(g.Boxes))
+	}
+	for _, b := range g.Boxes {
+		if b == orphan {
+			t.Error("orphan survived GC")
+		}
+	}
+	_ = q
+}
+
+func TestGCKeepsMagicBoxLinks(t *testing.T) {
+	g, q := buildEmpDept()
+	magic := g.NewBox(KindSelect, "m_QUERY")
+	magic.Role = RoleMagic
+	magic.Output = []OutputCol{{Name: "x", Expr: &Const{Val: datum.Int(1)}, Type: datum.TInt}}
+	q.MagicBox = magic
+	g.GC()
+	found := false
+	for _, b := range g.Boxes {
+		if b == magic {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("linked magic box collected")
+	}
+}
+
+func TestUseCount(t *testing.T) {
+	g, q := buildEmpDept()
+	dept := q.Quantifiers[1].Ranges
+	if got := g.UseCount(dept); got != 1 {
+		t.Errorf("UseCount(dept) = %d; want 1", got)
+	}
+	if got := g.UseCount(q); got != 1 { // top counts as a use
+		t.Errorf("UseCount(top) = %d; want 1", got)
+	}
+	g.AddQuantifier(q, ForEach, "d2", dept)
+	if got := g.UseCount(dept); got != 2 {
+		t.Errorf("UseCount(dept) after 2nd quantifier = %d; want 2", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, _ := buildEmpDept()
+	s := g.Stats()
+	if s.Boxes != 3 || s.SelectBoxes != 1 || s.Joins != 1 || s.Quantifiers != 2 {
+		t.Errorf("stats = %s", s)
+	}
+}
+
+func TestDumpMentionsEverything(t *testing.T) {
+	g, _ := buildEmpDept()
+	d := g.Dump()
+	for _, want := range []string{"QUERY", "EMPLOYEE", "DEPARTMENT", "Planning", "quant e:F", "quant d:F"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDumpMarksSharedBoxes(t *testing.T) {
+	g, q := buildEmpDept()
+	g.AddQuantifier(q, ForEach, "d2", q.Quantifiers[1].Ranges)
+	if !strings.Contains(g.Dump(), "(shared)") {
+		t.Error("shared box not marked in dump")
+	}
+}
+
+func TestConjunctsAndAll(t *testing.T) {
+	a := &Const{Val: datum.Bool(true)}
+	b := &Const{Val: datum.Bool(false)}
+	c := &Const{Val: datum.Bool(true)}
+	e := &Logic{Op: And, Args: []Expr{a, &Logic{Op: And, Args: []Expr{b, c}}}}
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	if AndAll(cs[:1]) != cs[0] {
+		t.Error("AndAll of one should be identity")
+	}
+	if _, ok := AndAll(cs).(*Logic); !ok {
+		t.Error("AndAll of many should be Logic")
+	}
+	// OR does not flatten.
+	or := &Logic{Op: Or, Args: []Expr{a, b}}
+	if len(Conjuncts(or)) != 1 {
+		t.Error("OR flattened as conjuncts")
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	e1 := q.Preds[0]
+	e2 := CopyExpr(e1, nil)
+	if !EqualExpr(e1, e2) {
+		t.Error("copy not equal to original")
+	}
+	if EqualExpr(q.Preds[0], q.Preds[1]) {
+		t.Error("different predicates compare equal")
+	}
+	if !EqualExpr(&Const{Val: datum.Int(3)}, &Const{Val: datum.Int(3)}) {
+		t.Error("equal constants differ")
+	}
+	if EqualExpr(&Const{Val: datum.Int(3)}, &Const{Val: datum.Float(3)}) {
+		t.Error("INT 3 and FLOAT 3.0 constants should differ structurally")
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	e := q.Quantifiers[0]
+	if TypeOf(e.Col(0)) != datum.TInt {
+		t.Error("colref type")
+	}
+	if TypeOf(&Cmp{Op: datum.EQ, L: e.Col(0), R: &Const{Val: datum.Int(1)}}) != datum.TBool {
+		t.Error("cmp type")
+	}
+	if TypeOf(&Arith{Op: datum.Add, L: e.Col(0), R: &Const{Val: datum.Float(1)}}) != datum.TFloat {
+		t.Error("mixed arith type")
+	}
+	if TypeOf(&Arith{Op: datum.Add, L: e.Col(0), R: &Const{Val: datum.Int(1)}}) != datum.TInt {
+		t.Error("int arith type")
+	}
+	if TypeOf(&Concat{L: &Const{Val: datum.String("a")}, R: &Const{Val: datum.String("b")}}) != datum.TString {
+		t.Error("concat type")
+	}
+}
+
+func TestOnlyRefs(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	e, d := q.Quantifiers[0], q.Quantifiers[1]
+	join := q.Preds[0]
+	if !OnlyRefs(join, map[*Quantifier]bool{e: true, d: true}) {
+		t.Error("join refs within {e,d}")
+	}
+	if OnlyRefs(join, map[*Quantifier]bool{e: true}) {
+		t.Error("join should not be within {e}")
+	}
+	local := q.Preds[1]
+	if !OnlyRefs(local, map[*Quantifier]bool{d: true}) {
+		t.Error("local pred should be within {d}")
+	}
+}
+
+func TestOrderedQuantifiers(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	ordered := q.OrderedQuantifiers()
+	if ordered[0].Name != "e" {
+		t.Error("default order should be declaration order")
+	}
+	q.JoinOrder = []int{1, 0}
+	ordered = q.OrderedQuantifiers()
+	if ordered[0].Name != "d" || ordered[1].Name != "e" {
+		t.Error("JoinOrder not respected")
+	}
+}
+
+func TestRemoveQuantifier(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	d := q.Quantifiers[1]
+	RemoveQuantifier(d)
+	if len(q.Quantifiers) != 1 || q.Quantifiers[0].Name != "e" {
+		t.Errorf("quantifiers after removal: %v", q.Quantifiers)
+	}
+}
+
+func TestOutputIndex(t *testing.T) {
+	g, q := buildEmpDept()
+	_ = g
+	if q.OutputIndex("EMPNO") != 0 {
+		t.Error("case-insensitive output lookup failed")
+	}
+	if q.OutputIndex("none") != -1 {
+		t.Error("missing output should be -1")
+	}
+}

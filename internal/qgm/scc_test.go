@@ -1,0 +1,158 @@
+package qgm
+
+import (
+	"strings"
+	"testing"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+)
+
+// buildRecursiveTC constructs the QGM of a recursive transitive closure by
+// hand: root (fixpoint, select) -> union -> {base branch, recursive branch
+// referencing root}.
+func buildRecursiveTC() (*Graph, *Box) {
+	g := NewGraph()
+	edge := g.NewBox(KindBaseTable, "EDGE")
+	edge.Table = &catalog.Table{Name: "edge", Columns: []catalog.Column{
+		{Name: "src", Type: datum.TInt}, {Name: "dst", Type: datum.TInt}}}
+	edge.Output = []OutputCol{{Name: "src", Type: datum.TInt}, {Name: "dst", Type: datum.TInt}}
+
+	root := g.NewBox(KindSelect, "TC")
+	root.Recursive = true
+	root.Distinct = DistinctEnforce
+	root.Output = []OutputCol{{Name: "src", Type: datum.TInt}, {Name: "dst", Type: datum.TInt}}
+
+	baseBr := g.NewBox(KindSelect, "BASE")
+	bq := g.AddQuantifier(baseBr, ForEach, "e", edge)
+	baseBr.Output = []OutputCol{
+		{Name: "src", Expr: bq.Col(0), Type: datum.TInt},
+		{Name: "dst", Expr: bq.Col(1), Type: datum.TInt},
+	}
+
+	recBr := g.NewBox(KindSelect, "STEP")
+	tq := g.AddQuantifier(recBr, ForEach, "t", root)
+	eq := g.AddQuantifier(recBr, ForEach, "e", edge)
+	recBr.Preds = []Expr{&Cmp{Op: datum.EQ, L: tq.Col(1), R: eq.Col(0)}}
+	recBr.Output = []OutputCol{
+		{Name: "src", Expr: tq.Col(0), Type: datum.TInt},
+		{Name: "dst", Expr: eq.Col(1), Type: datum.TInt},
+	}
+
+	u := g.NewBox(KindUnion, "U")
+	g.AddQuantifier(u, ForEach, "b", baseBr)
+	g.AddQuantifier(u, ForEach, "r", recBr)
+	u.Distinct = DistinctEnforce
+	u.Output = []OutputCol{{Name: "src", Type: datum.TInt}, {Name: "dst", Type: datum.TInt}}
+
+	rq := g.AddQuantifier(root, ForEach, "u", u)
+	root.Output[0].Expr = rq.Col(0)
+	root.Output[1].Expr = rq.Col(1)
+
+	top := g.NewBox(KindSelect, "Q")
+	cq := g.AddQuantifier(top, ForEach, "t", root)
+	top.Preds = []Expr{&Cmp{Op: datum.EQ, L: cq.Col(0), R: &Const{Val: datum.Int(1)}}}
+	top.Output = []OutputCol{{Name: "dst", Expr: cq.Col(1), Type: datum.TInt}}
+	g.Top = top
+	return g, root
+}
+
+func TestSCCBoxes(t *testing.T) {
+	g, root := buildRecursiveTC()
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	members := SCCBoxes(root)
+	names := map[string]bool{}
+	for _, m := range members {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"TC", "U", "STEP"} {
+		if !names[want] {
+			t.Errorf("SCC missing %s: %v", want, names)
+		}
+	}
+	if names["BASE"] || names["EDGE"] {
+		t.Errorf("SCC includes non-members: %v", names)
+	}
+	if !InCycle(root) {
+		t.Error("root not in cycle")
+	}
+	if InCycle(g.Top) {
+		t.Error("top wrongly in cycle")
+	}
+}
+
+func TestCopySCC(t *testing.T) {
+	g, root := buildRecursiveTC()
+	cp, _ := g.CopySCC(root)
+	if cp == root {
+		t.Fatal("no copy")
+	}
+	if !cp.Recursive {
+		t.Error("copy lost Recursive flag")
+	}
+	// The copy must form its own cycle, disjoint from the original's.
+	if !InCycle(cp) {
+		t.Fatal("copy is not cyclic")
+	}
+	copyMembers := SCCBoxes(cp)
+	origMembers := map[*Box]bool{}
+	for _, m := range SCCBoxes(root) {
+		origMembers[m] = true
+	}
+	for _, m := range copyMembers {
+		if origMembers[m] {
+			t.Errorf("copy shares cycle member %s with original", m.Name)
+		}
+	}
+	// Base tables stay shared; the base branch (non-member select) too.
+	var step *Box
+	for _, m := range copyMembers {
+		if m.Name == "STEP" {
+			step = m
+		}
+	}
+	if step == nil {
+		t.Fatal("copied STEP missing")
+	}
+	if step.Quantifiers[1].Ranges.Name != "EDGE" {
+		t.Error("edge not shared")
+	}
+	// Re-point the consumer and validate the whole graph.
+	g.Top.Quantifiers[0].Ranges = cp
+	g.GC()
+	if err := g.Check(); err != nil {
+		t.Fatalf("after CopySCC rewire: %v\n%s", err, g.Dump())
+	}
+}
+
+func TestReachableAndStatsString(t *testing.T) {
+	g, _ := buildRecursiveTC()
+	boxes := g.Reachable()
+	if len(boxes) < 5 {
+		t.Errorf("reachable = %d boxes", len(boxes))
+	}
+	if s := g.Stats().String(); !strings.Contains(s, "boxes=") {
+		t.Errorf("stats string: %s", s)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if KindBaseTable.String() != "base" || KindExtensionStart.String() == "" {
+		t.Error("BoxKind strings")
+	}
+	for _, r := range []MagicRole{RoleNone, RoleMagic, RoleCondMagic, RoleSuppMagic} {
+		_ = r.String()
+	}
+	for _, m := range []DistinctMode{DistinctPreserve, DistinctEnforce, DistinctPermit} {
+		if m.String() == "?" {
+			t.Error("distinct mode string")
+		}
+	}
+	for _, q := range []QType{ForEach, Exists, ForAll, Scalar} {
+		if q.String() == "?" {
+			t.Error("qtype string")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package qgm
+
+// VisitBoxExprs calls fn for every expression stored directly in box.
+func VisitBoxExprs(box *Box, fn func(Expr)) {
+	for _, e := range box.Preds {
+		fn(e)
+	}
+	for _, oc := range box.Output {
+		if oc.Expr != nil {
+			fn(oc.Expr)
+		}
+	}
+	for _, e := range box.GroupBy {
+		fn(e)
+	}
+	for _, a := range box.Aggs {
+		if a.Arg != nil {
+			fn(a.Arg)
+		}
+	}
+}
+
+// RewriteBoxExprs replaces every expression stored directly in box with
+// fn(expr).
+func RewriteBoxExprs(box *Box, fn func(Expr) Expr) {
+	for i, e := range box.Preds {
+		box.Preds[i] = fn(e)
+	}
+	for i := range box.Output {
+		if box.Output[i].Expr != nil {
+			box.Output[i].Expr = fn(box.Output[i].Expr)
+		}
+	}
+	for i, e := range box.GroupBy {
+		box.GroupBy[i] = fn(e)
+	}
+	for i := range box.Aggs {
+		if box.Aggs[i].Arg != nil {
+			box.Aggs[i].Arg = fn(box.Aggs[i].Arg)
+		}
+	}
+}
+
+// InCycle reports whether box b can reach itself through quantifiers or
+// magic links — i.e. it belongs to a recursive component.
+func InCycle(b *Box) bool {
+	seen := map[*Box]bool{}
+	var walk func(box *Box) bool
+	walk = func(box *Box) bool {
+		if box == b {
+			return true
+		}
+		if box == nil || seen[box] {
+			return false
+		}
+		seen[box] = true
+		for _, q := range box.Quantifiers {
+			if walk(q.Ranges) {
+				return true
+			}
+		}
+		return walk(box.MagicBox)
+	}
+	for _, q := range b.Quantifiers {
+		if walk(q.Ranges) {
+			return true
+		}
+	}
+	return walk(b.MagicBox)
+}
+
+// RewriteTree applies fn to every expression in b and every box reachable
+// from b (subquery boxes may hold correlated references to b's quantifiers;
+// shared blobs are visited harmlessly since they cannot reference them).
+func RewriteTree(b *Box, fn func(Expr) Expr) {
+	seen := map[*Box]bool{}
+	var walk func(box *Box)
+	walk = func(box *Box) {
+		if box == nil || seen[box] {
+			return
+		}
+		seen[box] = true
+		RewriteBoxExprs(box, fn)
+		for _, q := range box.Quantifiers {
+			walk(q.Ranges)
+		}
+		walk(box.MagicBox)
+	}
+	walk(b)
+}

@@ -1,0 +1,28 @@
+package rewrite
+
+import (
+	"starmagic/internal/qgm"
+)
+
+// DistinctPullupRule downgrades an enforced DISTINCT to "permitted" when
+// the box provably cannot emit duplicates. The paper uses this twice in
+// Example 4.1 phase 2 ("a distinct pullup rule is used twice in this phase
+// to infer that there is no need to eliminate duplicates from the magic
+// tables"), which is what later allows phase 3 to merge the magic boxes
+// SD3/SD4 away.
+type DistinctPullupRule struct{}
+
+// Name implements Rule.
+func (DistinctPullupRule) Name() string { return "distinct-pullup" }
+
+// Apply implements Rule.
+func (DistinctPullupRule) Apply(_ *Context, b *qgm.Box) (bool, error) {
+	if b.Distinct != qgm.DistinctEnforce {
+		return false, nil
+	}
+	if !DuplicateFree(b) {
+		return false, nil
+	}
+	b.Distinct = qgm.DistinctPermit
+	return true, nil
+}

@@ -1,0 +1,105 @@
+// Package rewrite implements Starburst's rule-based query-rewrite
+// optimization (§3.1, [PHH92]): a forward-chaining engine that walks the
+// query graph depth-first and applies rewrite rules at each box until a
+// fixpoint, plus the traditional rules the paper integrates EMST with —
+// view merging, predicate pushdown, projection pruning, duplicate-
+// elimination (distinct) pull-up, and redundant-join elimination.
+//
+// The EMST rule itself lives in internal/core; it plugs into this engine
+// like any other rule and reuses this package's predicate-pushdown
+// machinery, exactly as the paper prescribes (§4: "The EMST rule uses other
+// rewrite rules while transforming a box").
+package rewrite
+
+import (
+	"fmt"
+
+	"starmagic/internal/qgm"
+)
+
+// Context carries per-run state to rules.
+type Context struct {
+	G *qgm.Graph
+	// Trace, when non-nil, receives one line per rule application.
+	Trace func(rule string, box *qgm.Box)
+	// Validate runs Graph.Check after every change (tests set it).
+	Validate bool
+	// Traversal, when non-nil, reorders the boxes visited in each pass.
+	// The default is the depth-first cursor of [PHH92]; §5 of the paper
+	// states EMST reaches the same final transformation under any
+	// traversal order, which tests verify through this hook.
+	Traversal func([]*qgm.Box) []*qgm.Box
+}
+
+// Rule is one rewrite rule. Apply attempts the rule at box b and reports
+// whether the graph changed.
+type Rule interface {
+	Name() string
+	Apply(ctx *Context, b *qgm.Box) (bool, error)
+}
+
+// Engine applies a rule set to fixpoint.
+type Engine struct {
+	rules []Rule
+	// MaxPasses bounds fixpoint iteration (default 32).
+	MaxPasses int
+}
+
+// NewEngine returns an engine over the rules, applied in order at each box.
+func NewEngine(rules ...Rule) *Engine {
+	return &Engine{rules: rules, MaxPasses: 32}
+}
+
+// Run walks the graph depth-first, forward-chaining the rules until no rule
+// fires for a full pass.
+func (e *Engine) Run(ctx *Context) error {
+	for pass := 0; ; pass++ {
+		if pass >= e.MaxPasses {
+			return fmt.Errorf("rewrite: no fixpoint after %d passes", e.MaxPasses)
+		}
+		changed := false
+		// Depth-first cursor over the current graph; rules may restructure
+		// it, so collect the box list up front each pass.
+		boxes := ctx.G.Reachable()
+		if ctx.Traversal != nil {
+			boxes = ctx.Traversal(boxes)
+		}
+		for _, b := range boxes {
+			if !boxAlive(ctx.G, b) {
+				continue
+			}
+			for _, r := range e.rules {
+				fired, err := r.Apply(ctx, b)
+				if err != nil {
+					return fmt.Errorf("rewrite: rule %s: %w", r.Name(), err)
+				}
+				if fired {
+					changed = true
+					if ctx.Trace != nil {
+						ctx.Trace(r.Name(), b)
+					}
+					if ctx.Validate {
+						if err := ctx.G.Check(); err != nil {
+							return fmt.Errorf("rewrite: rule %s broke the graph: %w", r.Name(), err)
+						}
+					}
+				}
+			}
+		}
+		ctx.G.GC()
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// boxAlive reports whether b is still reachable (rules may have detached it
+// mid-pass).
+func boxAlive(g *qgm.Graph, b *qgm.Box) bool {
+	for _, rb := range g.Reachable() {
+		if rb == b {
+			return true
+		}
+	}
+	return false
+}

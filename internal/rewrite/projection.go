@@ -1,0 +1,131 @@
+package rewrite
+
+import (
+	"starmagic/internal/qgm"
+)
+
+// ProjectionPruneRule removes output columns of single-use select and
+// group-by boxes that no consumer references ("pushing ... projections down
+// into lower boxes", §3.1). Narrower intermediate results make the magic
+// boxes EMST builds as cheap as the paper assumes.
+type ProjectionPruneRule struct{}
+
+// Name implements Rule.
+func (ProjectionPruneRule) Name() string { return "projection-prune" }
+
+// Apply implements Rule.
+func (ProjectionPruneRule) Apply(ctx *Context, b *qgm.Box) (bool, error) {
+	if b == ctx.G.Top {
+		return false, nil // the query's output columns are fixed
+	}
+	if b.Kind != qgm.KindSelect && b.Kind != qgm.KindGroupBy {
+		return false, nil
+	}
+	if b.Recursive {
+		return false, nil // the fixpoint root's shape is fixed
+	}
+	// Boxes woven into magic bookkeeping keep their shape: MagicCols index
+	// into their outputs.
+	if len(b.MagicCols) > 0 || b.MagicBox != nil {
+		return false, nil
+	}
+	g := ctx.G
+	if g.UseCount(b) != 1 {
+		return false, nil
+	}
+	var user *qgm.Quantifier
+	for _, box := range g.Reachable() {
+		for _, q := range box.Quantifiers {
+			if q.Ranges == b {
+				user = q
+			}
+		}
+		if box.MagicBox == b {
+			return false, nil // magic link is a structural use
+		}
+	}
+	if user == nil {
+		return false, nil
+	}
+	// Set-operation inputs are positional: pruning a branch would break the
+	// operation's column alignment.
+	switch user.Parent.Kind {
+	case qgm.KindUnion, qgm.KindIntersect, qgm.KindExcept:
+		return false, nil
+	}
+
+	used := make([]bool, len(b.Output))
+	for _, box := range g.Reachable() {
+		qgm.VisitBoxExprs(box, func(e qgm.Expr) {
+			qgm.VisitRefs(e, func(c *qgm.ColRef) {
+				if c.Q == user && c.Ord < len(used) {
+					used[c.Ord] = true
+				}
+			})
+		})
+	}
+
+	// Group-by boxes must keep their grouping columns (they define the
+	// grouping semantics); only aggregate outputs are prunable.
+	if b.Kind == qgm.KindGroupBy {
+		for i := range b.GroupBy {
+			used[i] = true
+		}
+	}
+	if len(used) == 0 {
+		return false, nil
+	}
+	// Keep at least one column.
+	any := false
+	for _, u := range used {
+		any = any || u
+	}
+	if !any {
+		used[0] = true
+	}
+
+	prunable := false
+	for _, u := range used {
+		if !u {
+			prunable = true
+		}
+	}
+	if !prunable {
+		return false, nil
+	}
+
+	// Build the renumbering.
+	newOrd := make([]int, len(b.Output))
+	var kept []qgm.OutputCol
+	for i, u := range used {
+		if u {
+			newOrd[i] = len(kept)
+			kept = append(kept, b.Output[i])
+		} else {
+			newOrd[i] = -1
+		}
+	}
+	if b.Kind == qgm.KindGroupBy {
+		var aggs []qgm.AggSpec
+		for i, a := range b.Aggs {
+			if used[len(b.GroupBy)+i] {
+				aggs = append(aggs, a)
+			}
+		}
+		b.Aggs = aggs
+	}
+	b.Output = kept
+
+	// Renumber consumer references.
+	for _, box := range g.Reachable() {
+		qgm.RewriteBoxExprs(box, func(e qgm.Expr) qgm.Expr {
+			return qgm.RewriteRefs(e, func(c *qgm.ColRef) qgm.Expr {
+				if c.Q == user {
+					return &qgm.ColRef{Q: user, Ord: newOrd[c.Ord]}
+				}
+				return nil
+			})
+		})
+	}
+	return true, nil
+}

@@ -1,0 +1,120 @@
+package rewrite
+
+import (
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+)
+
+// RedundantJoinRule eliminates a self-join that is provably a no-op: two
+// ForEach quantifiers over the same box equated on a unique set of that
+// box. One quantifier is removed and its references redirected to the
+// other. The paper lists redundant join elimination among the phase-1 rules
+// (§3.3); after EMST it also collapses duplicate magic quantifiers.
+type RedundantJoinRule struct{}
+
+// Name implements Rule.
+func (RedundantJoinRule) Name() string { return "redundant-join" }
+
+// Apply implements Rule.
+func (RedundantJoinRule) Apply(ctx *Context, b *qgm.Box) (bool, error) {
+	if b.Kind != qgm.KindSelect {
+		return false, nil
+	}
+	for i, q1 := range b.Quantifiers {
+		if q1.Type != qgm.ForEach {
+			continue
+		}
+		for _, q2 := range b.Quantifiers[i+1:] {
+			if q2.Type != qgm.ForEach || q1.Ranges != q2.Ranges {
+				continue
+			}
+			if !equatedOnUniqueSet(b, q1, q2) {
+				continue
+			}
+			eliminate(ctx.G, b, q1, q2)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// equatedOnUniqueSet reports whether the box's predicates contain
+// q1.c = q2.c for every column c of some unique set of the shared child,
+// AND the join columns are non-nullable in effect... Conservatively, the
+// rows must also be guaranteed equal on ALL columns for the two
+// quantifiers to be interchangeable; a unique set equality implies the
+// full rows match (same box, same key → same row), except that SQL
+// equality never matches NULL keys. Dropping NULL-keyed rows is exactly
+// what the self-join does too (a NULL key row joins nothing), so removing
+// the join must keep an IS NOT NULL guard on the key columns.
+func equatedOnUniqueSet(b *qgm.Box, q1, q2 *qgm.Quantifier) bool {
+	equated := map[int]bool{}
+	for _, p := range b.Preds {
+		cmp, ok := p.(*qgm.Cmp)
+		if !ok || cmp.Op != datum.EQ {
+			continue
+		}
+		l, lok := cmp.L.(*qgm.ColRef)
+		r, rok := cmp.R.(*qgm.ColRef)
+		if !lok || !rok {
+			continue
+		}
+		if l.Ord != r.Ord {
+			continue
+		}
+		if (l.Q == q1 && r.Q == q2) || (l.Q == q2 && r.Q == q1) {
+			equated[l.Ord] = true
+		}
+	}
+	if len(equated) == 0 {
+		return false
+	}
+	for _, set := range UniqueSets(q1.Ranges) {
+		all := true
+		for _, ord := range set {
+			if !equated[ord] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// eliminate removes q2, redirecting its references to q1 and replacing the
+// key-equality predicates with IS NOT NULL guards (a NULL key never joins,
+// so the self-join had filtered those rows out).
+func eliminate(g *qgm.Graph, b *qgm.Box, q1, q2 *qgm.Quantifier) {
+	var kept []qgm.Expr
+	for _, p := range b.Preds {
+		if cmp, ok := p.(*qgm.Cmp); ok && cmp.Op == datum.EQ {
+			l, lok := cmp.L.(*qgm.ColRef)
+			r, rok := cmp.R.(*qgm.ColRef)
+			if lok && rok && l.Ord == r.Ord &&
+				((l.Q == q1 && r.Q == q2) || (l.Q == q2 && r.Q == q1)) {
+				kept = append(kept, &qgm.IsNull{
+					X:      &qgm.ColRef{Q: q1, Ord: l.Ord},
+					Negate: true,
+				})
+				continue
+			}
+		}
+		kept = append(kept, p)
+	}
+	b.Preds = kept
+
+	replace := func(e qgm.Expr) qgm.Expr {
+		return qgm.RewriteRefs(e, func(c *qgm.ColRef) qgm.Expr {
+			if c.Q == q2 {
+				return &qgm.ColRef{Q: q1, Ord: c.Ord}
+			}
+			return nil
+		})
+	}
+	qgm.RewriteTree(b, replace)
+	qgm.RemoveQuantifier(q2)
+	b.JoinOrder = nil
+}

@@ -1,0 +1,163 @@
+package rewrite
+
+import (
+	"starmagic/internal/qgm"
+)
+
+// UniqueSets returns sets of output ordinals of b that are provably unique
+// (no two output rows agree on all columns of a set). It is the key-
+// inference engine behind the distinct pull-up rule: the paper (Example
+// 4.1, phase 2) relies on inferring that "duplicate magic tuples will not
+// be generated" to drop DISTINCT from magic tables, which in turn enables
+// phase 3's merges.
+//
+// The analysis is conservative:
+//   - a base table contributes its declared unique keys;
+//   - a duplicate-eliminating box is unique on all outputs;
+//   - a group-by box is unique on its grouping columns;
+//   - a select box is unique on the union of projected child keys when a
+//     key of EVERY ForEach child is projected as plain column references
+//     (the combination identifies the join row);
+//   - intersect/except inherit the left input's sets (their outputs are a
+//     subset of left rows... for ALL variants only when the left is
+//     duplicate-free on the set, which the inherited set guarantees).
+func UniqueSets(b *qgm.Box) [][]int {
+	return uniqueSetsRec(b, map[*qgm.Box]bool{})
+}
+
+func uniqueSetsRec(b *qgm.Box, visiting map[*qgm.Box]bool) [][]int {
+	if visiting[b] {
+		return nil
+	}
+	visiting[b] = true
+	defer delete(visiting, b)
+
+	var sets [][]int
+	allOrds := func() []int {
+		s := make([]int, len(b.Output))
+		for i := range s {
+			s[i] = i
+		}
+		return s
+	}
+	if b.Distinct == qgm.DistinctEnforce {
+		sets = append(sets, allOrds())
+	}
+
+	switch b.Kind {
+	case qgm.KindBaseTable:
+		if b.Table != nil {
+			for _, key := range b.Table.Keys {
+				if len(key) > 0 {
+					sets = append(sets, append([]int(nil), key...))
+				}
+			}
+		}
+	case qgm.KindGroupBy:
+		if len(b.GroupBy) > 0 {
+			s := make([]int, len(b.GroupBy))
+			for i := range s {
+				s[i] = i
+			}
+			sets = append(sets, s)
+		} else if len(b.Output) > 0 {
+			// Scalar aggregation yields exactly one row.
+			sets = append(sets, allOrds())
+		}
+	case qgm.KindSelect:
+		if s := selectUniqueSet(b, visiting); s != nil {
+			sets = append(sets, s)
+		}
+	case qgm.KindIntersect, qgm.KindExcept:
+		left := b.Quantifiers[0].Ranges
+		sets = append(sets, uniqueSetsRec(left, visiting)...)
+	}
+	return sets
+}
+
+// selectUniqueSet builds a unique set for a select box: for every ForEach
+// quantifier a child unique set must be fully projected as plain column
+// references. Exists/ForAll quantifiers only filter and Scalar quantifiers
+// are functional, so neither breaks uniqueness.
+func selectUniqueSet(b *qgm.Box, visiting map[*qgm.Box]bool) []int {
+	// Map (quantifier, child ord) -> output ord for plain projections.
+	proj := map[*qgm.Quantifier]map[int]int{}
+	for outOrd, oc := range b.Output {
+		if cr, ok := oc.Expr.(*qgm.ColRef); ok {
+			m := proj[cr.Q]
+			if m == nil {
+				m = map[int]int{}
+				proj[cr.Q] = m
+			}
+			if _, dup := m[cr.Ord]; !dup {
+				m[cr.Ord] = outOrd
+			}
+		}
+	}
+	var result []int
+	for _, q := range b.Quantifiers {
+		if q.Type != qgm.ForEach {
+			continue
+		}
+		m := proj[q]
+		childSets := uniqueSetsRec(q.Ranges, visiting)
+		found := false
+		for _, cs := range childSets {
+			mapped := make([]int, 0, len(cs))
+			ok := true
+			for _, childOrd := range cs {
+				outOrd, have := m[childOrd]
+				if !have {
+					ok = false
+					break
+				}
+				mapped = append(mapped, outOrd)
+			}
+			if ok {
+				result = append(result, mapped...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	if len(b.Output) == 0 {
+		return nil
+	}
+	if result == nil {
+		// No ForEach quantifiers: at most one row (constants), unique on
+		// every column.
+		result = []int{}
+		for i := range b.Output {
+			result = append(result, i)
+		}
+	}
+	return dedupInts(result)
+}
+
+func dedupInts(in []int) []int {
+	seen := map[int]bool{}
+	out := in[:0:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DuplicateFree reports whether b provably never emits duplicate rows,
+// ignoring its own Distinct enforcement (so the distinct pull-up rule can
+// ask "would this box be duplicate-free anyway?").
+func DuplicateFree(b *qgm.Box) bool {
+	saved := b.Distinct
+	if saved == qgm.DistinctEnforce {
+		b.Distinct = qgm.DistinctPreserve
+	}
+	sets := UniqueSets(b)
+	b.Distinct = saved
+	return len(sets) > 0
+}

@@ -1,0 +1,617 @@
+// Package semant translates parsed SQL (internal/sql) into the Query Graph
+// Model (internal/qgm): it resolves names, expands views into shared blobs,
+// decomposes GROUP BY blocks into the paper's group-by triplets (§2),
+// converts subqueries into E/A/S quantifiers with correlation edges, and
+// assigns stratum numbers to view blobs.
+package semant
+
+import (
+	"fmt"
+	"strings"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+	"starmagic/internal/sql"
+)
+
+// Builder translates queries against a catalog.
+type Builder struct {
+	cat *catalog.Catalog
+}
+
+// NewBuilder returns a Builder over the catalog.
+func NewBuilder(cat *catalog.Catalog) *Builder {
+	return &Builder{cat: cat}
+}
+
+// Build translates a query expression into a fresh QGM graph.
+func (b *Builder) Build(q sql.QueryExpr) (*qgm.Graph, error) {
+	bc := &buildCtx{
+		cat:          b.cat,
+		g:            qgm.NewGraph(),
+		views:        map[string]*qgm.Box{},
+		bases:        map[string]*qgm.Box{},
+		expanding:    map[string]bool{},
+		placeholders: map[string]*qgm.Box{},
+	}
+	top, err := bc.buildQuery(q, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	bc.g.Top = top
+	bc.g.GC()
+	if err := bc.g.Check(); err != nil {
+		return nil, fmt.Errorf("semant: internal error: %w", err)
+	}
+	return bc.g, nil
+}
+
+// buildCtx carries per-build state.
+type buildCtx struct {
+	cat *catalog.Catalog
+	g   *qgm.Graph
+
+	// views caches the root box of each expanded view: multiple uses share
+	// one blob (common subexpression, §2).
+	views map[string]*qgm.Box
+	// bases caches base-table boxes.
+	bases map[string]*qgm.Box
+	// expanding detects recursive view definitions.
+	expanding map[string]bool
+	// placeholders holds the fixpoint root created for a view that turned
+	// out to reference itself during expansion.
+	placeholders map[string]*qgm.Box
+
+	nameSeq int
+}
+
+func (bc *buildCtx) genName(prefix string) string {
+	bc.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, bc.nameSeq)
+}
+
+// scope is a name-resolution scope: the F quantifiers of one box under
+// construction, linked to enclosing scopes for correlation.
+type scope struct {
+	outer  *scope
+	quants []*qgm.Quantifier
+	// grouped, when non-nil, redirects resolution through a group-by box
+	// (select list and HAVING of a grouped block).
+	grouped *groupedCtx
+}
+
+// groupedCtx maps expressions over the input (T1) scope onto the outputs of
+// a group-by box.
+type groupedCtx struct {
+	inScope *scope          // scope over T1's quantifiers
+	gbQuant *qgm.Quantifier // quantifier over the group-by box
+	groups  []qgm.Expr      // translated grouping expressions (over T1)
+	t1      *qgm.Box        // the T1 select box (receives agg-arg outputs)
+	gb      *qgm.Box        // the group-by box (receives agg specs)
+}
+
+// resolveColumn finds the quantifier and output ordinal for a column
+// reference, searching the current scope then outer scopes.
+func (s *scope) resolveColumn(qual, name string) (*qgm.Quantifier, int, error) {
+	for sc := s; sc != nil; sc = sc.outer {
+		if sc.grouped != nil {
+			// Grouped scopes resolve differently; handled by the caller.
+			// Fall through to inScope for correlation from subqueries is
+			// not supported through grouping.
+			continue
+		}
+		var found *qgm.Quantifier
+		ord := -1
+		for _, q := range sc.quants {
+			if qual != "" && !strings.EqualFold(q.Name, qual) {
+				continue
+			}
+			if i := q.Ranges.OutputIndex(name); i >= 0 {
+				if found != nil {
+					return nil, 0, fmt.Errorf("ambiguous column %q", displayCol(qual, name))
+				}
+				found, ord = q, i
+			} else if qual != "" && strings.EqualFold(q.Name, qual) {
+				return nil, 0, fmt.Errorf("column %q not found in %q", name, qual)
+			}
+		}
+		if found != nil {
+			return found, ord, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("column %q not found", displayCol(qual, name))
+}
+
+func displayCol(qual, name string) string {
+	if qual != "" {
+		return qual + "." + name
+	}
+	return name
+}
+
+// buildQuery builds a query expression and returns its root box. When top
+// is true, ORDER BY/LIMIT are attached to the graph; otherwise they are
+// rejected (subqueries and views cannot order).
+func (bc *buildCtx) buildQuery(q sql.QueryExpr, outer *scope, top bool) (*qgm.Box, error) {
+	switch qq := q.(type) {
+	case *sql.Select:
+		return bc.buildSelect(qq, outer, top)
+	case *sql.SetOp:
+		return bc.buildSetOp(qq, outer, top)
+	}
+	return nil, fmt.Errorf("unsupported query expression %T", q)
+}
+
+func (bc *buildCtx) buildSetOp(s *sql.SetOp, outer *scope, top bool) (*qgm.Box, error) {
+	// "a UNION b ORDER BY x LIMIT n": the grammar attaches ORDER BY/LIMIT
+	// to the rightmost SELECT; at the top level they belong to the whole
+	// set operation. Hoist them before building.
+	var hoistOrder []sql.OrderItem
+	hoistLimit := int64(-1)
+	if top {
+		if rsel, ok := s.Right.(*sql.Select); ok && (len(rsel.OrderBy) > 0 || rsel.Limit >= 0) {
+			hoistOrder, rsel.OrderBy = rsel.OrderBy, nil
+			hoistLimit, rsel.Limit = rsel.Limit, -1
+		}
+	}
+	left, err := bc.buildQuery(s.Left, outer, false)
+	if err != nil {
+		return nil, err
+	}
+	right, err := bc.buildQuery(s.Right, outer, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(left.Output) != len(right.Output) {
+		return nil, fmt.Errorf("%s operands have different arity: %d vs %d",
+			s.Op, len(left.Output), len(right.Output))
+	}
+	var kind qgm.BoxKind
+	switch s.Op {
+	case sql.Union:
+		kind = qgm.KindUnion
+	case sql.Intersect:
+		kind = qgm.KindIntersect
+	case sql.Except:
+		kind = qgm.KindExcept
+	}
+	box := bc.g.NewBox(kind, strings.ToUpper(s.Op.String()))
+	bc.g.AddQuantifier(box, qgm.ForEach, bc.genName("q"), left)
+	bc.g.AddQuantifier(box, qgm.ForEach, bc.genName("q"), right)
+	if s.All {
+		box.Distinct = qgm.DistinctPreserve
+	} else {
+		box.Distinct = qgm.DistinctEnforce
+	}
+	for i, oc := range left.Output {
+		t := oc.Type
+		rt := right.Output[i].Type
+		if t != rt {
+			switch {
+			case t == datum.TNull:
+				t = rt
+			case rt == datum.TNull:
+				// keep t
+			case (t == datum.TInt || t == datum.TFloat) && (rt == datum.TInt || rt == datum.TFloat):
+				t = datum.TFloat
+			default:
+				return nil, fmt.Errorf("%s column %d type mismatch: %s vs %s", s.Op, i+1, t, rt)
+			}
+		}
+		box.Output = append(box.Output, qgm.OutputCol{Name: oc.Name, Type: t})
+	}
+	if top {
+		for _, oi := range hoistOrder {
+			ord := -1
+			switch e := oi.Expr.(type) {
+			case *sql.Lit:
+				if e.Value.T == datum.TInt {
+					ord = int(e.Value.I) - 1
+				}
+			case *sql.ColRef:
+				if e.Qualifier == "" {
+					ord = box.OutputIndex(e.Name)
+				}
+			}
+			if ord < 0 || ord >= len(box.Output) {
+				return nil, fmt.Errorf("ORDER BY over a set operation must name an output column or ordinal")
+			}
+			bc.g.OrderBy = append(bc.g.OrderBy, qgm.OrderSpec{Ord: ord, Desc: oi.Desc})
+		}
+		bc.g.Limit = hoistLimit
+	}
+	return box, nil
+}
+
+func (bc *buildCtx) buildSelect(s *sql.Select, outer *scope, top bool) (*qgm.Box, error) {
+	if !top && (len(s.OrderBy) > 0 || s.Limit >= 0) {
+		return nil, fmt.Errorf("ORDER BY/LIMIT are only allowed at the top level")
+	}
+
+	// 1. FROM clause → select box with F quantifiers.
+	sb := bc.g.NewBox(qgm.KindSelect, bc.genName("SEL"))
+	sc := &scope{outer: outer}
+	seenNames := map[string]bool{}
+	for _, ref := range s.From {
+		var child *qgm.Box
+		var err error
+		if ref.Subquery != nil {
+			child, err = bc.buildQuery(ref.Subquery, outer, false)
+		} else {
+			child, err = bc.resolveTable(ref.Table)
+		}
+		if err != nil {
+			return nil, err
+		}
+		name := ref.Name()
+		if name == "" {
+			name = bc.genName("q")
+		}
+		key := strings.ToLower(name)
+		if seenNames[key] {
+			return nil, fmt.Errorf("duplicate table name/alias %q in FROM", name)
+		}
+		seenNames[key] = true
+		q := bc.g.AddQuantifier(sb, qgm.ForEach, name, child)
+		sc.quants = append(sc.quants, q)
+	}
+
+	// 2. WHERE clause.
+	if s.Where != nil {
+		preds, err := bc.buildPredicate(normalize(s.Where, false), sb, sc)
+		if err != nil {
+			return nil, err
+		}
+		sb.Preds = append(sb.Preds, preds...)
+	}
+
+	hasAggs := selectHasAggregates(s)
+	if len(s.GroupBy) == 0 && !hasAggs {
+		// Plain block: one select box.
+		if err := bc.buildSelectList(s, sb, sc); err != nil {
+			return nil, err
+		}
+		if s.Distinct {
+			sb.Distinct = qgm.DistinctEnforce
+		}
+		if top {
+			if err := bc.attachOrderLimit(s, sb, sc); err != nil {
+				return nil, err
+			}
+		}
+		return sb, nil
+	}
+
+	// 3. Grouped block → group-by triplet (§2): sb is T1; build the
+	// group-by box and the HAVING select box.
+	return bc.buildGroupedTriplet(s, sb, sc, top)
+}
+
+// resolveTable resolves a FROM-clause name to a base-table box or an
+// expanded view blob, sharing previously created boxes.
+func (bc *buildCtx) resolveTable(name string) (*qgm.Box, error) {
+	key := strings.ToLower(name)
+	if t, ok := bc.cat.Table(name); ok {
+		if b, ok := bc.bases[key]; ok {
+			return b, nil
+		}
+		b := bc.g.NewBox(qgm.KindBaseTable, strings.ToUpper(t.Name))
+		b.Table = t
+		for _, c := range t.Columns {
+			b.Output = append(b.Output, qgm.OutputCol{Name: c.Name, Type: c.Type})
+		}
+		bc.bases[key] = b
+		return b, nil
+	}
+	if v, ok := bc.cat.View(name); ok {
+		if b, ok := bc.views[key]; ok {
+			return b, nil
+		}
+		if bc.expanding[key] {
+			// Self-reference: the view is recursive. Hand back (creating on
+			// first use) the fixpoint placeholder; the executor iterates it
+			// to a fixpoint with set semantics. The view must declare its
+			// column list so the placeholder's arity is known here.
+			if p, ok := bc.placeholders[key]; ok {
+				return p, nil
+			}
+			if len(v.Columns) == 0 {
+				return nil, fmt.Errorf("recursive view %q must declare its column list", name)
+			}
+			p := bc.g.NewBox(qgm.KindSelect, strings.ToUpper(v.Name))
+			p.Recursive = true
+			p.Distinct = qgm.DistinctEnforce // fixpoint runs with set semantics
+			for _, cn := range v.Columns {
+				p.Output = append(p.Output, qgm.OutputCol{Name: cn})
+			}
+			bc.placeholders[key] = p
+			return p, nil
+		}
+		bc.expanding[key] = true
+		defer delete(bc.expanding, key)
+		q, err := sql.ParseQuery(v.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("view %q: %w", name, err)
+		}
+		// Views are closed: no outer scope.
+		b, err := bc.buildQuery(q, nil, false)
+		if err != nil {
+			return nil, fmt.Errorf("view %q: %w", name, err)
+		}
+		if len(v.Columns) > 0 {
+			if len(v.Columns) != len(b.Output) {
+				return nil, fmt.Errorf("view %q declares %d columns but query yields %d",
+					name, len(v.Columns), len(b.Output))
+			}
+			for i, cn := range v.Columns {
+				b.Output[i].Name = cn
+			}
+		}
+		b.Name = strings.ToUpper(v.Name)
+		if p, ok := bc.placeholders[key]; ok {
+			// Tie the fixpoint knot: the placeholder becomes an identity
+			// select over the body, completing the cycle.
+			if len(p.Output) != len(b.Output) {
+				return nil, fmt.Errorf("recursive view %q declares %d columns but query yields %d",
+					name, len(p.Output), len(b.Output))
+			}
+			pq := bc.g.AddQuantifier(p, qgm.ForEach, "rec", b)
+			for i := range p.Output {
+				p.Output[i].Expr = pq.Col(i)
+				p.Output[i].Type = b.Output[i].Type
+			}
+			// Patch the TNull placeholder types now that the body is known.
+			if err := bc.checkStratified(p, b, v.Name); err != nil {
+				return nil, err
+			}
+			bc.views[key] = p
+			return p, nil
+		}
+		bc.views[key] = b
+		return b, nil
+	}
+	return nil, fmt.Errorf("table or view %q not found", name)
+}
+
+// checkStratified rejects non-stratified recursion: on any cycle path from
+// the body back to the fixpoint root, aggregation (group-by) and
+// non-monotone operations (EXCEPT, INTERSECT, universal quantification)
+// are not allowed — the paper's EMST covers recursion "with stratified
+// negation and aggregation", meaning such operations may only consume a
+// completed lower stratum.
+func (bc *buildCtx) checkStratified(root, body *qgm.Box, viewName string) error {
+	seen := map[*qgm.Box]bool{}
+	var reaches func(b *qgm.Box) bool
+	reaches = func(b *qgm.Box) bool {
+		if b == root {
+			return true
+		}
+		if b == nil || seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, q := range b.Quantifiers {
+			if reaches(q.Ranges) {
+				return true
+			}
+		}
+		return false
+	}
+	// Walk every box reachable from the body; boxes on a cycle (they reach
+	// root) must be select boxes referenced through ForEach/Exists
+	// quantifiers only.
+	visited := map[*qgm.Box]bool{}
+	var walk func(b *qgm.Box) error
+	walk = func(b *qgm.Box) error {
+		if b == nil || visited[b] {
+			return nil
+		}
+		visited[b] = true
+		for _, q := range b.Quantifiers {
+			child := q.Ranges
+			seen = map[*qgm.Box]bool{}
+			if child == root || reaches(child) {
+				switch b.Kind {
+				case qgm.KindGroupBy, qgm.KindExcept, qgm.KindIntersect:
+					return fmt.Errorf("recursive view %q is not stratified: %s over the recursion",
+						viewName, b.Kind)
+				}
+				if q.Type == qgm.ForAll {
+					return fmt.Errorf("recursive view %q is not stratified: negation over the recursion", viewName)
+				}
+			}
+			if child != root {
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(body)
+}
+
+// buildSelectList resolves the select list of an ungrouped block into box
+// outputs.
+func (bc *buildCtx) buildSelectList(s *sql.Select, sb *qgm.Box, sc *scope) error {
+	for _, item := range s.Items {
+		if item.Star {
+			if err := bc.expandStar(item.Qualifier, sb, sc); err != nil {
+				return err
+			}
+			continue
+		}
+		if exprHasAggregate(item.Expr) {
+			return fmt.Errorf("aggregate in select list requires GROUP BY handling (internal error)")
+		}
+		e, err := bc.buildScalar(item.Expr, sb, sc)
+		if err != nil {
+			return err
+		}
+		sb.Output = append(sb.Output, qgm.OutputCol{
+			Name: outputName(item, len(sb.Output)),
+			Expr: e,
+			Type: qgm.TypeOf(e),
+		})
+	}
+	if len(sb.Output) == 0 {
+		return fmt.Errorf("empty select list")
+	}
+	return nil
+}
+
+func (bc *buildCtx) expandStar(qual string, sb *qgm.Box, sc *scope) error {
+	matched := false
+	for _, q := range sc.quants {
+		if qual != "" && !strings.EqualFold(q.Name, qual) {
+			continue
+		}
+		matched = true
+		for i, oc := range q.Ranges.Output {
+			sb.Output = append(sb.Output, qgm.OutputCol{
+				Name: oc.Name,
+				Expr: q.Col(i),
+				Type: oc.Type,
+			})
+		}
+	}
+	if !matched {
+		if qual != "" {
+			return fmt.Errorf("%s.* does not match any table", qual)
+		}
+		return fmt.Errorf("SELECT * with empty FROM")
+	}
+	return nil
+}
+
+// outputName picks the output column name for a select item: alias, else
+// the column's own name, else a positional name.
+func outputName(item sql.SelectItem, pos int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if cr, ok := item.Expr.(*sql.ColRef); ok {
+		return cr.Name
+	}
+	if fc, ok := item.Expr.(*sql.FuncCall); ok {
+		return strings.ToLower(fc.Name)
+	}
+	return fmt.Sprintf("col%d", pos+1)
+}
+
+// attachOrderLimit resolves top-level ORDER BY and LIMIT onto the graph.
+// Ordering expressions that are not output columns become hidden trailing
+// outputs, trimmed by the executor after sorting.
+func (bc *buildCtx) attachOrderLimit(s *sql.Select, topBox *qgm.Box, sc *scope) error {
+	visible := len(topBox.Output)
+	for _, oi := range s.OrderBy {
+		ord := -1
+		switch e := oi.Expr.(type) {
+		case *sql.Lit:
+			if e.Value.T != datum.TInt {
+				return fmt.Errorf("ORDER BY literal must be an integer ordinal")
+			}
+			ord = int(e.Value.I) - 1
+			if ord < 0 || ord >= visible {
+				return fmt.Errorf("ORDER BY ordinal %d out of range", e.Value.I)
+			}
+		case *sql.ColRef:
+			if e.Qualifier == "" {
+				ord = topBox.OutputIndex(e.Name)
+			}
+		}
+		if ord < 0 {
+			// Not an output column: evaluate over the block's scope as a
+			// hidden sort column. Under DISTINCT that would change which
+			// rows are duplicates, so SQL forbids it.
+			if topBox.Distinct == qgm.DistinctEnforce {
+				return fmt.Errorf("for SELECT DISTINCT, ORDER BY expressions must appear in the select list")
+			}
+			he, err := bc.buildScalar(oi.Expr, topBox, sc)
+			if err != nil {
+				return fmt.Errorf("ORDER BY: %w", err)
+			}
+			ord = len(topBox.Output)
+			topBox.Output = append(topBox.Output, qgm.OutputCol{
+				Name: fmt.Sprintf("_order%d", ord),
+				Expr: he,
+				Type: qgm.TypeOf(he),
+			})
+			bc.g.HiddenCols++
+		}
+		bc.g.OrderBy = append(bc.g.OrderBy, qgm.OrderSpec{Ord: ord, Desc: oi.Desc})
+	}
+	bc.g.Limit = s.Limit
+	return nil
+}
+
+// selectHasAggregates reports whether the select list or HAVING uses an
+// aggregate function.
+func selectHasAggregates(s *sql.Select) bool {
+	for _, it := range s.Items {
+		if !it.Star && exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return s.Having != nil // HAVING implies grouping semantics
+}
+
+func exprHasAggregate(e sql.Expr) bool {
+	found := false
+	walkSQLExpr(e, func(x sql.Expr) bool {
+		if fc, ok := x.(*sql.FuncCall); ok {
+			if _, isAgg := datum.AggKindFromName(fc.Name); isAgg || fc.Star {
+				found = true
+				return false
+			}
+		}
+		// Do not descend into subqueries: their aggregates are their own.
+		switch x.(type) {
+		case *sql.ScalarSub, *sql.Exists, *sql.In, *sql.QuantCmp:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// walkSQLExpr visits e and, when fn returns true, its children.
+func walkSQLExpr(e sql.Expr, fn func(sql.Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *sql.Bin:
+		walkSQLExpr(x.L, fn)
+		walkSQLExpr(x.R, fn)
+	case *sql.Unary:
+		walkSQLExpr(x.X, fn)
+	case *sql.IsNull:
+		walkSQLExpr(x.X, fn)
+	case *sql.Between:
+		walkSQLExpr(x.X, fn)
+		walkSQLExpr(x.Lo, fn)
+		walkSQLExpr(x.Hi, fn)
+	case *sql.Like:
+		walkSQLExpr(x.X, fn)
+	case *sql.In:
+		walkSQLExpr(x.X, fn)
+		for _, le := range x.List {
+			walkSQLExpr(le, fn)
+		}
+	case *sql.QuantCmp:
+		walkSQLExpr(x.X, fn)
+	case *sql.FuncCall:
+		for _, a := range x.Args {
+			walkSQLExpr(a, fn)
+		}
+	case *sql.Case:
+		walkSQLExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkSQLExpr(w.When, fn)
+			walkSQLExpr(w.Then, fn)
+		}
+		walkSQLExpr(x.Else, fn)
+	}
+}

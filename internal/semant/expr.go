@@ -1,0 +1,518 @@
+package semant
+
+import (
+	"fmt"
+
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+	"starmagic/internal/sql"
+)
+
+// normalize pushes NOT down to the leaves (negation normal form). Three-
+// valued logic validates De Morgan and comparison-negation, so this is
+// semantics-preserving; it lets predicate translation and pushdown work on
+// positive forms with Not flags at the leaves.
+func normalize(e sql.Expr, neg bool) sql.Expr {
+	switch x := e.(type) {
+	case *sql.Unary:
+		if x.Op == sql.OpNot {
+			return normalize(x.X, !neg)
+		}
+		return e
+	case *sql.Bin:
+		switch x.Op {
+		case sql.OpAnd, sql.OpOr:
+			op := x.Op
+			if neg {
+				if op == sql.OpAnd {
+					op = sql.OpOr
+				} else {
+					op = sql.OpAnd
+				}
+			}
+			return &sql.Bin{Op: op, L: normalize(x.L, neg), R: normalize(x.R, neg)}
+		case sql.OpEQ, sql.OpNE, sql.OpLT, sql.OpLE, sql.OpGT, sql.OpGE:
+			if neg {
+				return &sql.Bin{Op: negateCmp(x.Op), L: x.L, R: x.R}
+			}
+			return x
+		default:
+			if neg {
+				return &sql.Unary{Op: sql.OpNot, X: x}
+			}
+			return x
+		}
+	case *sql.IsNull:
+		if neg {
+			return &sql.IsNull{X: x.X, Not: !x.Not}
+		}
+		return x
+	case *sql.In:
+		if neg {
+			return &sql.In{X: x.X, List: x.List, Sub: x.Sub, Not: !x.Not}
+		}
+		return x
+	case *sql.Exists:
+		if neg {
+			return &sql.Exists{Sub: x.Sub, Not: !x.Not}
+		}
+		return x
+	case *sql.Between:
+		if neg {
+			return &sql.Between{X: x.X, Lo: x.Lo, Hi: x.Hi, Not: !x.Not}
+		}
+		return x
+	case *sql.Like:
+		if neg {
+			return &sql.Like{X: x.X, Pattern: x.Pattern, Not: !x.Not}
+		}
+		return x
+	case *sql.QuantCmp:
+		if neg {
+			// NOT (x op ANY S) ≡ x negop ALL S, and dually.
+			q := sql.All
+			if x.Quant == sql.All {
+				q = sql.Any
+			}
+			return &sql.QuantCmp{X: x.X, Op: negateCmp(x.Op), Quant: q, Sub: x.Sub}
+		}
+		return x
+	case *sql.Lit:
+		if neg && x.Value.T == datum.TBool && !x.Value.IsNull() {
+			return &sql.Lit{Value: datum.Bool(!x.Value.B)}
+		}
+		if neg {
+			return &sql.Unary{Op: sql.OpNot, X: x}
+		}
+		return x
+	default:
+		if neg {
+			return &sql.Unary{Op: sql.OpNot, X: e}
+		}
+		return e
+	}
+}
+
+func negateCmp(op sql.BinKind) sql.BinKind {
+	switch op {
+	case sql.OpEQ:
+		return sql.OpNE
+	case sql.OpNE:
+		return sql.OpEQ
+	case sql.OpLT:
+		return sql.OpGE
+	case sql.OpLE:
+		return sql.OpGT
+	case sql.OpGT:
+		return sql.OpLE
+	case sql.OpGE:
+		return sql.OpLT
+	}
+	return op
+}
+
+// buildPredicate translates a (normalized) WHERE predicate into conjuncts
+// for box. Subquery predicates become E/A quantifiers on box with match
+// predicates; they are only allowed at the top conjunction level.
+func (bc *buildCtx) buildPredicate(e sql.Expr, box *qgm.Box, sc *scope) ([]qgm.Expr, error) {
+	if b, ok := e.(*sql.Bin); ok && b.Op == sql.OpAnd {
+		left, err := bc.buildPredicate(b.L, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		right, err := bc.buildPredicate(b.R, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	}
+	switch x := e.(type) {
+	case *sql.Exists:
+		sub, err := bc.buildQuery(x.Sub, sc, false)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			q := bc.g.AddQuantifier(box, qgm.ForAll, bc.genName("nex"), sub)
+			// ForAll semantics: pass iff every subquery row satisfies the
+			// match predicates. FALSE ⇒ pass iff the subquery is empty,
+			// which is exactly NOT EXISTS.
+			return []qgm.Expr{matchPred(q, &qgm.Const{Val: datum.Bool(false)})}, nil
+		}
+		q := bc.g.AddQuantifier(box, qgm.Exists, bc.genName("ex"), sub)
+		// Exists semantics with an always-true match predicate: pass iff
+		// the subquery is non-empty.
+		return []qgm.Expr{matchPred(q, &qgm.Const{Val: datum.Bool(true)})}, nil
+	case *sql.In:
+		if x.Sub == nil {
+			return bc.buildInList(x, box, sc)
+		}
+		lhs, err := bc.buildScalar(x.X, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := bc.buildQuery(x.Sub, sc, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Output) != 1 {
+			return nil, fmt.Errorf("IN subquery must return exactly one column, got %d", len(sub.Output))
+		}
+		if err := checkComparable(lhs, subColType(sub, 0), "IN"); err != nil {
+			return nil, err
+		}
+		if x.Not {
+			// x NOT IN S ≡ x <> ALL S: pass iff x <> s is TRUE for every s;
+			// NULLs on either side yield UNKNOWN and correctly fail the row.
+			q := bc.g.AddQuantifier(box, qgm.ForAll, bc.genName("nin"), sub)
+			return []qgm.Expr{&qgm.Cmp{Op: datum.NE, L: lhs, R: q.Col(0)}}, nil
+		}
+		q := bc.g.AddQuantifier(box, qgm.Exists, bc.genName("in"), sub)
+		return []qgm.Expr{&qgm.Cmp{Op: datum.EQ, L: lhs, R: q.Col(0)}}, nil
+	case *sql.QuantCmp:
+		lhs, err := bc.buildScalar(x.X, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := bc.buildQuery(x.Sub, sc, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Output) != 1 {
+			return nil, fmt.Errorf("quantified subquery must return exactly one column, got %d", len(sub.Output))
+		}
+		if err := checkComparable(lhs, subColType(sub, 0), "quantified comparison"); err != nil {
+			return nil, err
+		}
+		op := x.Op.CmpOp()
+		if x.Quant == sql.Any {
+			q := bc.g.AddQuantifier(box, qgm.Exists, bc.genName("any"), sub)
+			return []qgm.Expr{&qgm.Cmp{Op: op, L: lhs, R: q.Col(0)}}, nil
+		}
+		q := bc.g.AddQuantifier(box, qgm.ForAll, bc.genName("all"), sub)
+		return []qgm.Expr{&qgm.Cmp{Op: op, L: lhs, R: q.Col(0)}}, nil
+	case *sql.Bin:
+		if x.Op == sql.OpOr {
+			if containsSubqueryPred(x) {
+				return nil, fmt.Errorf("subquery predicates under OR are not supported")
+			}
+		}
+		e2, err := bc.buildScalar(e, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		return []qgm.Expr{e2}, nil
+	default:
+		e2, err := bc.buildScalar(e, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		return []qgm.Expr{e2}, nil
+	}
+}
+
+// matchPred builds a predicate that references quantifier q so the executor
+// and rewrite rules associate it with q, while having a constant truth
+// value. It is rendered as "const OR q.c0 IS NULL AND FALSE"... — no: we
+// need a principled marker. We use a comparison that never influences the
+// constant: the Logic wrapper below keeps the quantifier reference visible.
+func matchPred(q *qgm.Quantifier, c *qgm.Const) qgm.Expr {
+	// The executor treats a predicate referencing an E/A quantifier as that
+	// quantifier's match predicate. To express EXISTS (no real comparison)
+	// we still must reference the quantifier; we use "TRUE OR q.0 = q.0"
+	// style constructs nowhere — instead we use the dedicated Match node.
+	return &qgm.Match{Q: q, Truth: !c.Val.IsNull() && c.Val.B}
+}
+
+func containsSubqueryPred(e sql.Expr) bool {
+	found := false
+	walkSQLExpr(e, func(x sql.Expr) bool {
+		switch x.(type) {
+		case *sql.Exists, *sql.QuantCmp:
+			found = true
+			return false
+		case *sql.In:
+			if x.(*sql.In).Sub != nil {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (bc *buildCtx) buildInList(x *sql.In, box *qgm.Box, sc *scope) ([]qgm.Expr, error) {
+	lhs, err := bc.buildScalar(x.X, box, sc)
+	if err != nil {
+		return nil, err
+	}
+	var args []qgm.Expr
+	for _, le := range x.List {
+		rhs, err := bc.buildScalar(le, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		op := datum.EQ
+		if x.Not {
+			op = datum.NE
+		}
+		args = append(args, &qgm.Cmp{Op: op, L: lhs, R: rhs})
+	}
+	if len(args) == 1 {
+		return args, nil
+	}
+	if x.Not {
+		// x NOT IN (a, b) ≡ x <> a AND x <> b.
+		return args, nil
+	}
+	return []qgm.Expr{&qgm.Logic{Op: qgm.Or, Args: args}}, nil
+}
+
+// buildScalar translates a scalar-valued expression. Scalar subqueries add
+// S quantifiers to box.
+func (bc *buildCtx) buildScalar(e sql.Expr, box *qgm.Box, sc *scope) (qgm.Expr, error) {
+	if sc != nil && sc.grouped != nil {
+		return bc.buildGroupedScalar(e, box, sc)
+	}
+	switch x := e.(type) {
+	case *sql.ColRef:
+		q, ord, err := sc.resolveColumn(x.Qualifier, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return q.Col(ord), nil
+	case *sql.Lit:
+		return &qgm.Const{Val: x.Value}, nil
+	case *sql.Bin:
+		l, err := bc.buildScalar(x.L, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bc.buildScalar(x.R, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case sql.OpAnd:
+			return &qgm.Logic{Op: qgm.And, Args: []qgm.Expr{l, r}}, nil
+		case sql.OpOr:
+			return &qgm.Logic{Op: qgm.Or, Args: []qgm.Expr{l, r}}, nil
+		case sql.OpEQ, sql.OpNE, sql.OpLT, sql.OpLE, sql.OpGT, sql.OpGE:
+			if !datum.Comparable(qgm.TypeOf(l), qgm.TypeOf(r)) {
+				return nil, fmt.Errorf("cannot compare %s with %s", qgm.TypeOf(l), qgm.TypeOf(r))
+			}
+			return &qgm.Cmp{Op: x.Op.CmpOp(), L: l, R: r}, nil
+		case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv, sql.OpMod:
+			if err := checkNumeric(l, x.Op.String()); err != nil {
+				return nil, err
+			}
+			if err := checkNumeric(r, x.Op.String()); err != nil {
+				return nil, err
+			}
+			return &qgm.Arith{Op: arithOp(x.Op), L: l, R: r}, nil
+		case sql.OpConcat:
+			return &qgm.Concat{L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("unsupported binary operator %v", x.Op)
+	case *sql.Unary:
+		inner, err := bc.buildScalar(x.X, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == sql.OpNeg {
+			return &qgm.Neg{X: inner}, nil
+		}
+		return &qgm.Not{X: inner}, nil
+	case *sql.IsNull:
+		inner, err := bc.buildScalar(x.X, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.IsNull{X: inner, Negate: x.Not}, nil
+	case *sql.Between:
+		v, err := bc.buildScalar(x.X, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bc.buildScalar(x.Lo, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bc.buildScalar(x.Hi, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			return &qgm.Logic{Op: qgm.Or, Args: []qgm.Expr{
+				&qgm.Cmp{Op: datum.LT, L: v, R: lo},
+				&qgm.Cmp{Op: datum.GT, L: qgm.CopyExpr(v, nil), R: hi},
+			}}, nil
+		}
+		return &qgm.Logic{Op: qgm.And, Args: []qgm.Expr{
+			&qgm.Cmp{Op: datum.GE, L: v, R: lo},
+			&qgm.Cmp{Op: datum.LE, L: qgm.CopyExpr(v, nil), R: hi},
+		}}, nil
+	case *sql.Like:
+		inner, err := bc.buildScalar(x.X, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		if t := qgm.TypeOf(inner); t != datum.TString && t != datum.TNull {
+			return nil, fmt.Errorf("LIKE requires a string operand, got %s", t)
+		}
+		return &qgm.Like{X: inner, Pattern: x.Pattern, Negate: x.Not}, nil
+	case *sql.ScalarSub:
+		sub, err := bc.buildQuery(x.Sub, sc, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Output) != 1 {
+			return nil, fmt.Errorf("scalar subquery must return exactly one column, got %d", len(sub.Output))
+		}
+		q := bc.g.AddQuantifier(box, qgm.Scalar, bc.genName("sq"), sub)
+		return q.Col(0), nil
+	case *sql.Case:
+		return bc.buildCase(x, box, sc)
+	case *sql.FuncCall:
+		if _, isAgg := datum.AggKindFromName(x.Name); isAgg || x.Star {
+			return nil, fmt.Errorf("aggregate %s is not allowed here", x.Name)
+		}
+		return bc.buildScalarFunc(x, box, sc)
+	case *sql.In:
+		if x.Sub != nil {
+			return nil, fmt.Errorf("IN subquery is not allowed in this context")
+		}
+		// IN-lists can appear anywhere a boolean can (e.g. under OR after
+		// negation normalization).
+		preds, err := bc.buildInList(x, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(preds) == 1 {
+			return preds[0], nil
+		}
+		return &qgm.Logic{Op: qgm.And, Args: preds}, nil
+	case *sql.Exists, *sql.QuantCmp:
+		return nil, fmt.Errorf("subquery predicate is not allowed in this context")
+	}
+	return nil, fmt.Errorf("unsupported expression %T", e)
+}
+
+// buildCase translates a CASE expression; simple CASE (with an operand)
+// normalizes to equality predicates.
+func (bc *buildCtx) buildCase(x *sql.Case, box *qgm.Box, sc *scope) (qgm.Expr, error) {
+	var operand qgm.Expr
+	if x.Operand != nil {
+		var err error
+		operand, err = bc.buildScalar(x.Operand, box, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &qgm.Case{}
+	for _, w := range x.Whens {
+		var when qgm.Expr
+		var err error
+		if operand != nil {
+			rhs, err2 := bc.buildScalar(w.When, box, sc)
+			if err2 != nil {
+				return nil, err2
+			}
+			if !datum.Comparable(qgm.TypeOf(operand), qgm.TypeOf(rhs)) {
+				return nil, fmt.Errorf("CASE: cannot compare %s with %s", qgm.TypeOf(operand), qgm.TypeOf(rhs))
+			}
+			when = &qgm.Cmp{Op: datum.EQ, L: qgm.CopyExpr(operand, nil), R: rhs}
+		} else {
+			when, err = bc.buildScalar(normalize(w.When, false), box, sc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		then, err := bc.buildScalar(w.Then, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Whens = append(out.Whens, qgm.CaseWhen{When: when, Then: then})
+	}
+	if x.Else != nil {
+		els, err := bc.buildScalar(x.Else, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Else = els
+	}
+	return out, nil
+}
+
+// scalarFuncs maps supported scalar function names to their arity range.
+var scalarFuncs = map[string][2]int{
+	"ABS":      {1, 1},
+	"UPPER":    {1, 1},
+	"LOWER":    {1, 1},
+	"LENGTH":   {1, 1},
+	"COALESCE": {1, 16},
+	"NULLIF":   {2, 2},
+}
+
+func (bc *buildCtx) buildScalarFunc(x *sql.FuncCall, box *qgm.Box, sc *scope) (qgm.Expr, error) {
+	arity, ok := scalarFuncs[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %q", x.Name)
+	}
+	if len(x.Args) < arity[0] || len(x.Args) > arity[1] {
+		return nil, fmt.Errorf("%s: wrong number of arguments (%d)", x.Name, len(x.Args))
+	}
+	out := &qgm.Func{Name: x.Name}
+	for _, a := range x.Args {
+		e, err := bc.buildScalar(a, box, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Args = append(out.Args, e)
+	}
+	switch x.Name {
+	case "ABS":
+		if err := checkNumeric(out.Args[0], "ABS"); err != nil {
+			return nil, err
+		}
+	case "UPPER", "LOWER", "LENGTH":
+		if t := qgm.TypeOf(out.Args[0]); t != datum.TString && t != datum.TNull {
+			return nil, fmt.Errorf("%s requires a string argument, got %s", x.Name, t)
+		}
+	}
+	return out, nil
+}
+
+func arithOp(op sql.BinKind) datum.ArithOp {
+	switch op {
+	case sql.OpAdd:
+		return datum.Add
+	case sql.OpSub:
+		return datum.Sub
+	case sql.OpMul:
+		return datum.Mul
+	case sql.OpDiv:
+		return datum.Div
+	}
+	return datum.Mod
+}
+
+func checkNumeric(e qgm.Expr, op string) error {
+	t := qgm.TypeOf(e)
+	if t == datum.TInt || t == datum.TFloat || t == datum.TNull {
+		return nil
+	}
+	return fmt.Errorf("operator %s requires numeric operands, got %s", op, t)
+}
+
+func checkComparable(l qgm.Expr, rt datum.Type, what string) error {
+	if !datum.Comparable(qgm.TypeOf(l), rt) {
+		return fmt.Errorf("%s: cannot compare %s with %s", what, qgm.TypeOf(l), rt)
+	}
+	return nil
+}
+
+func subColType(b *qgm.Box, ord int) datum.Type {
+	return b.Output[ord].Type
+}

@@ -1,0 +1,426 @@
+package semant
+
+import (
+	"fmt"
+	"strings"
+
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+	"starmagic/internal/sql"
+)
+
+// buildGroupedTriplet decomposes a grouped block into the paper's group-by
+// triplet (§2, Example 2.2): a select box T1 implementing SELECT-FROM-WHERE,
+// a group-by box implementing GROUP BY, and another select box implementing
+// the HAVING selection (and the final projection). sb is the already-built
+// T1 box holding the FROM quantifiers and WHERE predicates.
+func (bc *buildCtx) buildGroupedTriplet(s *sql.Select, sb *qgm.Box, sc *scope, top bool) (*qgm.Box, error) {
+	t1 := sb
+	t1.Name = bc.genName("T")
+
+	// Translate grouping expressions over the FROM scope and expose each as
+	// an output of T1.
+	var groups []qgm.Expr
+	for _, ge := range s.GroupBy {
+		e, err := bc.buildScalar(ge, t1, sc)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, e)
+		name := fmt.Sprintf("g%d", len(groups))
+		if cr, ok := ge.(*sql.ColRef); ok {
+			name = cr.Name
+		}
+		t1.Output = append(t1.Output, qgm.OutputCol{Name: name, Expr: e, Type: qgm.TypeOf(e)})
+	}
+
+	// A block like SELECT COUNT(*) FROM t produces no grouping columns and
+	// no aggregate arguments; give T1 a constant output so every box has at
+	// least one column.
+	defer func() {
+		if len(t1.Output) == 0 {
+			t1.Output = append(t1.Output, qgm.OutputCol{
+				Name: "one",
+				Expr: &qgm.Const{Val: datum.Int(1)},
+				Type: datum.TInt,
+			})
+		}
+	}()
+
+	// Group-by box over T1.
+	gb := bc.g.NewBox(qgm.KindGroupBy, bc.genName("GB"))
+	inQ := bc.g.AddQuantifier(gb, qgm.ForEach, bc.genName("q"), t1)
+	for i := range groups {
+		gb.GroupBy = append(gb.GroupBy, inQ.Col(i))
+		gb.Output = append(gb.Output, qgm.OutputCol{
+			Name: t1.Output[i].Name,
+			Type: t1.Output[i].Type,
+		})
+	}
+
+	// HAVING select box over the group-by box.
+	hv := bc.g.NewBox(qgm.KindSelect, bc.genName("HV"))
+	hq := bc.g.AddQuantifier(hv, qgm.ForEach, bc.genName("q"), gb)
+
+	gctx := &groupedCtx{
+		inScope: sc,
+		gbQuant: hq,
+		groups:  groups,
+		t1:      t1,
+		gb:      gb,
+	}
+	gsc := &scope{outer: sc.outer, grouped: gctx}
+
+	// Select list.
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, fmt.Errorf("SELECT * is not allowed with GROUP BY")
+		}
+		e, err := bc.buildScalar(item.Expr, hv, gsc)
+		if err != nil {
+			return nil, err
+		}
+		hv.Output = append(hv.Output, qgm.OutputCol{
+			Name: outputName(item, len(hv.Output)),
+			Expr: e,
+			Type: qgm.TypeOf(e),
+		})
+	}
+	if len(hv.Output) == 0 {
+		return nil, fmt.Errorf("empty select list")
+	}
+
+	// HAVING predicate.
+	if s.Having != nil {
+		preds, err := bc.buildGroupedPredicate(normalize(s.Having, false), hv, gsc)
+		if err != nil {
+			return nil, err
+		}
+		hv.Preds = append(hv.Preds, preds...)
+	}
+
+	if s.Distinct {
+		hv.Distinct = qgm.DistinctEnforce
+	}
+	if top {
+		if err := bc.attachOrderLimit(s, hv, gsc); err != nil {
+			return nil, err
+		}
+	}
+	return hv, nil
+}
+
+// buildGroupedPredicate splits conjuncts of a HAVING predicate. Subquery
+// predicates (EXISTS/IN/quantified) are not supported in HAVING.
+func (bc *buildCtx) buildGroupedPredicate(e sql.Expr, hv *qgm.Box, gsc *scope) ([]qgm.Expr, error) {
+	if b, ok := e.(*sql.Bin); ok && b.Op == sql.OpAnd {
+		left, err := bc.buildGroupedPredicate(b.L, hv, gsc)
+		if err != nil {
+			return nil, err
+		}
+		right, err := bc.buildGroupedPredicate(b.R, hv, gsc)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	}
+	switch e.(type) {
+	case *sql.Exists, *sql.QuantCmp:
+		return nil, fmt.Errorf("subquery predicates are not supported in HAVING")
+	case *sql.In:
+		if e.(*sql.In).Sub != nil {
+			return nil, fmt.Errorf("subquery predicates are not supported in HAVING")
+		}
+	}
+	pe, err := bc.buildScalar(e, hv, gsc)
+	if err != nil {
+		return nil, err
+	}
+	return []qgm.Expr{pe}, nil
+}
+
+// buildGroupedScalar translates an expression in a grouped context (select
+// list or HAVING of a grouped block): aggregates map onto group-by box
+// outputs, other subexpressions must match grouping expressions.
+func (bc *buildCtx) buildGroupedScalar(e sql.Expr, box *qgm.Box, gsc *scope) (qgm.Expr, error) {
+	gctx := gsc.grouped
+	switch x := e.(type) {
+	case *sql.FuncCall:
+		kind, isAgg := datum.AggKindFromName(x.Name)
+		if x.Star {
+			if !strings.EqualFold(x.Name, "COUNT") {
+				return nil, fmt.Errorf("%s(*) is not a valid aggregate", x.Name)
+			}
+			return bc.addAggregate(gctx, datum.AggCountStar, nil, false)
+		}
+		if !isAgg {
+			// Scalar functions over grouped expressions.
+			out := &qgm.Func{Name: x.Name}
+			if _, known := scalarFuncs[x.Name]; !known {
+				return nil, fmt.Errorf("unknown function %q", x.Name)
+			}
+			for _, a := range x.Args {
+				e, err := bc.buildGroupedScalar(a, box, gsc)
+				if err != nil {
+					return nil, err
+				}
+				out.Args = append(out.Args, e)
+			}
+			return out, nil
+		}
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("%s takes exactly one argument", x.Name)
+		}
+		if exprHasAggregate(x.Args[0]) {
+			return nil, fmt.Errorf("nested aggregates are not allowed")
+		}
+		// The aggregate argument is evaluated over T1's scope.
+		arg, err := bc.buildScalar(x.Args[0], gctx.t1, gctx.inScope)
+		if err != nil {
+			return nil, err
+		}
+		if kind == datum.AggSum || kind == datum.AggAvg {
+			if err := checkNumeric(arg, kind.String()); err != nil {
+				return nil, err
+			}
+		}
+		return bc.addAggregate(gctx, kind, arg, x.Distinct)
+	case *sql.Lit:
+		return &qgm.Const{Val: x.Value}, nil
+	case *sql.ScalarSub:
+		// Uncorrelated scalar subqueries are allowed; the quantifier
+		// attaches to the HAVING box.
+		sub, err := bc.buildQuery(x.Sub, gsc.outer, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Output) != 1 {
+			return nil, fmt.Errorf("scalar subquery must return exactly one column, got %d", len(sub.Output))
+		}
+		q := bc.g.AddQuantifier(box, qgm.Scalar, bc.genName("sq"), sub)
+		return q.Col(0), nil
+	}
+
+	// Whole-expression match against a grouping expression.
+	if matched, err := bc.matchGroupingExpr(e, gctx); err == nil && matched != nil {
+		return matched, nil
+	}
+
+	// Otherwise recurse structurally.
+	switch x := e.(type) {
+	case *sql.ColRef:
+		return nil, fmt.Errorf("column %q must appear in GROUP BY or inside an aggregate",
+			displayCol(x.Qualifier, x.Name))
+	case *sql.Bin:
+		l, err := bc.buildGroupedScalar(x.L, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bc.buildGroupedScalar(x.R, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case sql.OpAnd:
+			return &qgm.Logic{Op: qgm.And, Args: []qgm.Expr{l, r}}, nil
+		case sql.OpOr:
+			return &qgm.Logic{Op: qgm.Or, Args: []qgm.Expr{l, r}}, nil
+		case sql.OpEQ, sql.OpNE, sql.OpLT, sql.OpLE, sql.OpGT, sql.OpGE:
+			if !datum.Comparable(qgm.TypeOf(l), qgm.TypeOf(r)) {
+				return nil, fmt.Errorf("cannot compare %s with %s", qgm.TypeOf(l), qgm.TypeOf(r))
+			}
+			return &qgm.Cmp{Op: x.Op.CmpOp(), L: l, R: r}, nil
+		case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv, sql.OpMod:
+			return &qgm.Arith{Op: arithOp(x.Op), L: l, R: r}, nil
+		case sql.OpConcat:
+			return &qgm.Concat{L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("unsupported operator %v in grouped context", x.Op)
+	case *sql.Unary:
+		inner, err := bc.buildGroupedScalar(x.X, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == sql.OpNeg {
+			return &qgm.Neg{X: inner}, nil
+		}
+		return &qgm.Not{X: inner}, nil
+	case *sql.IsNull:
+		inner, err := bc.buildGroupedScalar(x.X, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.IsNull{X: inner, Negate: x.Not}, nil
+	case *sql.Between:
+		v, err := bc.buildGroupedScalar(x.X, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bc.buildGroupedScalar(x.Lo, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bc.buildGroupedScalar(x.Hi, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			return &qgm.Logic{Op: qgm.Or, Args: []qgm.Expr{
+				&qgm.Cmp{Op: datum.LT, L: v, R: lo},
+				&qgm.Cmp{Op: datum.GT, L: qgm.CopyExpr(v, nil), R: hi},
+			}}, nil
+		}
+		return &qgm.Logic{Op: qgm.And, Args: []qgm.Expr{
+			&qgm.Cmp{Op: datum.GE, L: v, R: lo},
+			&qgm.Cmp{Op: datum.LE, L: qgm.CopyExpr(v, nil), R: hi},
+		}}, nil
+	case *sql.Like:
+		inner, err := bc.buildGroupedScalar(x.X, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.Like{X: inner, Pattern: x.Pattern, Negate: x.Not}, nil
+	case *sql.Case:
+		outc := &qgm.Case{}
+		operandDone := x.Operand == nil
+		var operand qgm.Expr
+		if !operandDone {
+			var err error
+			operand, err = bc.buildGroupedScalar(x.Operand, box, gsc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, w := range x.Whens {
+			var when qgm.Expr
+			var err error
+			if operand != nil {
+				rhs, err2 := bc.buildGroupedScalar(w.When, box, gsc)
+				if err2 != nil {
+					return nil, err2
+				}
+				when = &qgm.Cmp{Op: datum.EQ, L: qgm.CopyExpr(operand, nil), R: rhs}
+			} else {
+				when, err = bc.buildGroupedScalar(w.When, box, gsc)
+				if err != nil {
+					return nil, err
+				}
+			}
+			then, err := bc.buildGroupedScalar(w.Then, box, gsc)
+			if err != nil {
+				return nil, err
+			}
+			outc.Whens = append(outc.Whens, qgm.CaseWhen{When: when, Then: then})
+		}
+		if x.Else != nil {
+			els, err := bc.buildGroupedScalar(x.Else, box, gsc)
+			if err != nil {
+				return nil, err
+			}
+			outc.Else = els
+		}
+		return outc, nil
+	case *sql.In:
+		if x.Sub != nil {
+			return nil, fmt.Errorf("IN subquery is not supported in grouped expressions")
+		}
+		lhs, err := bc.buildGroupedScalar(x.X, box, gsc)
+		if err != nil {
+			return nil, err
+		}
+		var args []qgm.Expr
+		for _, le := range x.List {
+			rhs, err := bc.buildGroupedScalar(le, box, gsc)
+			if err != nil {
+				return nil, err
+			}
+			op := datum.EQ
+			if x.Not {
+				op = datum.NE
+			}
+			args = append(args, &qgm.Cmp{Op: op, L: lhs, R: rhs})
+		}
+		if len(args) == 1 {
+			return args[0], nil
+		}
+		if x.Not {
+			return &qgm.Logic{Op: qgm.And, Args: args}, nil
+		}
+		return &qgm.Logic{Op: qgm.Or, Args: args}, nil
+	}
+	return nil, fmt.Errorf("unsupported expression %T in grouped context", e)
+}
+
+// matchGroupingExpr translates e over the input scope and compares it
+// structurally with each grouping expression; a match maps to the
+// corresponding group-by output column. Translation failures (e.g.
+// aggregates inside e) report no match rather than an error.
+func (bc *buildCtx) matchGroupingExpr(e sql.Expr, gctx *groupedCtx) (qgm.Expr, error) {
+	if exprHasAggregate(e) {
+		return nil, nil
+	}
+	if containsSubqueryPred(e) {
+		return nil, nil
+	}
+	if _, isScalar := e.(*sql.ScalarSub); isScalar {
+		return nil, nil
+	}
+	// Speculative translation must not leave stray quantifiers behind; the
+	// expressions we match (column refs, arithmetic) never add quantifiers.
+	te, err := bc.buildScalar(e, gctx.t1, gctx.inScope)
+	if err != nil {
+		return nil, nil //nolint:nilerr // no match; caller recurses
+	}
+	for i, ge := range gctx.groups {
+		if qgm.EqualExpr(te, ge) {
+			return gctx.gbQuant.Col(i), nil
+		}
+	}
+	return nil, nil
+}
+
+// addAggregate appends (or reuses) an aggregate in the group-by box,
+// returning a reference to its output column on the HAVING quantifier.
+func (bc *buildCtx) addAggregate(gctx *groupedCtx, kind datum.AggKind, arg qgm.Expr, distinct bool) (qgm.Expr, error) {
+	t1, gb := gctx.t1, gctx.gb
+	inQ := gb.Quantifiers[0]
+
+	var argRef qgm.Expr
+	if arg != nil {
+		// Reuse an existing T1 output carrying the same expression.
+		ord := -1
+		for i, oc := range t1.Output {
+			if oc.Expr != nil && qgm.EqualExpr(oc.Expr, arg) {
+				ord = i
+				break
+			}
+		}
+		if ord < 0 {
+			ord = len(t1.Output)
+			t1.Output = append(t1.Output, qgm.OutputCol{
+				Name: fmt.Sprintf("a%d", ord),
+				Expr: arg,
+				Type: qgm.TypeOf(arg),
+			})
+		}
+		argRef = inQ.Col(ord)
+	}
+
+	// Reuse an identical aggregate spec.
+	for i, a := range gb.Aggs {
+		if a.Kind == kind && a.Distinct == distinct &&
+			((a.Arg == nil && argRef == nil) || (a.Arg != nil && argRef != nil && qgm.EqualExpr(a.Arg, argRef))) {
+			return gctx.gbQuant.Col(len(gb.GroupBy) + i), nil
+		}
+	}
+	gb.Aggs = append(gb.Aggs, qgm.AggSpec{Kind: kind, Arg: argRef, Distinct: distinct})
+	inType := datum.TInt
+	if argRef != nil {
+		inType = qgm.TypeOf(argRef)
+	}
+	gb.Output = append(gb.Output, qgm.OutputCol{
+		Name: strings.ToLower(kind.String()),
+		Type: kind.ResultType(inType),
+	})
+	return gctx.gbQuant.Col(len(gb.GroupBy) + len(gb.Aggs) - 1), nil
+}

@@ -1,0 +1,717 @@
+package semant
+
+import (
+	"strings"
+	"testing"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+	"starmagic/internal/sql"
+)
+
+// paperCatalog builds the schema of the paper's Example 1.1.
+func paperCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.Table{
+		Name: "department",
+		Columns: []catalog.Column{
+			{Name: "deptno", Type: datum.TInt},
+			{Name: "deptname", Type: datum.TString},
+			{Name: "mgrno", Type: datum.TInt},
+		},
+		Keys: [][]int{{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(&catalog.Table{
+		Name: "employee",
+		Columns: []catalog.Column{
+			{Name: "empno", Type: datum.TInt},
+			{Name: "empname", Type: datum.TString},
+			{Name: "workdept", Type: datum.TInt},
+			{Name: "salary", Type: datum.TFloat},
+		},
+		Keys: [][]int{{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddView(&catalog.View{
+		Name:    "mgrSal",
+		Columns: []string{"empno", "empname", "workdept", "salary"},
+		SQL: "SELECT e.empno, e.empname, e.workdept, e.salary " +
+			"FROM employee e, department d WHERE e.empno = d.mgrno",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddView(&catalog.View{
+		Name:    "avgMgrSal",
+		Columns: []string{"workdept", "avgsalary"},
+		SQL:     "SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func build(t *testing.T, cat *catalog.Catalog, query string) *qgm.Graph {
+	t.Helper()
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := NewBuilder(cat).Build(q)
+	if err != nil {
+		t.Fatalf("build %q: %v", query, err)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return g
+}
+
+func buildErr(t *testing.T, cat *catalog.Catalog, query string) error {
+	t.Helper()
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = NewBuilder(cat).Build(q)
+	if err == nil {
+		t.Fatalf("build %q succeeded; want error", query)
+	}
+	return err
+}
+
+func TestBuildSimpleSelect(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT d.deptname, d.deptno FROM department d WHERE d.deptname = 'Planning'")
+	top := g.Top
+	if top.Kind != qgm.KindSelect || len(top.Quantifiers) != 1 || len(top.Preds) != 1 {
+		t.Fatalf("top: %s", g.Dump())
+	}
+	if top.Output[0].Name != "deptname" || top.Output[0].Type != datum.TString {
+		t.Errorf("output[0] = %+v", top.Output[0])
+	}
+	if top.Output[1].Type != datum.TInt {
+		t.Errorf("output[1] = %+v", top.Output[1])
+	}
+}
+
+func TestBuildUnqualifiedColumns(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT deptname FROM department WHERE deptno = 1")
+	if len(g.Top.Output) != 1 {
+		t.Fatal("bad output")
+	}
+}
+
+func TestBuildStar(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT * FROM department d, employee e")
+	if got := len(g.Top.Output); got != 7 {
+		t.Fatalf("star expanded to %d columns; want 7", got)
+	}
+	g = build(t, cat, "SELECT e.* FROM department d, employee e")
+	if got := len(g.Top.Output); got != 4 {
+		t.Fatalf("e.* expanded to %d columns; want 4", got)
+	}
+}
+
+func TestBuildPaperQueryD(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, `SELECT d.deptname, s.workdept, s.avgsalary
+		FROM department d, avgMgrSal s
+		WHERE d.deptno = s.workdept AND d.deptname = 'Planning'`)
+	// Expected structure: top select over department + avgMgrSal blob;
+	// the avgMgrSal blob is the group-by triplet HV -> GB -> T1; T1 is the
+	// merged-from mgrSal view... no, before rewrite mgrSal is its own blob:
+	// HV -> GB -> T1 -> MGRSAL -> {EMPLOYEE, DEPARTMENT}.
+	s := g.Stats()
+	if s.GroupBys != 1 {
+		t.Errorf("group-by boxes = %d; want 1", s.GroupBys)
+	}
+	// Boxes: QUERY, DEPARTMENT, HV, GB, T1, MGRSAL, EMPLOYEE = 7.
+	if s.Boxes != 7 {
+		t.Errorf("boxes = %d; want 7\n%s", s.Boxes, g.Dump())
+	}
+	// department must be shared between the query box and the mgrSal view.
+	depts := g.BoxesByName("DEPARTMENT")
+	if len(depts) != 1 {
+		t.Errorf("DEPARTMENT boxes = %d; want 1 (shared)", len(depts))
+	}
+	if g.UseCount(depts[0]) != 2 {
+		t.Errorf("DEPARTMENT uses = %d; want 2", g.UseCount(depts[0]))
+	}
+	// The avgsalary output must be FLOAT (AVG).
+	if ord := g.Top.OutputIndex("avgsalary"); ord < 0 || g.Top.Output[ord].Type != datum.TFloat {
+		t.Errorf("avgsalary output wrong: %+v", g.Top.Output)
+	}
+}
+
+func TestViewSharedAcrossUses(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, `SELECT a.workdept FROM avgMgrSal a, avgMgrSal b WHERE a.workdept = b.workdept`)
+	hv := g.Top.Quantifiers[0].Ranges
+	if g.Top.Quantifiers[1].Ranges != hv {
+		t.Error("two uses of a view must share one blob")
+	}
+}
+
+func TestGroupByTriplet(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, `SELECT workdept, AVG(salary), COUNT(*) FROM employee
+		GROUP BY workdept HAVING AVG(salary) > 100 AND workdept > 1`)
+	hv := g.Top
+	if hv.Kind != qgm.KindSelect || len(hv.Preds) != 2 {
+		t.Fatalf("having box: %s", g.Dump())
+	}
+	gb := hv.Quantifiers[0].Ranges
+	if gb.Kind != qgm.KindGroupBy {
+		t.Fatalf("expected group-by under having: %s", g.Dump())
+	}
+	if len(gb.GroupBy) != 1 || len(gb.Aggs) != 2 {
+		t.Fatalf("gb: groups=%d aggs=%d", len(gb.GroupBy), len(gb.Aggs))
+	}
+	if gb.Aggs[0].Kind != datum.AggAvg || gb.Aggs[1].Kind != datum.AggCountStar {
+		t.Errorf("aggs = %+v", gb.Aggs)
+	}
+	t1 := gb.Quantifiers[0].Ranges
+	if t1.Kind != qgm.KindSelect {
+		t.Fatalf("expected T1 select under group-by")
+	}
+	// AVG(salary) reused between select list and HAVING: only 2 aggs total.
+	if len(gb.Output) != 3 {
+		t.Errorf("gb outputs = %d; want 3", len(gb.Output))
+	}
+}
+
+func TestScalarAggregateWithoutGroupBy(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT AVG(salary) FROM employee")
+	gb := g.Top.Quantifiers[0].Ranges
+	if gb.Kind != qgm.KindGroupBy || len(gb.GroupBy) != 0 || len(gb.Aggs) != 1 {
+		t.Fatalf("scalar agg: %s", g.Dump())
+	}
+}
+
+func TestGroupByExpressionMatching(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT workdept + 1, SUM(salary) FROM employee GROUP BY workdept + 1")
+	gb := g.Top.Quantifiers[0].Ranges
+	if len(gb.GroupBy) != 1 {
+		t.Fatalf("groups = %d", len(gb.GroupBy))
+	}
+	// Select item "workdept + 1" must map to the grouping output, i.e. the
+	// top box output expr is a plain ColRef.
+	if _, ok := g.Top.Output[0].Expr.(*qgm.ColRef); !ok {
+		t.Errorf("grouping expr not matched: %s", g.Top.Output[0].Expr)
+	}
+}
+
+func TestGroupByArithmeticOverGroupCol(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT workdept * 2 FROM employee GROUP BY workdept")
+	if _, ok := g.Top.Output[0].Expr.(*qgm.Arith); !ok {
+		t.Errorf("expected arithmetic over grouping column: %s", g.Top.Output[0].Expr)
+	}
+}
+
+func TestSubqueryQuantifiers(t *testing.T) {
+	cat := paperCatalog(t)
+	cases := []struct {
+		query string
+		qtype qgm.QType
+	}{
+		{"SELECT empno FROM employee e WHERE EXISTS (SELECT 1 FROM department d WHERE d.mgrno = e.empno)", qgm.Exists},
+		{"SELECT empno FROM employee e WHERE NOT EXISTS (SELECT 1 FROM department d WHERE d.mgrno = e.empno)", qgm.ForAll},
+		{"SELECT empno FROM employee WHERE workdept IN (SELECT deptno FROM department)", qgm.Exists},
+		{"SELECT empno FROM employee WHERE workdept NOT IN (SELECT deptno FROM department)", qgm.ForAll},
+		{"SELECT empno FROM employee WHERE salary > ALL (SELECT salary FROM employee WHERE workdept = 1)", qgm.ForAll},
+		{"SELECT empno FROM employee WHERE salary = ANY (SELECT salary FROM employee WHERE workdept = 1)", qgm.Exists},
+	}
+	for _, c := range cases {
+		g := build(t, cat, c.query)
+		var found *qgm.Quantifier
+		for _, q := range g.Top.Quantifiers {
+			if q.Type != qgm.ForEach {
+				found = q
+			}
+		}
+		if found == nil || found.Type != c.qtype {
+			t.Errorf("%s: quantifier = %v; want %v", c.query, found, c.qtype)
+		}
+	}
+}
+
+func TestNotExistsMatchPredicate(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT empno FROM employee e WHERE NOT EXISTS (SELECT 1 FROM department d WHERE d.mgrno = e.empno)")
+	var match *qgm.Match
+	for _, p := range g.Top.Preds {
+		if m, ok := p.(*qgm.Match); ok {
+			match = m
+		}
+	}
+	if match == nil || match.Truth {
+		t.Fatalf("NOT EXISTS should yield Match{Truth: false}: %s", g.Dump())
+	}
+}
+
+func TestNotInUsesNE(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT empno FROM employee WHERE workdept NOT IN (SELECT deptno FROM department)")
+	var cmp *qgm.Cmp
+	for _, p := range g.Top.Preds {
+		if c, ok := p.(*qgm.Cmp); ok {
+			cmp = c
+		}
+	}
+	if cmp == nil || cmp.Op != datum.NE {
+		t.Fatalf("NOT IN should produce <> match predicate: %s", g.Dump())
+	}
+}
+
+func TestNormalizedNegation(t *testing.T) {
+	cat := paperCatalog(t)
+	// NOT (a = 1 AND b NOT IN ...) pushes through De Morgan; NOT IN list.
+	g := build(t, cat, "SELECT empno FROM employee WHERE NOT (workdept = 1 AND empno NOT IN (1, 2))")
+	if len(g.Top.Preds) != 1 {
+		t.Fatalf("preds = %d", len(g.Top.Preds))
+	}
+	or, ok := g.Top.Preds[0].(*qgm.Logic)
+	if !ok || or.Op != qgm.Or {
+		t.Fatalf("expected OR after De Morgan: %s", g.Top.Preds[0])
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT empno FROM employee WHERE salary > (SELECT AVG(salary) FROM employee)")
+	var sq *qgm.Quantifier
+	for _, q := range g.Top.Quantifiers {
+		if q.Type == qgm.Scalar {
+			sq = q
+		}
+	}
+	if sq == nil {
+		t.Fatalf("no scalar quantifier: %s", g.Dump())
+	}
+}
+
+func TestCorrelatedSubquery(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, `SELECT empno FROM employee e
+		WHERE salary > (SELECT AVG(salary) FROM employee e2 WHERE e2.workdept = e.workdept)`)
+	// The correlation: inner T1 box predicate references outer quantifier e.
+	var scalarQ *qgm.Quantifier
+	for _, q := range g.Top.Quantifiers {
+		if q.Type == qgm.Scalar {
+			scalarQ = q
+		}
+	}
+	if scalarQ == nil {
+		t.Fatal("no scalar quantifier")
+	}
+	// Walk down to T1 of the inner triplet.
+	gb := scalarQ.Ranges.Quantifiers[0].Ranges
+	t1 := gb.Quantifiers[0].Ranges
+	outerRef := false
+	for _, p := range t1.Preds {
+		for q := range qgm.RefsQuantifiers(p) {
+			if q == g.Top.Quantifiers[0] {
+				outerRef = true
+			}
+		}
+	}
+	if !outerRef {
+		t.Errorf("correlation predicate not found:\n%s", g.Dump())
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT x.workdept FROM (SELECT workdept FROM employee) AS x WHERE x.workdept > 1")
+	if g.Top.Quantifiers[0].Ranges.Kind != qgm.KindSelect {
+		t.Fatal("derived table should be a select box")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT deptno FROM department UNION SELECT workdept FROM employee")
+	if g.Top.Kind != qgm.KindUnion || g.Top.Distinct != qgm.DistinctEnforce {
+		t.Fatalf("union: %s", g.Dump())
+	}
+	g = build(t, cat, "SELECT deptno FROM department UNION ALL SELECT workdept FROM employee")
+	if g.Top.Distinct != qgm.DistinctPreserve {
+		t.Error("UNION ALL should preserve duplicates")
+	}
+	g = build(t, cat, "SELECT deptno FROM department EXCEPT SELECT workdept FROM employee")
+	if g.Top.Kind != qgm.KindExcept {
+		t.Error("except kind")
+	}
+	g = build(t, cat, "SELECT deptno FROM department INTERSECT SELECT workdept FROM employee")
+	if g.Top.Kind != qgm.KindIntersect {
+		t.Error("intersect kind")
+	}
+}
+
+func TestSetOpTypeUnification(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT deptno FROM department UNION SELECT salary FROM employee")
+	if g.Top.Output[0].Type != datum.TFloat {
+		t.Errorf("INT∪FLOAT should be FLOAT, got %s", g.Top.Output[0].Type)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT empno, salary FROM employee ORDER BY salary DESC, 1 LIMIT 3")
+	if len(g.OrderBy) != 2 || g.OrderBy[0].Ord != 1 || !g.OrderBy[0].Desc || g.OrderBy[1].Ord != 0 {
+		t.Errorf("order by = %+v", g.OrderBy)
+	}
+	if g.Limit != 3 {
+		t.Errorf("limit = %d", g.Limit)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT DISTINCT workdept FROM employee")
+	if g.Top.Distinct != qgm.DistinctEnforce {
+		t.Error("DISTINCT not enforced")
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT 1 + 2 AS three")
+	if len(g.Top.Quantifiers) != 0 || g.Top.Output[0].Name != "three" {
+		t.Fatalf("bad: %s", g.Dump())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat := paperCatalog(t)
+	cases := []struct {
+		query   string
+		wantSub string
+	}{
+		{"SELECT x FROM nosuch", "not found"},
+		{"SELECT nosuch FROM employee", "not found"},
+		{"SELECT deptno FROM department, department", "duplicate table name"},
+		{"SELECT workdept FROM employee GROUP BY salary", "GROUP BY"},
+		{"SELECT AVG(salary) FROM employee WHERE AVG(salary) > 1", "aggregate"},
+		{"SELECT deptno FROM department UNION SELECT deptno, deptname FROM department", "arity"},
+		{"SELECT deptno FROM department UNION SELECT deptname FROM department", "type mismatch"},
+		{"SELECT empno FROM employee WHERE workdept IN (SELECT deptno, deptname FROM department)", "one column"},
+		{"SELECT empno FROM employee WHERE salary > (SELECT deptno, deptname FROM department)", "one column"},
+		{"SELECT empno FROM employee WHERE workdept = 1 OR EXISTS (SELECT 1 FROM department)", "OR"},
+		{"SELECT empno FROM (SELECT empno FROM employee ORDER BY empno) AS x", "top level"},
+		{"SELECT * FROM employee GROUP BY workdept", "GROUP BY"},
+		{"SELECT deptname = 1 FROM department", "compare"},
+		{"SELECT salary + deptname FROM employee, department", "numeric"},
+		{"SELECT MEDIAN(salary) FROM employee GROUP BY workdept", "unknown function"},
+		{"SELECT empno LIKE 'x%' FROM employee", "string"},
+	}
+	for _, c := range cases {
+		err := buildErr(t, cat, c.query)
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q error = %q; want substring %q", c.query, err, c.wantSub)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	cat := paperCatalog(t)
+	err := buildErr(t, cat, "SELECT empno FROM employee e, employee e2")
+	if !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("error = %q; want ambiguous", err)
+	}
+}
+
+func TestRecursiveViewBuilds(t *testing.T) {
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.Table{Name: "edge", Columns: []catalog.Column{
+		{Name: "src", Type: datum.TInt}, {Name: "dst", Type: datum.TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddView(&catalog.View{
+		Name:    "tc",
+		Columns: []string{"src", "dst"},
+		SQL: "SELECT src, dst FROM edge UNION " +
+			"SELECT t.src, e.dst FROM tc t, edge e WHERE t.dst = e.src",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, cat, "SELECT src, dst FROM tc WHERE src = 1")
+	var root *qgm.Box
+	for _, b := range g.Reachable() {
+		if b.Recursive {
+			root = b
+		}
+	}
+	if root == nil {
+		t.Fatalf("no fixpoint root:\n%s", g.Dump())
+	}
+	if !qgm.InCycle(root) {
+		t.Error("fixpoint root not in a cycle")
+	}
+}
+
+func TestRecursiveViewRequiresColumnList(t *testing.T) {
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.Table{Name: "edge", Columns: []catalog.Column{
+		{Name: "src", Type: datum.TInt}, {Name: "dst", Type: datum.TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddView(&catalog.View{
+		Name: "tc",
+		SQL: "SELECT src, dst FROM edge UNION " +
+			"SELECT t.src, e.dst FROM tc t, edge e WHERE t.dst = e.src",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := buildErr(t, cat, "SELECT src FROM tc")
+	if !strings.Contains(err.Error(), "column list") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNonStratifiedRecursionRejected(t *testing.T) {
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.Table{Name: "edge", Columns: []catalog.Column{
+		{Name: "src", Type: datum.TInt}, {Name: "dst", Type: datum.TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregation over the recursive reference: not stratified.
+	if err := cat.AddView(&catalog.View{
+		Name:    "badagg",
+		Columns: []string{"src", "n"},
+		SQL: "SELECT src, dst FROM edge UNION " +
+			"SELECT src, COUNT(*) FROM badagg GROUPBY src",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := buildErr(t, cat, "SELECT src FROM badagg")
+	if !strings.Contains(err.Error(), "stratified") {
+		t.Errorf("error = %v", err)
+	}
+	// Negation over the recursive reference: not stratified.
+	if err := cat.AddView(&catalog.View{
+		Name:    "badneg",
+		Columns: []string{"src", "dst"},
+		SQL: "SELECT src, dst FROM edge UNION " +
+			"SELECT e.src, e.dst FROM edge e WHERE NOT EXISTS (SELECT 1 FROM badneg b WHERE b.src = e.src)",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = buildErr(t, cat, "SELECT src FROM badneg")
+	if !strings.Contains(err.Error(), "stratified") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestViewColumnRenaming(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT avgsalary FROM avgMgrSal")
+	if len(g.Top.Output) != 1 {
+		t.Fatal("bad output")
+	}
+}
+
+func TestStrata(t *testing.T) {
+	cat := paperCatalog(t)
+	strata, err := Strata(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strata["employee"] != 0 || strata["department"] != 0 {
+		t.Error("base tables must be stratum 0")
+	}
+	if strata["mgrsal"] != 1 {
+		t.Errorf("mgrSal stratum = %d; want 1", strata["mgrsal"])
+	}
+	if strata["avgmgrsal"] != 2 {
+		t.Errorf("avgMgrSal stratum = %d; want 2", strata["avgmgrsal"])
+	}
+}
+
+func TestStrataCollapsesSCC(t *testing.T) {
+	// Mutually recursive views form one strongly connected component: both
+	// receive the same stratum number (§2's reduced dependency graph).
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.Table{Name: "base", Columns: []catalog.Column{{Name: "a", Type: datum.TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddView(&catalog.View{Name: "v", SQL: "SELECT a FROM base UNION SELECT a FROM w"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddView(&catalog.View{Name: "w", SQL: "SELECT a FROM v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddView(&catalog.View{Name: "above", SQL: "SELECT a FROM w WHERE a > 0"}); err != nil {
+		t.Fatal(err)
+	}
+	strata, err := Strata(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strata["v"] != strata["w"] {
+		t.Errorf("SCC members differ: v=%d w=%d", strata["v"], strata["w"])
+	}
+	if strata["v"] != 1 {
+		t.Errorf("SCC stratum = %d; want 1", strata["v"])
+	}
+	if strata["above"] != strata["v"]+1 {
+		t.Errorf("above stratum = %d; want %d", strata["above"], strata["v"]+1)
+	}
+}
+
+func TestStrataSubqueryDependencies(t *testing.T) {
+	cat := paperCatalog(t)
+	if err := cat.AddView(&catalog.View{
+		Name: "v",
+		SQL:  "SELECT deptno FROM department WHERE deptno IN (SELECT workdept FROM avgMgrSal)",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	strata, err := Strata(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strata["v"] != 3 {
+		t.Errorf("v stratum = %d; want 3", strata["v"])
+	}
+}
+
+func TestHiddenSortColumns(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT empname FROM employee ORDER BY salary DESC")
+	if g.HiddenCols != 1 {
+		t.Fatalf("hidden cols = %d; want 1", g.HiddenCols)
+	}
+	if len(g.Top.Output) != 2 {
+		t.Fatalf("outputs = %d; want 2 (1 visible + 1 hidden)", len(g.Top.Output))
+	}
+	if len(g.OrderBy) != 1 || g.OrderBy[0].Ord != 1 || !g.OrderBy[0].Desc {
+		t.Errorf("order spec = %+v", g.OrderBy)
+	}
+	// Grouped query ordering by an aggregate not in the select list.
+	g = build(t, cat, "SELECT workdept FROM employee GROUP BY workdept ORDER BY COUNT(*) DESC")
+	if g.HiddenCols != 1 {
+		t.Errorf("grouped hidden cols = %d", g.HiddenCols)
+	}
+}
+
+func TestCaseTranslation(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT CASE WHEN salary > 500 THEN 'hi' ELSE 'lo' END FROM employee")
+	if _, ok := g.Top.Output[0].Expr.(*qgm.Case); !ok {
+		t.Fatalf("expr = %T", g.Top.Output[0].Expr)
+	}
+	if g.Top.Output[0].Type != datum.TString {
+		t.Errorf("case type = %v", g.Top.Output[0].Type)
+	}
+	// Simple CASE normalizes to equality predicates.
+	g = build(t, cat, "SELECT CASE workdept WHEN 1 THEN 'a' END FROM employee")
+	c := g.Top.Output[0].Expr.(*qgm.Case)
+	if _, ok := c.Whens[0].When.(*qgm.Cmp); !ok {
+		t.Errorf("simple case when = %T", c.Whens[0].When)
+	}
+}
+
+func TestCaseErrors(t *testing.T) {
+	cat := paperCatalog(t)
+	err := buildErr(t, cat, "SELECT CASE deptname WHEN 1 THEN 'x' END FROM department")
+	if !strings.Contains(err.Error(), "compare") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestScalarFuncErrors(t *testing.T) {
+	cat := paperCatalog(t)
+	cases := []struct{ q, sub string }{
+		{"SELECT ABS(deptname) FROM department", "numeric"},
+		{"SELECT UPPER(deptno) FROM department", "string"},
+		{"SELECT NULLIF(deptno) FROM department", "arguments"},
+		{"SELECT BOGUSFN(deptno) FROM department", "unknown function"},
+	}
+	for _, c := range cases {
+		err := buildErr(t, cat, c.q)
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%q error = %v; want %q", c.q, err, c.sub)
+		}
+	}
+}
+
+func TestViewColumnCountMismatch(t *testing.T) {
+	cat := paperCatalog(t)
+	if err := cat.AddView(&catalog.View{
+		Name:    "badcols",
+		Columns: []string{"a", "b", "c"},
+		SQL:     "SELECT deptno FROM department",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := buildErr(t, cat, "SELECT a FROM badcols")
+	if !strings.Contains(err.Error(), "columns") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestGroupedScalarFunc(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, "SELECT COALESCE(workdept, -1), ABS(SUM(salary)) FROM employee GROUP BY workdept")
+	if len(g.Top.Output) != 2 {
+		t.Fatal("outputs")
+	}
+	if _, ok := g.Top.Output[1].Expr.(*qgm.Func); !ok {
+		t.Errorf("ABS over aggregate = %T", g.Top.Output[1].Expr)
+	}
+}
+
+func TestGroupedBetweenAndInList(t *testing.T) {
+	cat := paperCatalog(t)
+	g := build(t, cat, `SELECT workdept FROM employee GROUP BY workdept
+		HAVING COUNT(*) BETWEEN 1 AND 10 AND workdept IN (1, 2, 3)`)
+	if len(g.Top.Preds) != 3 { // BETWEEN expands to two conjuncts... no: one AND-arg each
+		// BETWEEN becomes Logic(And) single pred + IN single pred = 2
+		if len(g.Top.Preds) != 2 {
+			t.Errorf("having preds = %d", len(g.Top.Preds))
+		}
+	}
+}
+
+func TestSetOpViewExpansion(t *testing.T) {
+	cat := paperCatalog(t)
+	if err := cat.AddView(&catalog.View{
+		Name: "unionview",
+		SQL:  "SELECT deptno FROM department UNION SELECT workdept FROM employee",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, cat, "SELECT deptno FROM unionview WHERE deptno = 1")
+	found := false
+	for _, b := range g.Reachable() {
+		if b.Kind == qgm.KindUnion {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("union view not expanded to a union box")
+	}
+}
+
+func TestInsertSelectParses(t *testing.T) {
+	st, err := sql.Parse("INSERT INTO t SELECT a, b FROM u WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*sql.Insert)
+	if ins.Query == nil || ins.Rows != nil {
+		t.Errorf("insert = %+v", ins)
+	}
+}

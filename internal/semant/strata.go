@@ -1,0 +1,197 @@
+package semant
+
+import (
+	"fmt"
+	"strings"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/sql"
+)
+
+// Strata assigns stratum numbers to the catalog's view blobs per the
+// paper's §2: build the dependency graph of blobs (an edge from blob U to
+// blob V when table U appears in V's FROM clause or subqueries), reduce
+// strongly connected components, and topologically sort. Base tables are
+// stratum 0. Because recursive views are rejected at definition time, every
+// strongly connected component is a single node here; a cycle reports an
+// error.
+func Strata(cat *catalog.Catalog) (map[string]int, error) {
+	strata := map[string]int{}
+	for _, t := range cat.Tables() {
+		strata[strings.ToLower(t.Name)] = 0
+	}
+
+	deps := map[string][]string{}
+	for _, v := range cat.Views() {
+		q, err := sql.ParseQuery(v.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("view %q: %w", v.Name, err)
+		}
+		deps[strings.ToLower(v.Name)] = referencedTables(q)
+	}
+
+	// Collapse strongly connected components (recursive view groups) so the
+	// reduced dependency graph is acyclic, exactly as §2 prescribes; every
+	// blob in an SCC receives the component's stratum number.
+	sccOf := sccIndex(deps)
+	memo := map[int]int{}
+	const inProgress = -1
+	var visitSCC func(comp int, members []string) (int, error)
+	compMembers := map[int][]string{}
+	for name := range deps {
+		compMembers[sccOf[name]] = append(compMembers[sccOf[name]], name)
+	}
+	var visitName func(name string) (int, error)
+	visitSCC = func(comp int, members []string) (int, error) {
+		if s, ok := memo[comp]; ok {
+			if s == inProgress {
+				return 0, fmt.Errorf("internal: SCC cycle")
+			}
+			return s, nil
+		}
+		memo[comp] = inProgress
+		max := 0
+		inComp := map[string]bool{}
+		for _, m := range members {
+			inComp[m] = true
+		}
+		for _, m := range members {
+			for _, r := range deps[m] {
+				ref := strings.ToLower(r)
+				if inComp[ref] {
+					continue
+				}
+				s, err := visitName(ref)
+				if err != nil {
+					return 0, err
+				}
+				if s > max {
+					max = s
+				}
+			}
+		}
+		memo[comp] = max + 1
+		return max + 1, nil
+	}
+	visitName = func(name string) (int, error) {
+		if s, ok := strata[name]; ok {
+			return s, nil
+		}
+		if _, ok := deps[name]; !ok {
+			return 0, fmt.Errorf("unknown table or view %q", name)
+		}
+		comp := sccOf[name]
+		s, err := visitSCC(comp, compMembers[comp])
+		if err != nil {
+			return 0, err
+		}
+		strata[name] = s
+		return s, nil
+	}
+	for name := range deps {
+		if _, err := visitName(name); err != nil {
+			return nil, err
+		}
+	}
+	return strata, nil
+}
+
+// sccIndex assigns a component id to every view using Tarjan's algorithm
+// over the view dependency graph (base tables are leaves and excluded).
+func sccIndex(deps map[string][]string) map[string]int {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	counter, compCount := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		counter++
+		index[v] = counter
+		low[v] = counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range deps[v] {
+			w = strings.ToLower(w)
+			if _, isView := deps[w]; !isView {
+				continue // base table
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			compCount++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = compCount
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for v := range deps {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+// referencedTables collects the table/view names referenced in the FROM
+// clauses and subqueries of a query expression.
+func referencedTables(q sql.QueryExpr) []string {
+	var out []string
+	var visitQuery func(sql.QueryExpr)
+	var visitExpr func(sql.Expr)
+	visitExpr = func(e sql.Expr) {
+		walkSQLExpr(e, func(x sql.Expr) bool {
+			switch s := x.(type) {
+			case *sql.Exists:
+				visitQuery(s.Sub)
+			case *sql.In:
+				if s.Sub != nil {
+					visitQuery(s.Sub)
+				}
+			case *sql.QuantCmp:
+				visitQuery(s.Sub)
+			case *sql.ScalarSub:
+				visitQuery(s.Sub)
+			}
+			return true
+		})
+	}
+	visitQuery = func(qe sql.QueryExpr) {
+		switch s := qe.(type) {
+		case *sql.Select:
+			for _, f := range s.From {
+				if f.Subquery != nil {
+					visitQuery(f.Subquery)
+				} else {
+					out = append(out, f.Table)
+				}
+			}
+			for _, it := range s.Items {
+				if !it.Star {
+					visitExpr(it.Expr)
+				}
+			}
+			visitExpr(s.Where)
+			visitExpr(s.Having)
+		case *sql.SetOp:
+			visitQuery(s.Left)
+			visitQuery(s.Right)
+		}
+	}
+	visitQuery(q)
+	return out
+}

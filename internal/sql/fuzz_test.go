@@ -1,0 +1,56 @@
+package sql
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that anything it accepts
+// round-trips through the printer into something it accepts again.
+// Run with: go test -fuzz FuzzParse ./internal/sql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT 1",
+		"SELECT a, b FROM t WHERE a = 1 AND b < 2 ORDER BY a DESC LIMIT 3",
+		"SELECT DISTINCT t.* FROM t, u WHERE t.a = u.b OR u.c IS NOT NULL",
+		"SELECT COUNT(*), AVG(x) FROM t GROUP BY y HAVING COUNT(*) > 1",
+		"CREATE TABLE t (a INT, b VARCHAR(3), PRIMARY KEY (a))",
+		"CREATE VIEW v (x) AS SELECT a FROM t UNION ALL SELECT b FROM u",
+		"INSERT INTO t VALUES (1, 'a''b'), (-2, NULL)",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+		"SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE u.z = t.w)",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 2 AND c NOT LIKE 'x%'",
+		"UPDATE t SET a = a + 1 WHERE b IS NULL",
+		"DELETE FROM t WHERE a > ALL (SELECT b FROM u)",
+		"SELECT /* comment */ a -- trailing\nFROM t;",
+		"(SELECT a FROM t) INTERSECT SELECT b FROM u",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseAll(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, st := range stmts {
+			text := FormatStatement(st)
+			if _, err := ParseAll(text); err != nil {
+				t.Fatalf("printer output rejected: %q -> %q: %v", src, text, err)
+			}
+		}
+	})
+}
+
+// FuzzTokenize asserts the lexer never panics and always terminates.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{"SELECT 'a''b' <= 1.5 -- c", "/*", "\"id", "'"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("tokenize %q: missing EOF", src)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes SQL text. It is used by the Parser; tests use it directly.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a positioned lex/parse error.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Identifiers are ASCII: treating arbitrary high bytes as letters (via a
+// byte-to-rune cast) would accept invalid UTF-8 as identifiers.
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '$' || ('0' <= c && c <= '9')
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			tok.Kind = TokKeyword
+			tok.Text = strings.ToUpper(text)
+		} else {
+			tok.Kind = TokIdent
+			tok.Text = text
+		}
+		return tok, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		start := l.pos
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.peekByte()
+			if ch >= '0' && ch <= '9' {
+				l.advance()
+				continue
+			}
+			if ch == '.' && !seenDot {
+				// Only a decimal point if followed by a digit; "1." then "." as
+				// punct is nicer to reject via parser.
+				seenDot = true
+				l.advance()
+				continue
+			}
+			break
+		}
+		// Scientific notation: digits [eE] [+-] digits.
+		if l.pos < len(l.src) && (l.peekByte() == 'e' || l.peekByte() == 'E') {
+			mark, markLine, markCol := l.pos, l.line, l.col
+			l.advance()
+			if l.pos < len(l.src) && (l.peekByte() == '+' || l.peekByte() == '-') {
+				l.advance()
+			}
+			if l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+				for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+					l.advance()
+				}
+			} else {
+				// Not an exponent after all ("1e" then identifier): back off.
+				l.pos, l.line, l.col = mark, markLine, markCol
+			}
+		}
+		tok.Kind = TokNumber
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	case c == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				// '' escapes a quote inside the string.
+				if l.peekByte() == '\'' {
+					l.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		tok.Kind = TokString
+		tok.Text = sb.String()
+		return tok, nil
+	case c == '"':
+		// Double-quoted identifiers.
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '"' {
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated quoted identifier")
+		}
+		text := l.src[start:l.pos]
+		l.advance()
+		tok.Kind = TokIdent
+		tok.Text = text
+		return tok, nil
+	default:
+		// Multi-byte punctuation first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.advance()
+			l.advance()
+			tok.Kind = TokPunct
+			if two == "!=" {
+				two = "<>"
+			}
+			tok.Text = two
+			return tok, nil
+		}
+		switch c {
+		case '=', '<', '>', '(', ')', ',', '.', '*', '+', '-', '/', '%', ';':
+			l.advance()
+			tok.Kind = TokPunct
+			tok.Text = string(c)
+			return tok, nil
+		}
+		return Token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+// Tokenize lexes the whole input; used in tests.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sql
+
+import "testing"
+
+func kinds(ts []Token) []TokenKind {
+	out := make([]TokenKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	ts, err := Tokenize("SELECT d.deptname, AVG(salary) FROM dept d WHERE x >= 1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "d", ".", "deptname", ",", "AVG", "(", "salary", ")",
+		"FROM", "dept", "d", "WHERE", "x", ">=", "1.5", ""}
+	if len(ts) != len(want) {
+		t.Fatalf("got %d tokens; want %d: %v", len(ts), len(want), ts)
+	}
+	for i, w := range want[:len(want)-1] {
+		if ts[i].Text != w {
+			t.Errorf("token %d = %q; want %q", i, ts[i].Text, w)
+		}
+	}
+	if ts[len(ts)-1].Kind != TokEOF {
+		t.Error("missing EOF")
+	}
+}
+
+func TestKeywordsUppercased(t *testing.T) {
+	ts, err := Tokenize("select From wHeRe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []string{"SELECT", "FROM", "WHERE"} {
+		if ts[i].Kind != TokKeyword || ts[i].Text != w {
+			t.Errorf("token %d = %v; want keyword %s", i, ts[i], w)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	ts, err := Tokenize("'Planning' 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Text != "Planning" || ts[1].Text != "it's" {
+		t.Errorf("strings = %q, %q", ts[0].Text, ts[1].Text)
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	ts, err := Tokenize(`"Group" x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Kind != TokIdent || ts[0].Text != "Group" {
+		t.Errorf("quoted ident = %v", ts[0])
+	}
+	if _, err := Tokenize(`"open`); err == nil {
+		t.Error("unterminated quoted identifier accepted")
+	}
+}
+
+func TestComments(t *testing.T) {
+	ts, err := Tokenize("SELECT -- inline\n 1 /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range ts {
+		if tok.Kind != TokEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"SELECT", "1", "+", "2"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	if _, err := Tokenize("/* open"); err == nil {
+		t.Error("unterminated block comment accepted")
+	}
+}
+
+func TestMultiCharPunct(t *testing.T) {
+	ts, err := Tokenize("a <= b >= c <> d != e || f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var puncts []string
+	for _, tok := range ts {
+		if tok.Kind == TokPunct {
+			puncts = append(puncts, tok.Text)
+		}
+	}
+	want := []string{"<=", ">=", "<>", "<>", "||"}
+	for i, w := range want {
+		if puncts[i] != w {
+			t.Errorf("punct %d = %q; want %q", i, puncts[i], w)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	ts, err := Tokenize("1 2.5 .75 100.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", ".75", "100."}
+	for i, w := range want {
+		if ts[i].Kind != TokNumber || ts[i].Text != w {
+			t.Errorf("number %d = %v; want %q", i, ts[i], w)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	ts, err := Tokenize("SELECT\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Line != 1 || ts[0].Col != 1 {
+		t.Errorf("SELECT at %d:%d", ts[0].Line, ts[0].Col)
+	}
+	if ts[1].Line != 2 || ts[1].Col != 3 {
+		t.Errorf("x at %d:%d; want 2:3", ts[1].Line, ts[1].Col)
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := Tokenize("SELECT @"); err == nil {
+		t.Error("@ accepted")
+	}
+}

@@ -1,0 +1,822 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"starmagic/internal/datum"
+)
+
+// Parser is a recursive-descent SQL parser.
+type Parser struct {
+	lex  *Lexer
+	tok  Token // current token
+	nxt  Token // one-token lookahead
+	nxt2 Token // two-token lookahead (needed for "t . *" select items)
+	err  error
+}
+
+// NewParser returns a parser over src.
+func NewParser(src string) (*Parser, error) {
+	p := &Parser{lex: NewLexer(src)}
+	var err error
+	if p.tok, err = p.lex.Next(); err != nil {
+		return nil, err
+	}
+	if p.nxt, err = p.lex.Next(); err != nil {
+		return nil, err
+	}
+	if p.nxt2, err = p.lex.Next(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Parse parses a single statement from src, requiring full consumption
+// (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseQuery parses src as a query expression.
+func ParseQuery(src string) (QueryExpr, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStatement)
+	if !ok {
+		return nil, fmt.Errorf("expected a query, got %T", st)
+	}
+	return sel.Query, nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Statement
+	for {
+		for p.tok.Kind == TokPunct && p.tok.Text == ";" {
+			p.advance()
+		}
+		if p.tok.Kind == TokEOF {
+			break
+		}
+		st := p.parseStatement()
+		if p.err != nil {
+			return nil, p.err
+		}
+		out = append(out, st)
+		if p.tok.Kind != TokEOF && !(p.tok.Kind == TokPunct && p.tok.Text == ";") {
+			return nil, p.errorf("unexpected %s after statement", p.tok)
+		}
+	}
+	return out, nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	if p.err == nil {
+		p.err = &Error{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...)}
+	}
+	return p.err
+}
+
+func (p *Parser) advance() Token {
+	t := p.tok
+	p.tok = p.nxt
+	p.nxt = p.nxt2
+	var err error
+	p.nxt2, err = p.lex.Next()
+	if err != nil && p.err == nil {
+		p.err = err
+		p.nxt2 = Token{Kind: TokEOF}
+	}
+	return t
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokKeyword && p.tok.Text == kw
+}
+
+func (p *Parser) nextIsKeyword(kw string) bool {
+	return p.nxt.Kind == TokKeyword && p.nxt.Text == kw
+}
+
+func (p *Parser) isPunct(s string) bool {
+	return p.tok.Kind == TokPunct && p.tok.Text == s
+}
+
+// accept consumes the keyword if present.
+func (p *Parser) accept(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// acceptPunct consumes the punct if present.
+func (p *Parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kw string) {
+	if !p.accept(kw) {
+		p.errorf("expected %s, got %s", kw, p.tok)
+	}
+}
+
+func (p *Parser) expectPunct(s string) {
+	if !p.acceptPunct(s) {
+		p.errorf("expected %q, got %s", s, p.tok)
+	}
+}
+
+func (p *Parser) expectIdent() string {
+	if p.tok.Kind != TokIdent {
+		// Be permissive: non-reserved-looking keywords are still rejected;
+		// that keeps the grammar predictable.
+		p.errorf("expected identifier, got %s", p.tok)
+		return ""
+	}
+	return p.advance().Text
+}
+
+func (p *Parser) parseStatement() Statement {
+	switch {
+	case p.isKeyword("CREATE"):
+		return p.parseCreate()
+	case p.isKeyword("INSERT"):
+		return p.parseInsert()
+	case p.isKeyword("DROP"):
+		p.advance()
+		p.expect("VIEW")
+		return &DropView{Name: p.expectIdent()}
+	case p.isKeyword("DELETE"):
+		p.advance()
+		p.expect("FROM")
+		d := &Delete{Table: p.expectIdent()}
+		if p.accept("WHERE") {
+			d.Where = p.parseExpr()
+		}
+		return d
+	case p.isKeyword("UPDATE"):
+		p.advance()
+		u := &Update{Table: p.expectIdent()}
+		p.expect("SET")
+		for {
+			a := Assignment{Column: p.expectIdent()}
+			p.expectPunct("=")
+			a.Expr = p.parseExpr()
+			u.Set = append(u.Set, a)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if p.accept("WHERE") {
+			u.Where = p.parseExpr()
+		}
+		return u
+	case p.isKeyword("SELECT") || p.isPunct("("):
+		q := p.parseQueryExpr()
+		return &SelectStatement{Query: q}
+	default:
+		p.errorf("expected a statement, got %s", p.tok)
+		return nil
+	}
+}
+
+func (p *Parser) parseCreate() Statement {
+	start := p.tok
+	p.expect("CREATE")
+	unique := p.accept("UNIQUE")
+	switch {
+	case p.isKeyword("TABLE"):
+		if unique {
+			p.errorf("UNIQUE is not valid before TABLE")
+			return nil
+		}
+		return p.parseCreateTable()
+	case p.isKeyword("VIEW"):
+		if unique {
+			p.errorf("UNIQUE is not valid before VIEW")
+			return nil
+		}
+		return p.parseCreateView()
+	case p.isKeyword("INDEX"):
+		p.advance()
+		ci := &CreateIndex{Unique: unique}
+		ci.Name = p.expectIdent()
+		p.expect("ON")
+		ci.Table = p.expectIdent()
+		p.expectPunct("(")
+		for {
+			ci.Cols = append(ci.Cols, p.expectIdent())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct(")")
+		return ci
+	default:
+		p.err = &Error{Line: start.Line, Col: start.Col, Msg: fmt.Sprintf("expected TABLE, VIEW, or INDEX after CREATE, got %s", p.tok)}
+		return nil
+	}
+}
+
+func (p *Parser) parseCreateTable() Statement {
+	p.expect("TABLE")
+	ct := &CreateTable{Name: p.expectIdent()}
+	p.expectPunct("(")
+	for {
+		if p.isKeyword("PRIMARY") {
+			p.advance()
+			p.expect("KEY")
+			p.expectPunct("(")
+			for {
+				ct.PrimaryKey = append(ct.PrimaryKey, p.expectIdent())
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			p.expectPunct(")")
+		} else if p.isKeyword("UNIQUE") {
+			p.advance()
+			p.expectPunct("(")
+			var cols []string
+			for {
+				cols = append(cols, p.expectIdent())
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			p.expectPunct(")")
+			ct.Uniques = append(ct.Uniques, cols)
+		} else {
+			name := p.expectIdent()
+			if p.err != nil {
+				return nil
+			}
+			var typeName string
+			if p.tok.Kind == TokIdent {
+				typeName = p.advance().Text
+			} else {
+				p.errorf("expected type name, got %s", p.tok)
+				return nil
+			}
+			typ, err := datum.TypeFromName(typeName)
+			if err != nil {
+				p.errorf("%v", err)
+				return nil
+			}
+			// Swallow an optional length like VARCHAR(20).
+			if p.acceptPunct("(") {
+				if p.tok.Kind != TokNumber {
+					p.errorf("expected length, got %s", p.tok)
+					return nil
+				}
+				p.advance()
+				p.expectPunct(")")
+			}
+			ct.Cols = append(ct.Cols, ColDef{Name: name, Type: typ})
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(")")
+	return ct
+}
+
+func (p *Parser) parseCreateView() Statement {
+	p.expect("VIEW")
+	cv := &CreateView{Name: p.expectIdent()}
+	if p.acceptPunct("(") {
+		for {
+			cv.Cols = append(cv.Cols, p.expectIdent())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct(")")
+	}
+	p.expect("AS")
+	cv.Query = p.parseQueryExpr()
+	if p.err == nil {
+		// Canonical body text, stored in the catalog for re-expansion.
+		cv.SQL = FormatQuery(cv.Query)
+	}
+	return cv
+}
+
+func (p *Parser) parseInsert() Statement {
+	p.expect("INSERT")
+	p.expect("INTO")
+	ins := &Insert{Table: p.expectIdent()}
+	if p.isKeyword("SELECT") || p.isPunct("(") && p.nxt.Kind == TokKeyword && p.nxt.Text == "SELECT" {
+		ins.Query = p.parseQueryExpr()
+		return ins
+	}
+	p.expect("VALUES")
+	for {
+		p.expectPunct("(")
+		var row []Expr
+		for {
+			row = append(row, p.parseExpr())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct(")")
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return ins
+}
+
+// parseQueryExpr parses a query with set operations. UNION and EXCEPT are
+// left-associative at the same precedence; INTERSECT binds tighter, per the
+// SQL standard.
+func (p *Parser) parseQueryExpr() QueryExpr {
+	left := p.parseQueryTerm()
+	for p.isKeyword("UNION") || p.isKeyword("EXCEPT") {
+		op := Union
+		if p.tok.Text == "EXCEPT" {
+			op = Except
+		}
+		p.advance()
+		all := p.accept("ALL")
+		if !all {
+			p.accept("DISTINCT")
+		}
+		right := p.parseQueryTerm()
+		left = &SetOp{Op: op, All: all, Left: left, Right: right}
+	}
+	return left
+}
+
+func (p *Parser) parseQueryTerm() QueryExpr {
+	left := p.parseQueryPrimary()
+	for p.isKeyword("INTERSECT") {
+		p.advance()
+		all := p.accept("ALL")
+		if !all {
+			p.accept("DISTINCT")
+		}
+		right := p.parseQueryPrimary()
+		left = &SetOp{Op: Intersect, All: all, Left: left, Right: right}
+	}
+	return left
+}
+
+func (p *Parser) parseQueryPrimary() QueryExpr {
+	if p.acceptPunct("(") {
+		q := p.parseQueryExpr()
+		p.expectPunct(")")
+		return q
+	}
+	return p.parseSelect()
+}
+
+func (p *Parser) parseSelect() *Select {
+	p.expect("SELECT")
+	sel := &Select{Limit: -1}
+	if p.accept("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.accept("ALL")
+	}
+	for {
+		sel.Items = append(sel.Items, p.parseSelectItem())
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	var joinConds []Expr
+	if p.accept("FROM") {
+		for {
+			refs, conds := p.parseJoinChain()
+			sel.From = append(sel.From, refs...)
+			joinConds = append(joinConds, conds...)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.accept("WHERE") {
+		sel.Where = p.parseExpr()
+	}
+	// Desugar JOIN ... ON conditions into the WHERE conjunction.
+	for _, c := range joinConds {
+		if sel.Where == nil {
+			sel.Where = c
+		} else {
+			sel.Where = &Bin{Op: OpAnd, L: sel.Where, R: c}
+		}
+	}
+	if p.isKeyword("GROUPBY") || (p.isKeyword("GROUP") && p.nextIsKeyword("BY")) {
+		if p.accept("GROUP") {
+			p.expect("BY")
+		} else {
+			p.expect("GROUPBY")
+		}
+		for {
+			sel.GroupBy = append(sel.GroupBy, p.parseExpr())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.accept("HAVING") {
+		sel.Having = p.parseExpr()
+	}
+	if p.isKeyword("ORDER") {
+		p.advance()
+		p.expect("BY")
+		for {
+			item := OrderItem{Expr: p.parseExpr()}
+			if p.accept("DESC") {
+				item.Desc = true
+			} else {
+				p.accept("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.accept("LIMIT") {
+		if p.tok.Kind != TokNumber {
+			p.errorf("expected number after LIMIT, got %s", p.tok)
+			return sel
+		}
+		n, err := strconv.ParseInt(p.advance().Text, 10, 64)
+		if err != nil {
+			p.errorf("bad LIMIT: %v", err)
+			return sel
+		}
+		sel.Limit = n
+	}
+	return sel
+}
+
+func (p *Parser) parseSelectItem() SelectItem {
+	if p.isPunct("*") {
+		p.advance()
+		return SelectItem{Star: true}
+	}
+	// t.* form: ident '.' '*'
+	if p.tok.Kind == TokIdent &&
+		p.nxt.Kind == TokPunct && p.nxt.Text == "." &&
+		p.nxt2.Kind == TokPunct && p.nxt2.Text == "*" {
+		qual := p.advance().Text
+		p.advance() // '.'
+		p.advance() // '*'
+		return SelectItem{Star: true, Qualifier: qual}
+	}
+	item := SelectItem{Expr: p.parseExpr()}
+	if p.accept("AS") {
+		item.Alias = p.expectIdent()
+	} else if p.tok.Kind == TokIdent {
+		item.Alias = p.advance().Text
+	}
+	return item
+}
+
+// parseJoinChain parses "ref [INNER|CROSS] JOIN ref ON cond ..." into the
+// flat table list plus the ON conditions. Outer joins are rejected with a
+// pointer to the extensibility example.
+func (p *Parser) parseJoinChain() ([]TableRef, []Expr) {
+	refs := []TableRef{p.parseTableRef()}
+	var conds []Expr
+	for {
+		switch {
+		case p.isKeyword("JOIN") || p.isKeyword("INNER") && p.nextIsKeyword("JOIN"):
+			p.accept("INNER")
+			p.expect("JOIN")
+			refs = append(refs, p.parseTableRef())
+			p.expect("ON")
+			conds = append(conds, p.parseExpr())
+		case p.isKeyword("CROSS") && p.nextIsKeyword("JOIN"):
+			p.advance()
+			p.expect("JOIN")
+			refs = append(refs, p.parseTableRef())
+		case p.isKeyword("LEFT") || p.isKeyword("RIGHT") || p.isKeyword("FULL"):
+			p.errorf("outer joins are not supported by the SQL front end " +
+				"(an outer-join box kind can be added as an extension; see examples/extensibility)")
+			return refs, conds
+		default:
+			return refs, conds
+		}
+	}
+}
+
+func (p *Parser) parseTableRef() TableRef {
+	if p.acceptPunct("(") {
+		q := p.parseQueryExpr()
+		p.expectPunct(")")
+		ref := TableRef{Subquery: q}
+		p.accept("AS")
+		ref.Alias = p.expectIdent()
+		return ref
+	}
+	ref := TableRef{Table: p.expectIdent()}
+	if p.accept("AS") {
+		ref.Alias = p.expectIdent()
+	} else if p.tok.Kind == TokIdent {
+		ref.Alias = p.advance().Text
+	}
+	return ref
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	OR → AND → NOT → comparison / IS / IN / BETWEEN / LIKE / EXISTS
+//	   → additive → multiplicative → unary minus → primary
+func (p *Parser) parseExpr() Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() Expr {
+	left := p.parseAnd()
+	for p.accept("OR") {
+		right := p.parseAnd()
+		left = &Bin{Op: OpOr, L: left, R: right}
+	}
+	return left
+}
+
+func (p *Parser) parseAnd() Expr {
+	left := p.parseNot()
+	for p.accept("AND") {
+		right := p.parseNot()
+		left = &Bin{Op: OpAnd, L: left, R: right}
+	}
+	return left
+}
+
+func (p *Parser) parseNot() Expr {
+	if p.accept("NOT") {
+		return &Unary{Op: OpNot, X: p.parseNot()}
+	}
+	return p.parseComparison()
+}
+
+var cmpPunct = map[string]BinKind{
+	"=": OpEQ, "<>": OpNE, "<": OpLT, "<=": OpLE, ">": OpGT, ">=": OpGE,
+}
+
+func (p *Parser) parseComparison() Expr {
+	left := p.parseAdditive()
+	return p.parseExprSuffix(left)
+}
+
+// parseExprSuffix parses comparison/IS/IN/BETWEEN/LIKE suffixes after a
+// parsed left operand. Exposed separately so the select-item fast path can
+// reuse it.
+func (p *Parser) parseExprSuffix(left Expr) Expr {
+	for {
+		switch {
+		case p.tok.Kind == TokPunct && cmpPunct[p.tok.Text] != 0:
+			op := cmpPunct[p.tok.Text]
+			p.advance()
+			// Quantified comparison?
+			if p.isKeyword("ANY") || p.isKeyword("SOME") || p.isKeyword("ALL") {
+				quant := Any
+				if p.tok.Text == "ALL" {
+					quant = All
+				}
+				p.advance()
+				p.expectPunct("(")
+				sub := p.parseQueryExpr()
+				p.expectPunct(")")
+				left = &QuantCmp{X: left, Op: op, Quant: quant, Sub: sub}
+				continue
+			}
+			right := p.parseAdditive()
+			left = &Bin{Op: op, L: left, R: right}
+		case p.isKeyword("IS"):
+			p.advance()
+			not := p.accept("NOT")
+			p.expect("NULL")
+			left = &IsNull{X: left, Not: not}
+		case p.isKeyword("NOT") && (p.nextIsKeyword("IN") || p.nextIsKeyword("BETWEEN") || p.nextIsKeyword("LIKE")):
+			p.advance()
+			left = p.parseInBetweenLike(left, true)
+		case p.isKeyword("IN") || p.isKeyword("BETWEEN") || p.isKeyword("LIKE"):
+			left = p.parseInBetweenLike(left, false)
+		default:
+			return left
+		}
+	}
+}
+
+func (p *Parser) parseInBetweenLike(left Expr, not bool) Expr {
+	switch {
+	case p.accept("IN"):
+		p.expectPunct("(")
+		if p.isKeyword("SELECT") {
+			sub := p.parseQueryExpr()
+			p.expectPunct(")")
+			return &In{X: left, Sub: sub, Not: not}
+		}
+		var list []Expr
+		for {
+			list = append(list, p.parseExpr())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct(")")
+		return &In{X: left, List: list, Not: not}
+	case p.accept("BETWEEN"):
+		lo := p.parseAdditive()
+		p.expect("AND")
+		hi := p.parseAdditive()
+		return &Between{X: left, Lo: lo, Hi: hi, Not: not}
+	case p.accept("LIKE"):
+		if p.tok.Kind != TokString {
+			p.errorf("LIKE pattern must be a string literal, got %s", p.tok)
+			return left
+		}
+		pat := p.advance().Text
+		return &Like{X: left, Pattern: pat, Not: not}
+	}
+	p.errorf("expected IN, BETWEEN, or LIKE, got %s", p.tok)
+	return left
+}
+
+func (p *Parser) parseAdditive() Expr {
+	left := p.parseMultiplicative()
+	for {
+		var op BinKind
+		switch {
+		case p.isPunct("+"):
+			op = OpAdd
+		case p.isPunct("-"):
+			op = OpSub
+		case p.isPunct("||"):
+			op = OpConcat
+		default:
+			return left
+		}
+		p.advance()
+		right := p.parseMultiplicative()
+		left = &Bin{Op: op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() Expr {
+	left := p.parseUnary()
+	for {
+		var op BinKind
+		switch {
+		case p.isPunct("*"):
+			op = OpMul
+		case p.isPunct("/"):
+			op = OpDiv
+		case p.isPunct("%"):
+			op = OpMod
+		default:
+			return left
+		}
+		p.advance()
+		right := p.parseUnary()
+		left = &Bin{Op: op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	if p.acceptPunct("-") {
+		return &Unary{Op: OpNeg, X: p.parseUnary()}
+	}
+	p.acceptPunct("+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() Expr {
+	switch {
+	case p.tok.Kind == TokNumber:
+		text := p.advance().Text
+		if strings.ContainsAny(text, ".eE") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				p.errorf("bad number %q: %v", text, err)
+				return &Lit{Value: datum.Null()}
+			}
+			return &Lit{Value: datum.Float(f)}
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			p.errorf("bad number %q: %v", text, err)
+			return &Lit{Value: datum.Null()}
+		}
+		return &Lit{Value: datum.Int(i)}
+	case p.tok.Kind == TokString:
+		return &Lit{Value: datum.String(p.advance().Text)}
+	case p.isKeyword("NULL"):
+		p.advance()
+		return &Lit{Value: datum.Null()}
+	case p.isKeyword("TRUE"):
+		p.advance()
+		return &Lit{Value: datum.Bool(true)}
+	case p.isKeyword("FALSE"):
+		p.advance()
+		return &Lit{Value: datum.Bool(false)}
+	case p.isKeyword("CASE"):
+		return p.parseCase()
+	case p.isKeyword("EXISTS"):
+		p.advance()
+		p.expectPunct("(")
+		sub := p.parseQueryExpr()
+		p.expectPunct(")")
+		return &Exists{Sub: sub}
+	case p.isPunct("("):
+		p.advance()
+		if p.isKeyword("SELECT") {
+			sub := p.parseQueryExpr()
+			p.expectPunct(")")
+			return &ScalarSub{Sub: sub}
+		}
+		e := p.parseExpr()
+		p.expectPunct(")")
+		return e
+	case p.tok.Kind == TokIdent:
+		name := p.advance().Text
+		if p.isPunct("(") {
+			return p.parseFuncCall(name)
+		}
+		if p.acceptPunct(".") {
+			col := p.expectIdent()
+			return &ColRef{Qualifier: name, Name: col}
+		}
+		return &ColRef{Name: name}
+	default:
+		p.errorf("expected an expression, got %s", p.tok)
+		return &Lit{Value: datum.Null()}
+	}
+}
+
+func (p *Parser) parseCase() Expr {
+	p.expect("CASE")
+	c := &Case{}
+	if !p.isKeyword("WHEN") {
+		c.Operand = p.parseExpr()
+	}
+	for p.accept("WHEN") {
+		w := CaseWhen{When: p.parseExpr()}
+		p.expect("THEN")
+		w.Then = p.parseExpr()
+		c.Whens = append(c.Whens, w)
+	}
+	if len(c.Whens) == 0 {
+		p.errorf("CASE requires at least one WHEN arm")
+	}
+	if p.accept("ELSE") {
+		c.Else = p.parseExpr()
+	}
+	p.expect("END")
+	return c
+}
+
+func (p *Parser) parseFuncCall(name string) Expr {
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	p.expectPunct("(")
+	if p.isPunct("*") {
+		p.advance()
+		fc.Star = true
+		p.expectPunct(")")
+		return fc
+	}
+	if p.accept("DISTINCT") {
+		fc.Distinct = true
+	} else {
+		p.accept("ALL")
+	}
+	if !p.isPunct(")") {
+		for {
+			fc.Args = append(fc.Args, p.parseExpr())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	p.expectPunct(")")
+	return fc
+}

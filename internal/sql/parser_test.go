@@ -1,0 +1,555 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"starmagic/internal/datum"
+)
+
+func mustParseQuery(t *testing.T, src string) QueryExpr {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParseQuery(t, "SELECT d.deptname, s.workdept FROM department d, avgMgrSal s WHERE d.deptno = s.workdept AND d.deptname = 'Planning'")
+	sel, ok := q.(*Select)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if len(sel.Items) != 2 || len(sel.From) != 2 {
+		t.Fatalf("items=%d from=%d", len(sel.Items), len(sel.From))
+	}
+	if sel.From[0].Table != "department" || sel.From[0].Alias != "d" {
+		t.Errorf("from[0] = %+v", sel.From[0])
+	}
+	and, ok := sel.Where.(*Bin)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("where = %T", sel.Where)
+	}
+}
+
+func TestParsePaperQueryD(t *testing.T) {
+	// The paper's query D, statements D0-D2, including its GROUPBY spelling.
+	script := `
+	CREATE VIEW mgrSal(empno, empname, workdept, salary) AS
+	  SELECT e.empno, e.empname, e.workdept, e.salary
+	  FROM employee e, department d
+	  WHERE e.empno = d.mgrno;
+	CREATE VIEW avgMgrSal(workdept, avgsalary) AS
+	  SELECT workdept, AVG(salary) FROM mgrSal GROUPBY workdept;
+	SELECT d.deptname, s.workdept, s.avgsalary
+	FROM department d, avgMgrSal s
+	WHERE d.deptno = s.workdept AND d.deptname = 'Planning';`
+	stmts, err := ParseAll(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+	cv, ok := stmts[1].(*CreateView)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", stmts[1])
+	}
+	sel := cv.Query.(*Select)
+	if len(sel.GroupBy) != 1 {
+		t.Errorf("GROUPBY not parsed: %+v", sel)
+	}
+	if !reflect.DeepEqual(cv.Cols, []string{"workdept", "avgsalary"}) {
+		t.Errorf("view cols = %v", cv.Cols)
+	}
+	fc, ok := sel.Items[1].Expr.(*FuncCall)
+	if !ok || fc.Name != "AVG" {
+		t.Errorf("item 1 = %#v", sel.Items[1].Expr)
+	}
+}
+
+func TestParseGroupByTwoWords(t *testing.T) {
+	q := mustParseQuery(t, "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1")
+	sel := q.(*Select)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestParseDistinctAndStar(t *testing.T) {
+	q := mustParseQuery(t, "SELECT DISTINCT * FROM t")
+	sel := q.(*Select)
+	if !sel.Distinct || !sel.Items[0].Star {
+		t.Errorf("sel = %+v", sel)
+	}
+	q = mustParseQuery(t, "SELECT t.*, u.a FROM t, u")
+	sel = q.(*Select)
+	if !sel.Items[0].Star || sel.Items[0].Qualifier != "t" {
+		t.Errorf("qualified star: %+v", sel.Items[0])
+	}
+	cr := sel.Items[1].Expr.(*ColRef)
+	if cr.Qualifier != "u" || cr.Name != "a" {
+		t.Errorf("colref: %+v", cr)
+	}
+}
+
+func TestQualifiedColumnArithmetic(t *testing.T) {
+	q := mustParseQuery(t, "SELECT e.salary * 2 AS double_pay FROM employee e")
+	sel := q.(*Select)
+	b, ok := sel.Items[0].Expr.(*Bin)
+	if !ok || b.Op != OpMul {
+		t.Fatalf("expr = %#v", sel.Items[0].Expr)
+	}
+	if sel.Items[0].Alias != "double_pay" {
+		t.Errorf("alias = %q", sel.Items[0].Alias)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	q := mustParseQuery(t, "SELECT a + b * c FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	sel := q.(*Select)
+	add := sel.Items[0].Expr.(*Bin)
+	if add.Op != OpAdd {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	if mul := add.R.(*Bin); mul.Op != OpMul {
+		t.Error("* should bind tighter than +")
+	}
+	or := sel.Where.(*Bin)
+	if or.Op != OpOr {
+		t.Fatalf("where top = %v", or.Op)
+	}
+	if and := or.R.(*Bin); and.Op != OpAnd {
+		t.Error("AND should bind tighter than OR")
+	}
+}
+
+func TestNotPrecedence(t *testing.T) {
+	q := mustParseQuery(t, "SELECT 1 FROM t WHERE NOT a = 1 AND b = 2")
+	sel := q.(*Select)
+	and := sel.Where.(*Bin)
+	if and.Op != OpAnd {
+		t.Fatalf("top = %v", and.Op)
+	}
+	if _, ok := and.L.(*Unary); !ok {
+		t.Error("NOT should bind tighter than AND")
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	q := mustParseQuery(t, `SELECT e.empno FROM employee e
+		WHERE EXISTS (SELECT 1 FROM dept d WHERE d.mgrno = e.empno)
+		AND e.workdept IN (SELECT deptno FROM dept WHERE deptname = 'P')
+		AND e.salary > (SELECT AVG(salary) FROM employee)`)
+	sel := q.(*Select)
+	var foundExists, foundIn, foundScalar bool
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Bin:
+			walk(x.L)
+			walk(x.R)
+		case *Exists:
+			foundExists = true
+		case *In:
+			foundIn = x.Sub != nil
+		case *ScalarSub:
+			foundScalar = true
+		}
+	}
+	walk(sel.Where)
+	if !foundExists || !foundIn || !foundScalar {
+		t.Errorf("exists=%v in=%v scalar=%v", foundExists, foundIn, foundScalar)
+	}
+}
+
+func TestParseNotForms(t *testing.T) {
+	q := mustParseQuery(t, `SELECT 1 FROM t WHERE a NOT IN (1, 2) AND b NOT BETWEEN 1 AND 2 AND c NOT LIKE 'x%' AND d IS NOT NULL AND NOT EXISTS (SELECT 1 FROM u)`)
+	sel := q.(*Select)
+	var conjuncts []Expr
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		if b, ok := e.(*Bin); ok && b.Op == OpAnd {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	flatten(sel.Where)
+	if len(conjuncts) != 5 {
+		t.Fatalf("got %d conjuncts", len(conjuncts))
+	}
+	if in := conjuncts[0].(*In); !in.Not || len(in.List) != 2 {
+		t.Errorf("conjunct 0: %#v", conjuncts[0])
+	}
+	if bt := conjuncts[1].(*Between); !bt.Not {
+		t.Errorf("conjunct 1: %#v", conjuncts[1])
+	}
+	if lk := conjuncts[2].(*Like); !lk.Not || lk.Pattern != "x%" {
+		t.Errorf("conjunct 2: %#v", conjuncts[2])
+	}
+	if isn := conjuncts[3].(*IsNull); !isn.Not {
+		t.Errorf("conjunct 3: %#v", conjuncts[3])
+	}
+	un := conjuncts[4].(*Unary)
+	if _, ok := un.X.(*Exists); un.Op != OpNot || !ok {
+		t.Errorf("conjunct 4: %#v", conjuncts[4])
+	}
+}
+
+func TestParseQuantified(t *testing.T) {
+	q := mustParseQuery(t, "SELECT 1 FROM t WHERE a > ALL (SELECT b FROM u) AND c = ANY (SELECT d FROM v)")
+	sel := q.(*Select)
+	and := sel.Where.(*Bin)
+	all := and.L.(*QuantCmp)
+	if all.Quant != All || all.Op != OpGT {
+		t.Errorf("ALL: %#v", all)
+	}
+	any := and.R.(*QuantCmp)
+	if any.Quant != Any || any.Op != OpEQ {
+		t.Errorf("ANY: %#v", any)
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	q := mustParseQuery(t, "SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v EXCEPT ALL SELECT d FROM w")
+	// EXCEPT/UNION left-assoc same level, INTERSECT tighter:
+	// ((t UNION (u INTERSECT v)) EXCEPT ALL w)
+	top := q.(*SetOp)
+	if top.Op != Except || !top.All {
+		t.Fatalf("top = %v all=%v", top.Op, top.All)
+	}
+	un := top.Left.(*SetOp)
+	if un.Op != Union || un.All {
+		t.Fatalf("left = %v", un.Op)
+	}
+	in := un.Right.(*SetOp)
+	if in.Op != Intersect {
+		t.Fatalf("union right = %v", in.Op)
+	}
+}
+
+func TestParseParenthesizedQuery(t *testing.T) {
+	q := mustParseQuery(t, "(SELECT a FROM t UNION SELECT b FROM u) INTERSECT SELECT c FROM v")
+	top := q.(*SetOp)
+	if top.Op != Intersect {
+		t.Fatalf("top = %v", top.Op)
+	}
+	if l := top.Left.(*SetOp); l.Op != Union {
+		t.Fatalf("left = %v", l.Op)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	q := mustParseQuery(t, "SELECT x.a FROM (SELECT a FROM t) AS x")
+	sel := q.(*Select)
+	if sel.From[0].Subquery == nil || sel.From[0].Alias != "x" {
+		t.Errorf("from = %+v", sel.From[0])
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	q := mustParseQuery(t, "SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+	sel := q.(*Select)
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse(`CREATE TABLE employee (
+		empno INT, empname VARCHAR(30), workdept INT, salary FLOAT,
+		PRIMARY KEY (empno), UNIQUE (empname))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if len(ct.Cols) != 4 {
+		t.Fatalf("cols = %d", len(ct.Cols))
+	}
+	if ct.Cols[1].Type != datum.TString || ct.Cols[3].Type != datum.TFloat {
+		t.Errorf("types = %v %v", ct.Cols[1].Type, ct.Cols[3].Type)
+	}
+	if !reflect.DeepEqual(ct.PrimaryKey, []string{"empno"}) {
+		t.Errorf("pk = %v", ct.PrimaryKey)
+	}
+	if len(ct.Uniques) != 1 || ct.Uniques[0][0] != "empname" {
+		t.Errorf("uniques = %v", ct.Uniques)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st, err := Parse("CREATE UNIQUE INDEX idx ON t (a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndex)
+	if !ci.Unique || ci.Table != "t" || len(ci.Cols) != 2 {
+		t.Errorf("ci = %+v", ci)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t VALUES (1, 'a', NULL), (2, 'b', 3.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("rows = %v", ins.Rows)
+	}
+	if lit := ins.Rows[0][2].(*Lit); !lit.Value.IsNull() {
+		t.Error("NULL literal wrong")
+	}
+	if lit := ins.Rows[1][2].(*Lit); lit.Value.T != datum.TFloat {
+		t.Error("float literal wrong")
+	}
+}
+
+func TestParseInsertNegative(t *testing.T) {
+	st, err := Parse("INSERT INTO t VALUES (-5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	u := ins.Rows[0][0].(*Unary)
+	if u.Op != OpNeg {
+		t.Errorf("expr = %#v", ins.Rows[0][0])
+	}
+}
+
+func TestParseDropView(t *testing.T) {
+	st, err := Parse("DROP VIEW v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*DropView).Name != "v" {
+		t.Error("name wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"CREATE TABLE t (a BOGUSTYPE)",
+		"CREATE SOMETHING x",
+		"SELECT a FROM t GROUP a",
+		"INSERT t VALUES (1)",
+		"SELECT a FROM t; garbage",
+		"SELECT a LIKE b FROM t",
+		"SELECT 1 LIMIT x",
+		"CREATE UNIQUE TABLE t (a INT)",
+	}
+	for _, src := range bad {
+		if _, err := ParseAll(src); err == nil {
+			t.Errorf("parse %q succeeded; want error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("SELECT a\nFROM t WHERE ???")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q lacks position", err)
+	}
+}
+
+func TestParseMultipleStatements(t *testing.T) {
+	stmts, err := ParseAll("SELECT 1; SELECT 2;; SELECT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Errorf("got %d statements", len(stmts))
+	}
+}
+
+// Round-trip: parse → format → parse must reach a fixed point that is
+// structurally identical.
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT d.deptname, s.workdept, s.avgsalary FROM department d, avgMgrSal s WHERE (d.deptno = s.workdept) AND (d.deptname = 'Planning')",
+		"SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept",
+		"SELECT DISTINCT deptno FROM department WHERE deptname = 'Planning'",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE u.z = t.w)",
+		"SELECT a FROM t WHERE NOT (x = 1)",
+		"SELECT a FROM t WHERE x BETWEEN 1 AND 10 ORDER BY a DESC LIMIT 5",
+		"SELECT COUNT(*), COUNT(DISTINCT b) FROM t GROUP BY c HAVING COUNT(*) > 2",
+		"SELECT a FROM (SELECT a FROM t) AS x WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT a FROM t WHERE s > ALL (SELECT v FROM u)",
+		"SELECT t.* FROM t WHERE a IS NOT NULL",
+		"SELECT a FROM t WHERE (a UNION-safe) IS NULL", // replaced below
+	}
+	queries = queries[:len(queries)-1]
+	for _, src := range queries {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		text1 := FormatQuery(q1)
+		q2, err := ParseQuery(text1)
+		if err != nil {
+			t.Errorf("re-parse %q: %v", text1, err)
+			continue
+		}
+		text2 := FormatQuery(q2)
+		if text1 != text2 {
+			t.Errorf("round trip unstable:\n  %s\n  %s", text1, text2)
+		}
+	}
+}
+
+func TestFormatStatementRoundTrip(t *testing.T) {
+	stmts := []string{
+		"CREATE TABLE t (a INT, b VARCHAR, PRIMARY KEY (a))",
+		"CREATE VIEW v (x) AS SELECT a FROM t",
+		"CREATE UNIQUE INDEX i ON t (a)",
+		"INSERT INTO t VALUES (1, 'x''y')",
+		"DROP VIEW v",
+	}
+	for _, src := range stmts {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		text1 := FormatStatement(s1)
+		s2, err := Parse(text1)
+		if err != nil {
+			t.Errorf("re-parse %q: %v", text1, err)
+			continue
+		}
+		if text2 := FormatStatement(s2); text1 != text2 {
+			t.Errorf("round trip unstable:\n  %s\n  %s", text1, text2)
+		}
+	}
+}
+
+func TestSetOpFormatPreservesGrouping(t *testing.T) {
+	src := "(SELECT a FROM t UNION SELECT b FROM u) INTERSECT SELECT c FROM v"
+	q1 := mustParseQuery(t, src)
+	q2 := mustParseQuery(t, FormatQuery(q1))
+	if top, ok := q2.(*SetOp); !ok || top.Op != Intersect {
+		t.Fatalf("regrouped: %s", FormatQuery(q1))
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	q := mustParseQuery(t, `SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END FROM t`)
+	sel := q.(*Select)
+	c, ok := sel.Items[0].Expr.(*Case)
+	if !ok {
+		t.Fatalf("expr = %#v", sel.Items[0].Expr)
+	}
+	if c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("case = %+v", c)
+	}
+	// Simple CASE with operand.
+	q = mustParseQuery(t, "SELECT CASE a WHEN 1 THEN 'x' END FROM t")
+	c = q.(*Select).Items[0].Expr.(*Case)
+	if c.Operand == nil || len(c.Whens) != 1 || c.Else != nil {
+		t.Errorf("simple case = %+v", c)
+	}
+}
+
+func TestParseCaseErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT CASE END FROM t",
+		"SELECT CASE WHEN a THEN FROM t",
+		"SELECT CASE WHEN a THEN 1 FROM t",
+	} {
+		if _, err := ParseAll(src); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestCaseRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+		"SELECT CASE a WHEN 1 THEN 2 WHEN 3 THEN 4 END FROM t",
+		"SELECT COALESCE(a, b, 0), NULLIF(a, 1) FROM t",
+	} {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		text := FormatQuery(q1)
+		q2, err := ParseQuery(text)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", text, err)
+		}
+		if FormatQuery(q2) != text {
+			t.Errorf("unstable: %q vs %q", text, FormatQuery(q2))
+		}
+	}
+}
+
+func TestParseInnerJoin(t *testing.T) {
+	q := mustParseQuery(t, `SELECT e.empname FROM employee e
+		JOIN department d ON e.workdept = d.deptno
+		INNER JOIN employee m ON d.mgrno = m.empno
+		WHERE d.deptname = 'Planning'`)
+	sel := q.(*Select)
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %d", len(sel.From))
+	}
+	// WHERE must hold the original predicate AND both ON conditions.
+	var conjuncts []Expr
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		if b, ok := e.(*Bin); ok && b.Op == OpAnd {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	flatten(sel.Where)
+	if len(conjuncts) != 3 {
+		t.Errorf("conjuncts = %d; want 3", len(conjuncts))
+	}
+}
+
+func TestParseCrossJoin(t *testing.T) {
+	q := mustParseQuery(t, "SELECT 1 FROM a CROSS JOIN b")
+	sel := q.(*Select)
+	if len(sel.From) != 2 || sel.Where != nil {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestParseOuterJoinRejected(t *testing.T) {
+	for _, src := range []string{
+		"SELECT 1 FROM a LEFT JOIN b ON a.x = b.x",
+		"SELECT 1 FROM a RIGHT OUTER JOIN b ON a.x = b.x",
+		"SELECT 1 FROM a FULL JOIN b ON a.x = b.x",
+	} {
+		if _, err := ParseAll(src); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestParseJoinMixedWithComma(t *testing.T) {
+	q := mustParseQuery(t, "SELECT 1 FROM a, b JOIN c ON b.x = c.x")
+	sel := q.(*Select)
+	if len(sel.From) != 3 || sel.Where == nil {
+		t.Errorf("sel = %+v", sel)
+	}
+}

@@ -1,0 +1,428 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"starmagic/internal/datum"
+)
+
+// ident renders an identifier, double-quoting it when it is not a plain
+// ASCII identifier or collides with a reserved word — so everything the
+// parser accepted can be printed back in a form it accepts again.
+func ident(name string) string {
+	plain := name != ""
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		letter := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+		ok := letter || (i > 0 && (c == '$' || ('0' <= c && c <= '9')))
+		if !ok {
+			plain = false
+			break
+		}
+	}
+	if plain && keywords[strings.ToUpper(name)] {
+		plain = false
+	}
+	if plain {
+		return name
+	}
+	return "\"" + name + "\""
+}
+
+// FormatQuery renders a query expression back to SQL text. The output
+// re-parses to a structurally identical tree (round-trip tested).
+func FormatQuery(q QueryExpr) string {
+	var sb strings.Builder
+	formatQuery(&sb, q, false)
+	return sb.String()
+}
+
+// FormatStatement renders a statement back to SQL text.
+func FormatStatement(s Statement) string {
+	var sb strings.Builder
+	switch st := s.(type) {
+	case *SelectStatement:
+		formatQuery(&sb, st.Query, false)
+	case *CreateTable:
+		sb.WriteString("CREATE TABLE ")
+		sb.WriteString(ident(st.Name))
+		sb.WriteString(" (")
+		for i, c := range st.Cols {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ident(c.Name))
+			sb.WriteByte(' ')
+			sb.WriteString(c.Type.String())
+		}
+		if len(st.PrimaryKey) > 0 {
+			sb.WriteString(", PRIMARY KEY (")
+			sb.WriteString(identJoin(st.PrimaryKey))
+			sb.WriteString(")")
+		}
+		for _, u := range st.Uniques {
+			sb.WriteString(", UNIQUE (")
+			sb.WriteString(identJoin(u))
+			sb.WriteString(")")
+		}
+		sb.WriteString(")")
+	case *CreateView:
+		sb.WriteString("CREATE VIEW ")
+		sb.WriteString(ident(st.Name))
+		if len(st.Cols) > 0 {
+			sb.WriteString(" (")
+			sb.WriteString(identJoin(st.Cols))
+			sb.WriteString(")")
+		}
+		sb.WriteString(" AS ")
+		formatQuery(&sb, st.Query, false)
+	case *CreateIndex:
+		sb.WriteString("CREATE ")
+		if st.Unique {
+			sb.WriteString("UNIQUE ")
+		}
+		sb.WriteString("INDEX ")
+		sb.WriteString(ident(st.Name))
+		sb.WriteString(" ON ")
+		sb.WriteString(ident(st.Table))
+		sb.WriteString(" (")
+		sb.WriteString(identJoin(st.Cols))
+		sb.WriteString(")")
+	case *Insert:
+		sb.WriteString("INSERT INTO ")
+		sb.WriteString(ident(st.Table))
+		if st.Query != nil {
+			sb.WriteString(" ")
+			formatQuery(&sb, st.Query, false)
+			break
+		}
+		sb.WriteString(" VALUES ")
+		for i, row := range st.Rows {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(FormatExpr(e))
+			}
+			sb.WriteString(")")
+		}
+	case *Delete:
+		sb.WriteString("DELETE FROM ")
+		sb.WriteString(ident(st.Table))
+		if st.Where != nil {
+			sb.WriteString(" WHERE ")
+			sb.WriteString(FormatExpr(st.Where))
+		}
+	case *Update:
+		sb.WriteString("UPDATE ")
+		sb.WriteString(ident(st.Table))
+		sb.WriteString(" SET ")
+		for i, a := range st.Set {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ident(a.Column))
+			sb.WriteString(" = ")
+			sb.WriteString(FormatExpr(a.Expr))
+		}
+		if st.Where != nil {
+			sb.WriteString(" WHERE ")
+			sb.WriteString(FormatExpr(st.Where))
+		}
+	case *DropView:
+		sb.WriteString("DROP VIEW ")
+		sb.WriteString(ident(st.Name))
+	default:
+		fmt.Fprintf(&sb, "/* unknown statement %T */", s)
+	}
+	return sb.String()
+}
+
+func formatQuery(sb *strings.Builder, q QueryExpr, paren bool) {
+	switch qq := q.(type) {
+	case *Select:
+		if paren {
+			sb.WriteString("(")
+		}
+		formatSelect(sb, qq)
+		if paren {
+			sb.WriteString(")")
+		}
+	case *SetOp:
+		if paren {
+			sb.WriteString("(")
+		}
+		formatQuery(sb, qq.Left, needsParen(qq.Left, qq.Op))
+		sb.WriteByte(' ')
+		sb.WriteString(qq.Op.String())
+		if qq.All {
+			sb.WriteString(" ALL")
+		}
+		sb.WriteByte(' ')
+		formatQuery(sb, qq.Right, true)
+		if paren {
+			sb.WriteString(")")
+		}
+	}
+}
+
+// needsParen decides whether the left side of a set op must be
+// parenthesized to preserve structure.
+func needsParen(q QueryExpr, parent SetOpKind) bool {
+	s, ok := q.(*SetOp)
+	if !ok {
+		return false
+	}
+	// INTERSECT binds tighter than UNION/EXCEPT; re-parsing "a UNION b
+	// INTERSECT c" would group the INTERSECT first.
+	return parent == Intersect && s.Op != Intersect
+}
+
+func formatSelect(sb *strings.Builder, s *Select) {
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Qualifier == "":
+			sb.WriteString("*")
+		case it.Star:
+			sb.WriteString(ident(it.Qualifier))
+			sb.WriteString(".*")
+		default:
+			sb.WriteString(FormatExpr(it.Expr))
+			if it.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(ident(it.Alias))
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if f.Subquery != nil {
+				formatQuery(sb, f.Subquery, true)
+				sb.WriteString(" AS ")
+				sb.WriteString(ident(f.Alias))
+			} else {
+				sb.WriteString(ident(f.Table))
+				if f.Alias != "" {
+					sb.WriteString(" ")
+					sb.WriteString(ident(f.Alias))
+				}
+			}
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(FormatExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(FormatExpr(e))
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(FormatExpr(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(FormatExpr(o.Expr))
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+}
+
+// FormatExpr renders an expression to SQL text. Parenthesization is
+// conservative: nested binary expressions are parenthesized, which is always
+// re-parseable.
+func FormatExpr(e Expr) string {
+	var sb strings.Builder
+	formatExpr(&sb, e, false)
+	return sb.String()
+}
+
+func formatExpr(sb *strings.Builder, e Expr, nested bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Qualifier != "" {
+			sb.WriteString(ident(x.Qualifier))
+			sb.WriteByte('.')
+		}
+		sb.WriteString(ident(x.Name))
+	case *Lit:
+		formatLit(sb, x.Value)
+	case *Bin:
+		if nested {
+			sb.WriteString("(")
+		}
+		formatExpr(sb, x.L, true)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op.String())
+		sb.WriteByte(' ')
+		formatExpr(sb, x.R, true)
+		if nested {
+			sb.WriteString(")")
+		}
+	case *Unary:
+		if x.Op == OpNot {
+			sb.WriteString("NOT (")
+			formatExpr(sb, x.X, false)
+			sb.WriteString(")")
+		} else {
+			// Parenthesize so nested negations never print as "--", which
+			// would lex as a line comment.
+			sb.WriteString("-(")
+			formatExpr(sb, x.X, false)
+			sb.WriteString(")")
+		}
+	case *IsNull:
+		formatExpr(sb, x.X, true)
+		if x.Not {
+			sb.WriteString(" IS NOT NULL")
+		} else {
+			sb.WriteString(" IS NULL")
+		}
+	case *Between:
+		formatExpr(sb, x.X, true)
+		if x.Not {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" BETWEEN ")
+		formatExpr(sb, x.Lo, true)
+		sb.WriteString(" AND ")
+		formatExpr(sb, x.Hi, true)
+	case *Like:
+		formatExpr(sb, x.X, true)
+		if x.Not {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" LIKE ")
+		formatLit(sb, datum.String(x.Pattern))
+	case *In:
+		formatExpr(sb, x.X, true)
+		if x.Not {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" IN (")
+		if x.Sub != nil {
+			formatQuery(sb, x.Sub, false)
+		} else {
+			for i, le := range x.List {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				formatExpr(sb, le, false)
+			}
+		}
+		sb.WriteString(")")
+	case *Exists:
+		if x.Not {
+			sb.WriteString("NOT ")
+		}
+		sb.WriteString("EXISTS (")
+		formatQuery(sb, x.Sub, false)
+		sb.WriteString(")")
+	case *QuantCmp:
+		formatExpr(sb, x.X, true)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op.String())
+		if x.Quant == Any {
+			sb.WriteString(" ANY (")
+		} else {
+			sb.WriteString(" ALL (")
+		}
+		formatQuery(sb, x.Sub, false)
+		sb.WriteString(")")
+	case *ScalarSub:
+		sb.WriteString("(")
+		formatQuery(sb, x.Sub, false)
+		sb.WriteString(")")
+	case *Case:
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteByte(' ')
+			formatExpr(sb, x.Operand, true)
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN ")
+			formatExpr(sb, w.When, false)
+			sb.WriteString(" THEN ")
+			formatExpr(sb, w.Then, false)
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE ")
+			formatExpr(sb, x.Else, false)
+		}
+		sb.WriteString(" END")
+	case *FuncCall:
+		sb.WriteString(x.Name)
+		sb.WriteString("(")
+		if x.Star {
+			sb.WriteString("*")
+		} else {
+			if x.Distinct {
+				sb.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				formatExpr(sb, a, false)
+			}
+		}
+		sb.WriteString(")")
+	default:
+		fmt.Fprintf(sb, "/* unknown expr %T */", e)
+	}
+}
+
+func identJoin(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = ident(n)
+	}
+	return strings.Join(out, ", ")
+}
+
+func formatLit(sb *strings.Builder, d datum.D) {
+	if d.IsNull() {
+		sb.WriteString("NULL")
+		return
+	}
+	if d.T == datum.TString {
+		sb.WriteString("'")
+		sb.WriteString(strings.ReplaceAll(d.S, "'", "''"))
+		sb.WriteString("'")
+		return
+	}
+	sb.WriteString(d.Format())
+}

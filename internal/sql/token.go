@@ -1,0 +1,57 @@
+// Package sql implements the SQL front end: lexer, abstract syntax tree, and
+// recursive-descent parser for the SQL dialect the paper exercises —
+// SELECT/FROM/WHERE/GROUP BY/HAVING/ORDER BY blocks, CREATE TABLE/VIEW/INDEX,
+// INSERT, UNION/INTERSECT/EXCEPT, nested and correlated subqueries
+// (EXISTS, IN, ANY/ALL, scalar), aggregates with DISTINCT, and NULLs.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokPunct
+)
+
+// Token is one lexical token with its source position (1-based line/col).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case
+// insensitive) lex as TokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
+	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "EXISTS": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "DISTINCT": true, "ALL": true,
+	"ANY": true, "SOME": true, "UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"CREATE": true, "TABLE": true, "VIEW": true, "INDEX": true, "UNIQUE": true,
+	"PRIMARY": true, "KEY": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"DROP": true, "LIMIT": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"JOIN": true, "INNER": true, "CROSS": true, "LEFT": true, "RIGHT": true, "FULL": true, "OUTER": true,
+	"GROUPBY": true, // the paper's spelling; accepted as GROUP BY
+}

@@ -1,0 +1,189 @@
+// Package storage is the in-memory row store behind base tables, with hash
+// indexes for equality lookups. It substitutes for the DB2/Starburst storage
+// layer of the paper's testbed: the magic-sets transformation is a
+// query-rewrite technique, so any store exposing scans and index lookups
+// exercises the same optimized plans.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+)
+
+// HashIndex maps equality keys over a column set to row positions.
+type HashIndex struct {
+	Cols    []int
+	buckets map[string][]int
+}
+
+// Relation holds the rows of one base table plus its indexes.
+type Relation struct {
+	Meta    *catalog.Table
+	rows    []datum.Row
+	indexes []*HashIndex
+}
+
+// NewRelation creates an empty relation for the table, building one hash
+// index per index declared in the table metadata.
+func NewRelation(meta *catalog.Table) *Relation {
+	r := &Relation{Meta: meta}
+	for _, cols := range meta.Indexes {
+		r.indexes = append(r.indexes, &HashIndex{
+			Cols:    append([]int(nil), cols...),
+			buckets: make(map[string][]int),
+		})
+	}
+	return r
+}
+
+// Insert appends a row after validating arity and types. Values of INT type
+// inserted into FLOAT columns are widened.
+func (r *Relation) Insert(row datum.Row) error {
+	if len(row) != len(r.Meta.Columns) {
+		return fmt.Errorf("table %s: inserting %d values into %d columns",
+			r.Meta.Name, len(row), len(r.Meta.Columns))
+	}
+	stored := make(datum.Row, len(row))
+	for i, d := range row {
+		want := r.Meta.Columns[i].Type
+		switch {
+		case d.IsNull():
+			stored[i] = datum.NullOf(want)
+		case d.T == want:
+			stored[i] = d
+		case d.T == datum.TInt && want == datum.TFloat:
+			stored[i] = datum.Float(float64(d.I))
+		default:
+			return fmt.Errorf("table %s column %s: cannot store %s value",
+				r.Meta.Name, r.Meta.Columns[i].Name, d.T)
+		}
+	}
+	pos := len(r.rows)
+	r.rows = append(r.rows, stored)
+	for _, idx := range r.indexes {
+		k := stored.KeyOf(idx.Cols)
+		idx.buckets[k] = append(idx.buckets[k], pos)
+	}
+	return nil
+}
+
+// Rows returns the stored rows. Callers must not mutate them.
+func (r *Relation) Rows() []datum.Row { return r.rows }
+
+// Rebuild replaces the relation's contents, revalidating and reindexing
+// every row (DELETE and UPDATE go through here).
+func (r *Relation) Rebuild(rows []datum.Row) error {
+	old, oldIdx := r.rows, r.indexes
+	r.rows = nil
+	r.indexes = nil
+	for _, cols := range r.Meta.Indexes {
+		r.indexes = append(r.indexes, &HashIndex{
+			Cols:    append([]int(nil), cols...),
+			buckets: make(map[string][]int),
+		})
+	}
+	for _, row := range rows {
+		if err := r.Insert(row); err != nil {
+			r.rows, r.indexes = old, oldIdx // restore on failure
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Lookup returns the rows whose indexed columns equal key, using the index
+// over exactly cols if one exists. The boolean reports whether an index was
+// available; when false the caller must fall back to a scan.
+func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
+	idx := r.findIndex(cols)
+	if idx == nil {
+		return nil, false
+	}
+	// The index stores keys in idx.Cols order; reorder the probe key to
+	// match when the caller's column order differs.
+	probe := make(datum.Row, len(idx.Cols))
+	for i, c := range idx.Cols {
+		found := false
+		for j, cc := range cols {
+			if cc == c {
+				probe[i] = key[j]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	// SQL equality never matches NULL.
+	for _, d := range probe {
+		if d.IsNull() {
+			return nil, true
+		}
+	}
+	var out []datum.Row
+	for _, pos := range idx.buckets[probe.Key()] {
+		out = append(out, r.rows[pos])
+	}
+	return out, true
+}
+
+func (r *Relation) findIndex(cols []int) *HashIndex {
+	want := append([]int(nil), cols...)
+	sort.Ints(want)
+	for _, idx := range r.indexes {
+		have := append([]int(nil), idx.Cols...)
+		sort.Ints(have)
+		if len(have) != len(want) {
+			continue
+		}
+		match := true
+		for i := range have {
+			if have[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return idx
+		}
+	}
+	return nil
+}
+
+// Store maps table names to relations.
+type Store struct {
+	rels map[string]*Relation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{rels: make(map[string]*Relation)} }
+
+// Create allocates storage for a table.
+func (s *Store) Create(meta *catalog.Table) *Relation {
+	r := NewRelation(meta)
+	s.rels[lower(meta.Name)] = r
+	return r
+}
+
+// Relation resolves a relation by table name.
+func (s *Store) Relation(name string) (*Relation, bool) {
+	r, ok := s.rels[lower(name)]
+	return r, ok
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

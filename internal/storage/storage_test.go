@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"testing"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+)
+
+func empMeta() *catalog.Table {
+	return &catalog.Table{
+		Name: "employee",
+		Columns: []catalog.Column{
+			{Name: "empno", Type: datum.TInt},
+			{Name: "workdept", Type: datum.TInt},
+			{Name: "salary", Type: datum.TFloat},
+		},
+		Keys:    [][]int{{0}},
+		Indexes: [][]int{{0}, {1}},
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	r := NewRelation(empMeta())
+	rows := []datum.Row{
+		{datum.Int(1), datum.Int(10), datum.Float(100)},
+		{datum.Int(2), datum.Int(10), datum.Float(200)},
+		{datum.Int(3), datum.Int(20), datum.Float(300)},
+	}
+	for _, row := range rows {
+		if err := r.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	r := NewRelation(empMeta())
+	if err := r.Insert(datum.Row{datum.Int(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := r.Insert(datum.Row{datum.String("x"), datum.Int(1), datum.Float(1)}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestInsertWidensIntToFloat(t *testing.T) {
+	r := NewRelation(empMeta())
+	if err := r.Insert(datum.Row{datum.Int(1), datum.Int(10), datum.Int(100)}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Rows()[0][2]
+	if got.T != datum.TFloat || got.F != 100 {
+		t.Errorf("salary stored as %#v; want FLOAT 100", got)
+	}
+}
+
+func TestInsertTypedNull(t *testing.T) {
+	r := NewRelation(empMeta())
+	if err := r.Insert(datum.Row{datum.Int(1), datum.Null(), datum.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Rows()[0][1]
+	if !got.IsNull() || got.T != datum.TInt {
+		t.Errorf("NULL stored as %#v; want typed NULL INT", got)
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	r := NewRelation(empMeta())
+	for i := 1; i <= 6; i++ {
+		dept := 10
+		if i > 3 {
+			dept = 20
+		}
+		if err := r.Insert(datum.Row{datum.Int(int64(i)), datum.Int(int64(dept)), datum.Float(float64(i * 100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := r.Lookup([]int{1}, datum.Row{datum.Int(10)})
+	if !ok {
+		t.Fatal("index on workdept not used")
+	}
+	if len(got) != 3 {
+		t.Errorf("lookup(workdept=10) returned %d rows; want 3", len(got))
+	}
+	got, ok = r.Lookup([]int{0}, datum.Row{datum.Int(5)})
+	if !ok || len(got) != 1 || got[0][0].I != 5 {
+		t.Errorf("pk lookup wrong: %v %v", got, ok)
+	}
+	if _, ok := r.Lookup([]int{2}, datum.Row{datum.Float(100)}); ok {
+		t.Error("lookup on unindexed column claimed an index")
+	}
+}
+
+func TestIndexLookupNullNeverMatches(t *testing.T) {
+	r := NewRelation(empMeta())
+	if err := r.Insert(datum.Row{datum.Int(1), datum.Null(), datum.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup([]int{1}, datum.Row{datum.Null()})
+	if !ok {
+		t.Fatal("index should exist")
+	}
+	if len(got) != 0 {
+		t.Error("NULL probe matched rows; SQL equality never matches NULL")
+	}
+}
+
+func TestLookupMissingKey(t *testing.T) {
+	r := NewRelation(empMeta())
+	if err := r.Insert(datum.Row{datum.Int(1), datum.Int(10), datum.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup([]int{0}, datum.Row{datum.Int(42)})
+	if !ok || len(got) != 0 {
+		t.Errorf("missing key lookup: %v %v", got, ok)
+	}
+}
+
+func TestMultiColumnIndexOrderInsensitive(t *testing.T) {
+	meta := &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "a", Type: datum.TInt},
+			{Name: "b", Type: datum.TInt},
+		},
+		Indexes: [][]int{{1, 0}},
+	}
+	r := NewRelation(meta)
+	if err := r.Insert(datum.Row{datum.Int(1), datum.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Probe with (a, b) order while index is declared (b, a).
+	got, ok := r.Lookup([]int{0, 1}, datum.Row{datum.Int(1), datum.Int(2)})
+	if !ok || len(got) != 1 {
+		t.Errorf("reordered probe: %v %v", got, ok)
+	}
+	got, ok = r.Lookup([]int{1, 0}, datum.Row{datum.Int(2), datum.Int(1)})
+	if !ok || len(got) != 1 {
+		t.Errorf("declared-order probe: %v %v", got, ok)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	s.Create(empMeta())
+	if _, ok := s.Relation("EMPLOYEE"); !ok {
+		t.Error("case-insensitive relation lookup failed")
+	}
+	if _, ok := s.Relation("ghost"); ok {
+		t.Error("phantom relation found")
+	}
+}

@@ -1,0 +1,134 @@
+// Package starmagic is an embeddable relational query engine that
+// implements the extended magic-sets transformation (EMST) of Mumick and
+// Pirahesh, "Implementation of Magic-sets in a Relational Database System"
+// (SIGMOD 1994) — the first implementation of magic sets inside a
+// relational (SQL) system, originally built in IBM's Starburst.
+//
+// The engine parses a practical SQL subset (views, subqueries, aggregation,
+// set operations, NULLs with full three-valued logic), represents queries
+// in the Query Graph Model (QGM), optimizes them with a rule-based rewrite
+// system into which EMST is integrated as one rule, chooses join orders
+// with a cost-based plan optimizer run twice around the transformation, and
+// executes the cheaper of the pre-/post-EMST plans — reproducing the
+// paper's architecture end to end, including its guarantee that applying
+// magic can never degrade the chosen plan.
+//
+// Quick start:
+//
+//	db := starmagic.Open()
+//	db.MustExec(`CREATE TABLE employee (empno INT, workdept INT, salary FLOAT, PRIMARY KEY (empno))`)
+//	db.MustExec(`INSERT INTO employee VALUES (1, 10, 50000.0)`)
+//	res, err := db.Query(`SELECT workdept, AVG(salary) FROM employee GROUP BY workdept`)
+//
+// The three execution strategies of the paper's Table 1 are selectable per
+// query: StrategyOriginal (views materialized in full), StrategyCorrelated
+// (tuple-at-a-time re-evaluation, the technique EMST is benchmarked
+// against), and StrategyEMST (the default).
+package starmagic
+
+import (
+	"starmagic/internal/datum"
+	"starmagic/internal/engine"
+	"starmagic/internal/exec"
+)
+
+// DB is an in-memory starmagic database instance. It is not safe for
+// concurrent use; callers serialize access.
+type DB struct {
+	eng *engine.Database
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{eng: engine.New()} }
+
+// Strategy selects how queries are optimized and executed — the three
+// columns of the paper's Table 1.
+type Strategy = engine.Strategy
+
+// Execution strategies.
+const (
+	// StrategyEMST runs the full three-phase magic-sets pipeline and
+	// executes the cheaper of the pre-/post-transformation plans. Default.
+	StrategyEMST = engine.EMST
+	// StrategyOriginal materializes views in full (phase-1 rewrite only).
+	StrategyOriginal = engine.Original
+	// StrategyCorrelated re-evaluates views per outer row without caching.
+	StrategyCorrelated = engine.Correlated
+)
+
+// ParseStrategy resolves "emst", "original", or "correlated".
+func ParseStrategy(name string) (Strategy, error) { return engine.ParseStrategy(name) }
+
+// Result is a query result: column names, rows, and plan information.
+type Result = engine.Result
+
+// PlanInfo describes how a query was optimized and executed.
+type PlanInfo = engine.PlanInfo
+
+// Counters aggregate executor work (rows scanned, probes, …).
+type Counters = exec.Counters
+
+// Value is one SQL value.
+type Value = datum.D
+
+// Row is one result or input row.
+type Row = datum.Row
+
+// Value constructors.
+var (
+	Int    = datum.Int
+	Float  = datum.Float
+	String = datum.String
+	Bool   = datum.Bool
+	Null   = datum.Null
+)
+
+// Exec runs a semicolon-separated script of DDL and INSERT statements,
+// returning the number of rows inserted.
+func (db *DB) Exec(script string) (int64, error) { return db.eng.Exec(script) }
+
+// MustExec is Exec that panics on error; convenient in setup code.
+func (db *DB) MustExec(script string) int64 {
+	n, err := db.eng.Exec(script)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// InsertRows bulk-loads rows into a table through the Go API.
+func (db *DB) InsertRows(table string, rows []Row) error {
+	return db.eng.InsertRows(table, rows)
+}
+
+// Analyze refreshes optimizer statistics. Queries trigger it automatically
+// after data changes; call it explicitly after InsertRows-heavy loads if
+// you want to control when the work happens.
+func (db *DB) Analyze() { db.eng.Analyze() }
+
+// Query optimizes and executes a SELECT with the default EMST strategy.
+func (db *DB) Query(query string) (*Result, error) { return db.eng.Query(query) }
+
+// QueryWith optimizes and executes a SELECT with an explicit strategy.
+func (db *DB) QueryWith(query string, s Strategy) (*Result, error) {
+	return db.eng.QueryWith(query, s)
+}
+
+// Prepared is an optimized query plan that can be executed repeatedly.
+type Prepared = engine.Prepared
+
+// Prepare parses, binds and optimizes a query for repeated execution.
+func (db *DB) Prepare(query string, s Strategy) (*Prepared, error) {
+	return db.eng.Prepare(query, s)
+}
+
+// Explain returns a textual account of the optimization: the QGM graph
+// after each rewrite phase (the paper's Figure 4 panels), plan costs, and
+// which plan won the cost comparison.
+func (db *DB) Explain(query string, s Strategy) (string, error) {
+	return db.eng.Explain(query, s)
+}
+
+// Engine exposes the underlying engine for advanced integrations
+// (extension box kinds, direct catalog access).
+func (db *DB) Engine() *engine.Database { return db.eng }
