@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench table1 sweep ablation fuzz examples clean
+.PHONY: all build test test-short race cover check bench bench-json table1 sweep ablation fuzz examples clean
 
 all: build test
 
@@ -23,9 +23,22 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Full verification gate: build, vet, tests, and the race detector over the
+# packages with intra-query parallelism (executor and engine).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/exec/... ./internal/engine/...
+
 # Table 1 + figure benchmarks (testing.B)
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable perf trajectory: row-key encoders, hash-join build, and
+# Table-1 experiments (ns/op + allocs/op) written to BENCH_1.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_1.json
 
 # The paper's Table 1, normalized elapsed times
 table1:

@@ -1,0 +1,191 @@
+// Command benchjson runs the performance-trajectory benchmark suite in
+// process (via testing.Benchmark) and writes machine-readable results to a
+// JSON file: ns/op, bytes/op and allocs/op for the row-key encoders, the
+// hash-join build, and every Table-1 experiment under each strategy.
+//
+// `make bench-json` writes BENCH_1.json at the repository root so successive
+// PRs can track executor performance against recorded baselines.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_1.json] [-experiments A,B,...] [-scale N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"starmagic/internal/bench"
+	"starmagic/internal/datum"
+	"starmagic/internal/engine"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	Schema     string   `json:"schema"`
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Scale      int      `json:"scale"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output file")
+	expFilter := flag.String("experiments", "A,B,C,D,E,F,G,H", "comma-separated Table-1 experiment IDs (empty = skip)")
+	scale := flag.Int("scale", 1, "benchmark data size multiplier")
+	flag.Parse()
+
+	rep := report{
+		Schema:     "starmagic-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+	}
+	record := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		rep.Results = append(rep.Results, result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	// Row-key encoders: the binary AppendKey path vs the seed's string path.
+	keyRows := bench.KeyRows(1024)
+	record("rowkey/binary", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 64)
+		for i := 0; i < b.N; i++ {
+			buf = datum.AppendKey(buf[:0], keyRows[i%len(keyRows)])
+		}
+	})
+	record("rowkey/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bench.LegacyRowKey(keyRows[i%len(keyRows)])
+		}
+	})
+
+	// Hash-join build: fresh evaluator per execution over unindexed tables.
+	if err := hashJoinBench(record); err != nil {
+		fmt.Fprintln(os.Stderr, "hash-join bench:", err)
+		os.Exit(1)
+	}
+
+	// Table-1 experiments under each strategy.
+	ids := map[string]bool{}
+	for _, id := range strings.Split(*expFilter, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids[strings.ToUpper(id)] = true
+		}
+	}
+	if len(ids) > 0 {
+		cfg := bench.Config{Departments: 100, EmpsPerDept: 20, SalesPerDept: 80, OrdersPerDept: 80, Seed: 1994}
+		if *scale > 1 {
+			cfg = bench.DefaultConfig().WithScale(*scale)
+		}
+		db, err := bench.NewDB(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "setup:", err)
+			os.Exit(1)
+		}
+		for _, e := range bench.Experiments() {
+			if !ids[e.ID] {
+				continue
+			}
+			for _, s := range []engine.Strategy{engine.Original, engine.Correlated, engine.EMST} {
+				p, err := db.Prepare(e.Query, s)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "prepare %s/%s: %v\n", e.ID, s, err)
+					os.Exit(1)
+				}
+				record(fmt.Sprintf("exp%s/%s", e.ID, s), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := p.Execute(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+}
+
+// hashJoinBench measures the unindexed equi-join from BenchmarkHashJoinBuild
+// serially and with a pinned 4-worker partitioned build.
+func hashJoinBench(record func(string, func(b *testing.B))) error {
+	const rows = 8192
+	db := engine.New()
+	if _, err := db.Exec(`
+	CREATE TABLE build_side (a INT, b INT);
+	CREATE TABLE probe_side (a INT, b INT);`); err != nil {
+		return err
+	}
+	load := func(table string, mod int64) error {
+		batch := make([]datum.Row, rows)
+		for i := range batch {
+			batch[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i) % mod)}
+		}
+		return db.InsertRows(table, batch)
+	}
+	if err := load("build_side", 977); err != nil {
+		return err
+	}
+	if err := load("probe_side", 953); err != nil {
+		return err
+	}
+	const query = `SELECT p.a FROM probe_side p, build_side s
+	               WHERE p.b = s.b AND s.a < 50 AND p.a < 50`
+	for _, par := range []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"parallel", 4}} {
+		db.SetParallelism(par.n)
+		p, err := db.Prepare(query, engine.EMST)
+		if err != nil {
+			return err
+		}
+		record("hashjoin_build/"+par.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	db.SetParallelism(0)
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "data size multiplier")
 	reps := flag.Int("reps", 3, "executions per measurement (fastest wins)")
+	parallel := flag.Int("parallel", 0, "intra-query parallelism (0/1 serial, -1 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print raw timings, counters, and regimes")
 	ablation := flag.Bool("ablation", false, "also run the design-choice ablation study on experiments G and H")
 	sweep := flag.Bool("sweep", false, "also sweep outer width on the experiment-C query (crossover curve)")
@@ -33,6 +34,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "setup:", err)
 		os.Exit(1)
 	}
+	db.SetParallelism(*parallel)
 
 	rows, err := bench.Table1(db, *reps)
 	if err != nil {

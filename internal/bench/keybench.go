@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"math"
+	"strings"
+
+	"starmagic/internal/datum"
+)
+
+// LegacyRowKey is the seed's string row-key encoder, preserved verbatim as
+// the baseline for BenchmarkRowKey and BENCH_1.json: a strings.Builder pass
+// with NUL-terminated, NUL-escaped fields. It allocates per row and — the
+// bug fixed by datum.AppendKey — can collide when an escaped NUL is followed
+// by bytes that mimic a numeric record (see datum.TestRowKeyCollisionRegression).
+func LegacyRowKey(r datum.Row) string {
+	var sb strings.Builder
+	for _, d := range r {
+		legacyKeyDatum(&sb, d)
+	}
+	return sb.String()
+}
+
+func legacyKeyDatum(sb *strings.Builder, d datum.D) {
+	if d.IsNull() {
+		sb.WriteByte(0xff)
+		sb.WriteByte(0)
+		return
+	}
+	switch d.T {
+	case datum.TInt, datum.TFloat:
+		f := d.AsFloat()
+		bits := math.Float64bits(f + 0)
+		sb.WriteByte(1)
+		for i := 0; i < 8; i++ {
+			sb.WriteByte(byte(bits >> (8 * i)))
+		}
+	case datum.TString:
+		sb.WriteByte(2)
+		s := d.S
+		for i := 0; i < len(s); i++ {
+			if s[i] == 0 {
+				sb.WriteByte(0)
+				sb.WriteByte(1)
+			} else {
+				sb.WriteByte(s[i])
+			}
+		}
+	case datum.TBool:
+		sb.WriteByte(3)
+		if d.B {
+			sb.WriteByte(1)
+		} else {
+			sb.WriteByte(2)
+		}
+	}
+	sb.WriteByte(0)
+}
+
+// KeyRows returns n deterministic rows mixing the shapes the executor hashes
+// in practice: ints, floats, short and longer strings, bools, and NULLs.
+func KeyRows(n int) []datum.Row {
+	names := []string{"alice", "bob", "carol", "a longer employee name", ""}
+	rows := make([]datum.Row, n)
+	for i := range rows {
+		rows[i] = datum.Row{
+			datum.Int(int64(i)),
+			datum.String(names[i%len(names)]),
+			datum.Float(float64(i%97) / 3),
+			datum.Bool(i%2 == 0),
+		}
+		if i%11 == 0 {
+			rows[i][2] = datum.NullOf(datum.TFloat)
+		}
+	}
+	return rows
+}

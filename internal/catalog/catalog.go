@@ -221,6 +221,7 @@ func (c *Catalog) Views() []*View {
 func AnalyzeTable(t *Table, rows []datum.Row) {
 	t.RowCount = int64(len(rows))
 	t.Stats = make([]ColumnStats, len(t.Columns))
+	keyBuf := make([]byte, 0, 32)
 	for ci := range t.Columns {
 		distinct := make(map[string]struct{})
 		st := &t.Stats[ci]
@@ -230,7 +231,10 @@ func AnalyzeTable(t *Table, rows []datum.Row) {
 				st.NullCount++
 				continue
 			}
-			distinct[datum.Row{d}.Key()] = struct{}{}
+			keyBuf = d.AppendKey(keyBuf[:0])
+			if _, ok := distinct[string(keyBuf)]; !ok {
+				distinct[string(keyBuf)] = struct{}{}
+			}
 			if st.DistinctCount == 0 && len(distinct) == 1 {
 				st.Min, st.Max = d, d
 			}

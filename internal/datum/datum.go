@@ -520,60 +520,89 @@ func (r Row) Clone() Row {
 	return c
 }
 
-// Key returns a string key for the row under DistinctEqual semantics,
-// suitable for map-based grouping, distinct, and hash joins.
-func (r Row) Key() string {
-	var sb strings.Builder
-	for _, d := range r {
-		keyDatum(&sb, d)
-	}
-	return sb.String()
-}
+// Key encoding: each datum is rendered as a self-delimiting binary record,
+// so the concatenation over a row is injective up to DistinctEqual — two rows
+// share a key iff they are column-wise DistinctEqual. Tags:
+//
+//	0x00                     NULL (all NULLs, typed or not, encode alike)
+//	0x01 <8 bytes LE>        numeric, as normalized float64 bits (INT 3 == FLOAT 3.0)
+//	0x02 <uvarint n> <n b>   string, length-prefixed (no escaping, no terminator)
+//	0x03 / 0x04              FALSE / TRUE
+//
+// The length prefix (rather than a terminator + escaping) is what makes the
+// encoding collision-safe: the fixed-width numeric payload may contain any
+// byte, so a terminator-based scheme cannot delimit it unambiguously.
+const (
+	keyTagNull   = 0x00
+	keyTagNum    = 0x01
+	keyTagString = 0x02
+	keyTagFalse  = 0x03
+	keyTagTrue   = 0x04
+)
 
-// KeyOf returns the grouping key of the selected columns of the row.
-func (r Row) KeyOf(cols []int) string {
-	var sb strings.Builder
-	for _, c := range cols {
-		keyDatum(&sb, r[c])
-	}
-	return sb.String()
-}
-
-func keyDatum(sb *strings.Builder, d D) {
+// AppendKey appends d's key encoding to buf and returns the extended buffer.
+// Hot paths reuse one buffer per evaluator (`buf = d.AppendKey(buf[:0])`) and
+// index maps with string(buf), which Go compiles to an allocation-free lookup.
+func (d D) AppendKey(buf []byte) []byte {
 	if d.IsNull() {
-		sb.WriteByte(0xff)
-		sb.WriteByte(0)
-		return
+		return append(buf, keyTagNull)
 	}
 	switch d.T {
 	case TInt, TFloat:
 		f := d.AsFloat()
 		bits := math.Float64bits(f + 0) // normalize -0.0
-		sb.WriteByte(1)
-		for i := 0; i < 8; i++ {
-			sb.WriteByte(byte(bits >> (8 * i)))
-		}
+		return append(buf, keyTagNum,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
 	case TString:
-		sb.WriteByte(2)
-		// Escape NUL so adjacent strings can't collide across columns.
-		s := d.S
-		for i := 0; i < len(s); i++ {
-			if s[i] == 0 {
-				sb.WriteByte(0)
-				sb.WriteByte(1)
-			} else {
-				sb.WriteByte(s[i])
-			}
-		}
+		buf = append(buf, keyTagString)
+		buf = appendUvarint(buf, uint64(len(d.S)))
+		return append(buf, d.S...)
 	case TBool:
-		sb.WriteByte(3)
 		if d.B {
-			sb.WriteByte(1)
-		} else {
-			sb.WriteByte(2)
+			return append(buf, keyTagTrue)
 		}
+		return append(buf, keyTagFalse)
 	}
-	sb.WriteByte(0)
+	return append(buf, keyTagNull)
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// AppendKey appends the row's key encoding to buf and returns the extended
+// buffer. The encoding is collision-safe under DistinctEqual semantics; see
+// the tag table above.
+func AppendKey(buf []byte, r Row) []byte {
+	for _, d := range r {
+		buf = d.AppendKey(buf)
+	}
+	return buf
+}
+
+// AppendKeyOf appends the key encoding of the selected columns of the row.
+func AppendKeyOf(buf []byte, r Row, cols []int) []byte {
+	for _, c := range cols {
+		buf = r[c].AppendKey(buf)
+	}
+	return buf
+}
+
+// Key returns a string key for the row under DistinctEqual semantics,
+// suitable for map-based grouping, distinct, and hash joins. Hot paths
+// should prefer AppendKey with a reused buffer.
+func (r Row) Key() string {
+	return string(AppendKey(make([]byte, 0, 16*len(r)), r))
+}
+
+// KeyOf returns the grouping key of the selected columns of the row.
+func (r Row) KeyOf(cols []int) string {
+	return string(AppendKeyOf(make([]byte, 0, 16*len(cols)), r, cols))
 }
 
 // CompareRows orders rows lexicographically with SortCompare per column.

@@ -1,8 +1,10 @@
 package datum
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -281,6 +283,61 @@ func TestRowKeyStringEscaping(t *testing.T) {
 	r2 := Row{String("a"), String("\x00b")}
 	if r1.Key() == r2.Key() {
 		t.Error("row keys collide across string boundaries")
+	}
+}
+
+// Regression: the seed's terminator-based encoder collided when a string's
+// escaped NUL was followed by bytes that mimicked a numeric record. The row
+// ["a\x00bcdefghi"] encoded to exactly the same bytes as ["a", f] where f is
+// the float64 whose little-endian bit pattern is "bcdefghi". The
+// length-prefixed binary encoder cannot collide: every record is
+// self-delimiting.
+func TestRowKeyCollisionRegression(t *testing.T) {
+	var bits uint64
+	for i, c := range []byte("bcdefghi") {
+		bits |= uint64(c) << (8 * i)
+	}
+	r1 := Row{String("a\x00bcdefghi")}
+	r2 := Row{String("a"), Float(math.Float64frombits(bits))}
+	if r1.Key() == r2.Key() {
+		t.Fatalf("row keys collide: %q", r1.Key())
+	}
+	// The same pair must stay distinct through the allocation-free path.
+	var buf []byte
+	k1 := string(AppendKey(buf[:0], r1))
+	k2 := string(AppendKey(buf[:0], r2))
+	if k1 == k2 {
+		t.Fatalf("AppendKey keys collide: %q", k1)
+	}
+}
+
+// AppendKey with a reused buffer must agree with Key and with AppendKeyOf.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rows := []Row{
+		{},
+		{Null(), NullOf(TString)},
+		{Int(7), Float(7), String(""), Bool(true), Bool(false)},
+		{String("a\x00b"), String(strings.Repeat("x", 200))},
+		{Int(-1), Float(math.Inf(1)), Float(-0.0)},
+	}
+	buf := make([]byte, 0, 8)
+	for _, r := range rows {
+		buf = AppendKey(buf[:0], r)
+		if got, want := string(buf), r.Key(); got != want {
+			t.Errorf("AppendKey(%v) = %q; Key = %q", r, got, want)
+		}
+		cols := make([]int, len(r))
+		for i := range cols {
+			cols[i] = len(r) - 1 - i
+		}
+		buf = AppendKeyOf(buf[:0], r, cols)
+		if got, want := string(buf), r.KeyOf(cols); got != want {
+			t.Errorf("AppendKeyOf(%v) = %q; KeyOf = %q", r, got, want)
+		}
+	}
+	// -0.0 and 0.0 must key identically (DistinctEqual holds).
+	if Row.Key(Row{Float(math.Copysign(0, -1))}) != Row.Key(Row{Float(0)}) {
+		t.Error("-0.0 and 0.0 must share a key")
 	}
 }
 

@@ -74,6 +74,8 @@ type Database struct {
 	store *storage.Store
 	// statsDirty triggers re-ANALYZE before the next optimization.
 	statsDirty bool
+	// parallelism is handed to each query's evaluator (see SetParallelism).
+	parallelism int
 }
 
 // New returns an empty database.
@@ -86,6 +88,17 @@ func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 
 // Store exposes the storage layer for bulk loading.
 func (db *Database) Store() *storage.Store { return db.store }
+
+// SetParallelism configures intra-query parallelism for subsequent
+// executions: concurrent materialization of independent closed view subtrees
+// and parallel hash-join builds. 0 or 1 executes serially (the default);
+// negative means GOMAXPROCS workers. Results are identical to serial
+// execution regardless of the setting.
+func (db *Database) SetParallelism(n int) {
+	db.mu.Lock()
+	db.parallelism = n
+	db.mu.Unlock()
+}
 
 // Exec runs a script of DDL/INSERT statements separated by semicolons and
 // returns the number of rows inserted.
@@ -580,6 +593,7 @@ func (p *Prepared) Execute() (*Result, error) {
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
 	ev := exec.New(p.db.store)
+	ev.Parallelism = p.db.parallelism
 	if p.strategy == Correlated {
 		ev.NoSubqueryCache = true
 	}

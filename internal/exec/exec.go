@@ -59,6 +59,14 @@ type Evaluator struct {
 	// (0 = default 1000).
 	MaxRecursion int
 
+	// Parallelism bounds the worker pool for intra-query parallelism:
+	// concurrent materialization of independent closed quantifier subtrees
+	// and parallel hash-join build over row ranges. 0 or 1 runs serially;
+	// negative values mean GOMAXPROCS. Workers evaluate with private caches
+	// and Counters that are merged into this evaluator at join points, so
+	// counter totals stay deterministic for a given Parallelism setting.
+	Parallelism int
+
 	Counters Counters
 
 	memo       map[*qgm.Box][]datum.Row
@@ -67,6 +75,13 @@ type Evaluator struct {
 	hashCache  map[*qgm.Quantifier]map[string]map[string][]datum.Row
 	inProgress map[*qgm.Box]bool
 	recActive  map[*qgm.Box]bool
+
+	// keyBuf is the evaluator's reusable row-key buffer. Every hash-keyed
+	// path (joins, grouping, dedupe, set ops, memo keys, recursion deltas)
+	// encodes into it with datum.AppendKey and indexes maps with
+	// string(keyBuf), which Go compiles to an allocation-free lookup; a key
+	// string is materialized only when it must be stored.
+	keyBuf []byte
 }
 
 // corrRef is a free (outer) column reference of a box subtree.
@@ -203,11 +218,14 @@ func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Semi-naive delta: only rows not yet in the accumulated set extend
+		// the next round. The delta membership test is allocation-free; a
+		// key string materializes only for genuinely new rows.
 		grew := false
 		for _, r := range rows {
-			k := r.Key()
-			if !seen[k] {
-				seen[k] = true
+			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], r)
+			if !seen[string(ev.keyBuf)] {
+				seen[string(ev.keyBuf)] = true
 				cur = append(cur, r)
 				grew = true
 			}
@@ -319,9 +337,13 @@ func (ev *Evaluator) evalBoxNow(b *qgm.Box, env Env) ([]datum.Row, error) {
 	}
 	ev.Counters.OutputRows += int64(len(rows))
 	if ev.MaxRows > 0 && ev.Counters.OutputRows > ev.MaxRows {
-		return nil, fmt.Errorf("exec: row budget exceeded (%d rows)", ev.Counters.OutputRows)
+		return nil, errRowBudget(ev.Counters.OutputRows)
 	}
 	return rows, nil
+}
+
+func errRowBudget(n int64) error {
+	return fmt.Errorf("exec: row budget exceeded (%d rows)", n)
 }
 
 func (ev *Evaluator) evalBase(b *qgm.Box) ([]datum.Row, error) {
@@ -413,6 +435,9 @@ func buildSelectPlan(b *qgm.Box, outer Env) *selectPlan {
 }
 
 func (ev *Evaluator) evalSelect(b *qgm.Box, env Env) ([]datum.Row, error) {
+	if err := ev.prefetchClosed(b); err != nil {
+		return nil, err
+	}
 	plan := buildSelectPlan(b, env)
 	var out []datum.Row
 
@@ -454,7 +479,7 @@ func (ev *Evaluator) evalSelect(b *qgm.Box, env Env) ([]datum.Row, error) {
 	}
 
 	if b.Distinct != qgm.DistinctPreserve {
-		out = dedupe(out)
+		out = ev.dedupe(out)
 	}
 	return out, nil
 }
@@ -600,28 +625,14 @@ func (ev *Evaluator) joinStage(b *qgm.Box, plan *selectPlan, q *qgm.Quantifier, 
 		}
 		if ht == nil {
 			ev.Counters.HashBuilds++
-			ht = make(map[string][]datum.Row, len(rows))
-			probeEnv := cur.clone()
-			for _, row := range rows {
-				probeEnv[q] = row
-				key := make(datum.Row, len(keys))
-				nullKey := false
-				for j, k := range keys {
-					v, err := EvalExpr(k.mine, probeEnv)
-					if err != nil {
-						return err
-					}
-					if v.IsNull() {
-						nullKey = true
-						break
-					}
-					key[j] = v
-				}
-				if nullKey {
-					continue // equality never matches NULL
-				}
-				ks := key.Key()
-				ht[ks] = append(ht[ks], row)
+			mines := make([]qgm.Expr, len(keys))
+			for j, k := range keys {
+				mines[j] = k.mine
+			}
+			var err error
+			ht, err = ev.buildHashTable(q, mines, rows, cur)
+			if err != nil {
+				return err
 			}
 			if cacheable {
 				byKey := ev.hashCache[q]
@@ -634,24 +645,19 @@ func (ev *Evaluator) joinStage(b *qgm.Box, plan *selectPlan, q *qgm.Quantifier, 
 		}
 		delete(cur, q)
 
-		probe := make(datum.Row, len(keys))
-		nullProbe := false
-		for j, k := range keys {
+		ev.keyBuf = ev.keyBuf[:0]
+		for _, k := range keys {
 			v, err := EvalExpr(k.other, cur)
 			if err != nil {
 				return err
 			}
 			if v.IsNull() {
-				nullProbe = true
-				break
+				return nil // equality never matches NULL
 			}
-			probe[j] = v
-		}
-		if nullProbe {
-			return nil
+			ev.keyBuf = v.AppendKey(ev.keyBuf)
 		}
 		ev.Counters.HashProbes++
-		for _, row := range ht[probe.Key()] {
+		for _, row := range ht[string(ev.keyBuf)] {
 			ok, err := emit(row)
 			if err != nil {
 				return err
@@ -787,8 +793,7 @@ func (ev *Evaluator) evalSubquery(q *qgm.Quantifier, cur Env) ([]datum.Row, erro
 	if len(refs) == 0 {
 		return ev.EvalBox(q.Ranges, cur) // memoized at box level
 	}
-	key, err := corrKey(refs, cur)
-	if err != nil {
+	if err := ev.corrKeyBuf(refs, cur); err != nil {
 		return nil, err
 	}
 	cache := ev.subCache[q]
@@ -796,9 +801,12 @@ func (ev *Evaluator) evalSubquery(q *qgm.Quantifier, cur Env) ([]datum.Row, erro
 		cache = map[string][]datum.Row{}
 		ev.subCache[q] = cache
 	}
-	if rows, ok := cache[key]; ok {
+	// Memo hit: string(keyBuf) indexes without allocating.
+	if rows, ok := cache[string(ev.keyBuf)]; ok {
 		return rows, nil
 	}
+	// Miss: materialize the key string before EvalBox, which reuses keyBuf.
+	key := string(ev.keyBuf)
 	ev.Counters.SubqueryEvals++
 	rows, err := ev.EvalBox(q.Ranges, cur)
 	if err != nil {
@@ -808,16 +816,17 @@ func (ev *Evaluator) evalSubquery(q *qgm.Quantifier, cur Env) ([]datum.Row, erro
 	return rows, nil
 }
 
-func corrKey(refs []corrRef, env Env) (string, error) {
-	key := make(datum.Row, len(refs))
-	for i, r := range refs {
+// corrKeyBuf encodes the correlation values of refs into ev.keyBuf.
+func (ev *Evaluator) corrKeyBuf(refs []corrRef, env Env) error {
+	ev.keyBuf = ev.keyBuf[:0]
+	for _, r := range refs {
 		row, ok := env[r.q]
 		if !ok {
-			return "", fmt.Errorf("exec: unbound correlation quantifier %q", r.q.Name)
+			return fmt.Errorf("exec: unbound correlation quantifier %q", r.q.Name)
 		}
-		key[i] = row[r.ord]
+		ev.keyBuf = row[r.ord].AppendKey(ev.keyBuf)
 	}
-	return key.Key(), nil
+	return nil
 }
 
 func (ev *Evaluator) projectRow(b *qgm.Box, cur Env) (datum.Row, error) {
@@ -857,9 +866,10 @@ func (ev *Evaluator) evalGroupBy(b *qgm.Box, env Env) ([]datum.Row, error) {
 			}
 			key[i] = v
 		}
-		ks := key.Key()
-		grp, ok := groups[ks]
+		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], key)
+		grp, ok := groups[string(ev.keyBuf)]
 		if !ok {
+			ks := string(ev.keyBuf)
 			grp = &group{key: key}
 			for _, a := range b.Aggs {
 				grp.states = append(grp.states, datum.NewAggState(a.Kind))
@@ -884,11 +894,11 @@ func (ev *Evaluator) evalGroupBy(b *qgm.Box, env Env) ([]datum.Row, error) {
 				if v.IsNull() {
 					continue
 				}
-				dk := datum.Row{v}.Key()
-				if grp.distinct[i][dk] {
+				ev.keyBuf = v.AppendKey(ev.keyBuf[:0])
+				if grp.distinct[i][string(ev.keyBuf)] {
 					continue
 				}
-				grp.distinct[i][dk] = true
+				grp.distinct[i][string(ev.keyBuf)] = true
 			}
 			if err := grp.states[i].Add(v); err != nil {
 				return nil, err
@@ -920,6 +930,9 @@ func (ev *Evaluator) evalGroupBy(b *qgm.Box, env Env) ([]datum.Row, error) {
 }
 
 func (ev *Evaluator) evalUnion(b *qgm.Box, env Env) ([]datum.Row, error) {
+	if err := ev.prefetchClosed(b); err != nil {
+		return nil, err
+	}
 	var out []datum.Row
 	for _, q := range b.Quantifiers {
 		rows, err := ev.EvalBox(q.Ranges, env)
@@ -929,12 +942,15 @@ func (ev *Evaluator) evalUnion(b *qgm.Box, env Env) ([]datum.Row, error) {
 		out = append(out, rows...)
 	}
 	if b.Distinct != qgm.DistinctPreserve {
-		out = dedupe(out)
+		out = ev.dedupe(out)
 	}
 	return out, nil
 }
 
 func (ev *Evaluator) evalIntersectExcept(b *qgm.Box, env Env) ([]datum.Row, error) {
+	if err := ev.prefetchClosed(b); err != nil {
+		return nil, err
+	}
 	left, err := ev.EvalBox(b.Quantifiers[0].Ranges, env)
 	if err != nil {
 		return nil, err
@@ -945,13 +961,15 @@ func (ev *Evaluator) evalIntersectExcept(b *qgm.Box, env Env) ([]datum.Row, erro
 	}
 	counts := map[string]int{}
 	for _, row := range right {
-		counts[row.Key()]++
+		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+		counts[string(ev.keyBuf)]++
 	}
 	distinct := b.Distinct != qgm.DistinctPreserve
 	var out []datum.Row
 	seen := map[string]bool{}
 	for _, row := range left {
-		key := row.Key()
+		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+		key := string(ev.keyBuf)
 		inRight := counts[key] > 0
 		switch b.Kind {
 		case qgm.KindIntersect:
@@ -986,15 +1004,15 @@ func (ev *Evaluator) evalIntersectExcept(b *qgm.Box, env Env) ([]datum.Row, erro
 	return out, nil
 }
 
-func dedupe(rows []datum.Row) []datum.Row {
+func (ev *Evaluator) dedupe(rows []datum.Row) []datum.Row {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0:0]
 	for _, row := range rows {
-		k := row.Key()
-		if seen[k] {
+		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+		if seen[string(ev.keyBuf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(ev.keyBuf)] = true
 		out = append(out, row)
 	}
 	return out

@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"starmagic/internal/catalog"
+	"starmagic/internal/datum"
+	"starmagic/internal/semant"
+	"starmagic/internal/sql"
+	"starmagic/internal/storage"
+)
+
+// evalWith builds query and evaluates it with the given parallelism,
+// returning ordered rendered rows and the evaluator for counter inspection.
+func evalWith(t *testing.T, cat *catalog.Catalog, store *storage.Store, query string, parallelism int) ([]string, *Evaluator) {
+	t.Helper()
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	g, err := semant.NewBuilder(cat).Build(q)
+	if err != nil {
+		t.Fatalf("build %q: %v", query, err)
+	}
+	ev := New(store)
+	ev.Parallelism = parallelism
+	rows, err := ev.EvalGraph(g)
+	if err != nil {
+		t.Fatalf("eval %q (parallelism %d): %v", query, parallelism, err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%#v", r)
+	}
+	return out, ev
+}
+
+// Parallel evaluation must produce exactly the serial rows, in the serial
+// order, for shapes that exercise closed-subtree prefetch: shared views,
+// group-by over a view, subqueries, and set operations.
+func TestParallelMatchesSerial(t *testing.T) {
+	cat, store := testDB(t)
+	queries := []string{
+		// Two closed view subtrees joined (prefetch candidates).
+		"SELECT m.empno, a.avgsalary FROM mgrSal m, avgMgrSal a WHERE m.workdept = a.workdept",
+		// Closed subquery quantifiers.
+		"SELECT e.empname FROM employee e WHERE e.salary > (SELECT AVG(salary) FROM employee) " +
+			"AND EXISTS (SELECT 1 FROM department d WHERE d.mgrno = e.empno)",
+		// Set operation over two closed branches.
+		"SELECT empno FROM mgrSal UNION SELECT mgrno FROM department WHERE mgrno IS NOT NULL",
+		"SELECT workdept FROM employee EXCEPT SELECT workdept FROM mgrSal",
+		// Aggregation over a view of a view.
+		"SELECT workdept, avgsalary FROM avgMgrSal ORDER BY workdept",
+	}
+	for _, query := range queries {
+		serial, _ := evalWith(t, cat, store, query, 1)
+		for _, p := range []int{2, 4, -1} {
+			par, _ := evalWith(t, cat, store, query, p)
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("parallelism %d changed results for %q:\nserial: %v\npar:    %v", p, query, serial, par)
+			}
+		}
+	}
+}
+
+// Merged per-worker counters must not depend on goroutine scheduling: two
+// runs at the same parallelism see identical totals.
+func TestParallelCountersDeterministic(t *testing.T) {
+	cat, store := testDB(t)
+	query := "SELECT m.empno, a.avgsalary FROM mgrSal m, avgMgrSal a WHERE m.workdept = a.workdept"
+	_, ev1 := evalWith(t, cat, store, query, 4)
+	for i := 0; i < 5; i++ {
+		_, ev2 := evalWith(t, cat, store, query, 4)
+		if ev1.Counters != ev2.Counters {
+			t.Fatalf("counters vary across runs at parallelism 4:\n%+v\n%+v", ev1.Counters, ev2.Counters)
+		}
+	}
+}
+
+// bigJoinDB builds two unindexed tables large enough to cross the parallel
+// hash-build threshold.
+func bigJoinDB(t *testing.T) (*catalog.Catalog, *storage.Store, int) {
+	t.Helper()
+	cat := catalog.New()
+	const n = 3 * parallelBuildMinRows
+	mk := func(name string) *catalog.Table {
+		tb := &catalog.Table{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "a", Type: datum.TInt},
+				{Name: "b", Type: datum.TInt},
+			},
+		}
+		if err := cat.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	left, right := mk("lhs"), mk("rhs")
+	store := storage.NewStore()
+	lr, rr := store.Create(left), store.Create(right)
+	for i := 0; i < n; i++ {
+		if err := lr.Insert(datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 97))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rr.Insert(datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 89))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat, store, n
+}
+
+// A hash join whose build side crosses parallelBuildMinRows must partition
+// across workers and still produce byte-identical buckets (same rows, same
+// order) as the serial build.
+func TestParallelHashJoinBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large join in -short mode")
+	}
+	cat, store, _ := bigJoinDB(t)
+	query := "SELECT l.a FROM lhs l, rhs r WHERE l.b = r.b AND l.a < 300 AND r.a < 300"
+	serial, evS := evalWith(t, cat, store, query, 1)
+	par, evP := evalWith(t, cat, store, query, 4)
+	if len(serial) == 0 {
+		t.Fatal("query returned no rows; test is vacuous")
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel hash build changed results: %d vs %d rows", len(serial), len(par))
+	}
+	if evS.Counters.HashBuilds == 0 || evS.Counters != evP.Counters {
+		t.Errorf("counters diverged: serial %+v parallel %+v", evS.Counters, evP.Counters)
+	}
+}
+
+// Correlated (NoSubqueryCache) evaluation must bypass prefetch but still
+// honor Parallelism without changing results.
+func TestParallelWithNoSubqueryCache(t *testing.T) {
+	cat, store := testDB(t)
+	query := "SELECT e.empname FROM employee e WHERE e.salary > (SELECT AVG(salary) FROM employee x WHERE x.workdept = e.workdept)"
+	run := func(parallelism int) []string {
+		q, err := sql.ParseQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := semant.NewBuilder(cat).Build(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := New(store)
+		ev.NoSubqueryCache = true
+		ev.Parallelism = parallelism
+		rows, err := ev.EvalGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprintf("%#v", r)
+		}
+		return out
+	}
+	if got, want := run(4), run(1); !reflect.DeepEqual(got, want) {
+		t.Errorf("NoSubqueryCache results differ under parallelism: %v vs %v", got, want)
+	}
+}

@@ -3,17 +3,24 @@
 // layer of the paper's testbed: the magic-sets transformation is a
 // query-rewrite technique, so any store exposing scans and index lookups
 // exercises the same optimized plans.
+//
+// Relations and the store are safe for concurrent use: reads (scans, index
+// probes) share an RWMutex read lock so many evaluators — including the
+// parallel workers of a single evaluator — can run at once, while Insert and
+// Rebuild serialize behind the write lock.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"starmagic/internal/catalog"
 	"starmagic/internal/datum"
 )
 
-// HashIndex maps equality keys over a column set to row positions.
+// HashIndex maps equality keys over a column set to row positions. Keys are
+// the collision-safe binary encoding of datum.AppendKey.
 type HashIndex struct {
 	Cols    []int
 	buckets map[string][]int
@@ -21,27 +28,42 @@ type HashIndex struct {
 
 // Relation holds the rows of one base table plus its indexes.
 type Relation struct {
-	Meta    *catalog.Table
+	Meta *catalog.Table
+
+	mu      sync.RWMutex
 	rows    []datum.Row
 	indexes []*HashIndex
+	keyBuf  []byte // reused under mu write lock when indexing inserts
 }
 
 // NewRelation creates an empty relation for the table, building one hash
 // index per index declared in the table metadata.
 func NewRelation(meta *catalog.Table) *Relation {
 	r := &Relation{Meta: meta}
+	r.indexes = newIndexes(meta)
+	return r
+}
+
+func newIndexes(meta *catalog.Table) []*HashIndex {
+	var idxs []*HashIndex
 	for _, cols := range meta.Indexes {
-		r.indexes = append(r.indexes, &HashIndex{
+		idxs = append(idxs, &HashIndex{
 			Cols:    append([]int(nil), cols...),
 			buckets: make(map[string][]int),
 		})
 	}
-	return r
+	return idxs
 }
 
 // Insert appends a row after validating arity and types. Values of INT type
 // inserted into FLOAT columns are widened.
 func (r *Relation) Insert(row datum.Row) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.insertLocked(row)
+}
+
+func (r *Relation) insertLocked(row datum.Row) error {
 	if len(row) != len(r.Meta.Columns) {
 		return fmt.Errorf("table %s: inserting %d values into %d columns",
 			r.Meta.Name, len(row), len(r.Meta.Columns))
@@ -64,29 +86,32 @@ func (r *Relation) Insert(row datum.Row) error {
 	pos := len(r.rows)
 	r.rows = append(r.rows, stored)
 	for _, idx := range r.indexes {
-		k := stored.KeyOf(idx.Cols)
+		r.keyBuf = datum.AppendKeyOf(r.keyBuf[:0], stored, idx.Cols)
+		k := string(r.keyBuf)
 		idx.buckets[k] = append(idx.buckets[k], pos)
 	}
 	return nil
 }
 
-// Rows returns the stored rows. Callers must not mutate them.
-func (r *Relation) Rows() []datum.Row { return r.rows }
+// Rows returns the stored rows. Callers must not mutate them. The returned
+// slice is a stable snapshot: concurrent inserts never change rows already
+// visible through it.
+func (r *Relation) Rows() []datum.Row {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rows
+}
 
 // Rebuild replaces the relation's contents, revalidating and reindexing
 // every row (DELETE and UPDATE go through here).
 func (r *Relation) Rebuild(rows []datum.Row) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	old, oldIdx := r.rows, r.indexes
 	r.rows = nil
-	r.indexes = nil
-	for _, cols := range r.Meta.Indexes {
-		r.indexes = append(r.indexes, &HashIndex{
-			Cols:    append([]int(nil), cols...),
-			buckets: make(map[string][]int),
-		})
-	}
+	r.indexes = newIndexes(r.Meta)
 	for _, row := range rows {
-		if err := r.Insert(row); err != nil {
+		if err := r.insertLocked(row); err != nil {
 			r.rows, r.indexes = old, oldIdx // restore on failure
 			return err
 		}
@@ -95,13 +120,19 @@ func (r *Relation) Rebuild(rows []datum.Row) error {
 }
 
 // Len returns the number of stored rows.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
 
 // Lookup returns the rows whose indexed columns equal key, using the index
 // over exactly cols if one exists. The boolean reports whether an index was
 // available; when false the caller must fall back to a scan.
 func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
-	idx := r.findIndex(cols)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	idx := r.findIndexLocked(cols)
 	if idx == nil {
 		return nil, false
 	}
@@ -127,14 +158,19 @@ func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
 			return nil, true
 		}
 	}
+	// Lookup runs under the read lock, so it cannot share r.keyBuf; a small
+	// local buffer plus the string(buf) map index keeps this to one
+	// allocation per probe.
+	buf := make([]byte, 0, 48)
+	buf = datum.AppendKey(buf, probe)
 	var out []datum.Row
-	for _, pos := range idx.buckets[probe.Key()] {
+	for _, pos := range idx.buckets[string(buf)] {
 		out = append(out, r.rows[pos])
 	}
 	return out, true
 }
 
-func (r *Relation) findIndex(cols []int) *HashIndex {
+func (r *Relation) findIndexLocked(cols []int) *HashIndex {
 	want := append([]int(nil), cols...)
 	sort.Ints(want)
 	for _, idx := range r.indexes {
@@ -157,8 +193,9 @@ func (r *Relation) findIndex(cols []int) *HashIndex {
 	return nil
 }
 
-// Store maps table names to relations.
+// Store maps table names to relations. Safe for concurrent use.
 type Store struct {
+	mu   sync.RWMutex
 	rels map[string]*Relation
 }
 
@@ -168,13 +205,17 @@ func NewStore() *Store { return &Store{rels: make(map[string]*Relation)} }
 // Create allocates storage for a table.
 func (s *Store) Create(meta *catalog.Table) *Relation {
 	r := NewRelation(meta)
+	s.mu.Lock()
 	s.rels[lower(meta.Name)] = r
+	s.mu.Unlock()
 	return r
 }
 
 // Relation resolves a relation by table name.
 func (s *Store) Relation(name string) (*Relation, bool) {
+	s.mu.RLock()
 	r, ok := s.rels[lower(name)]
+	s.mu.RUnlock()
 	return r, ok
 }
 
