@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover check bench bench-json table1 sweep ablation fuzz examples clean
+.PHONY: all build test test-short race cover check bench bench-json bench-check table1 sweep ablation fuzz examples clean
 
 all: build test
 
@@ -23,13 +23,15 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Full verification gate: build, vet, tests, and the race detector over the
-# packages with intra-query parallelism (executor and engine).
+# Full verification gate: build, vet, tests, the race detector over the
+# packages with intra-query parallelism (executor and engine), and the
+# bench-regression gate against the recorded baseline.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/exec/... ./internal/engine/...
+	$(MAKE) bench-check
 
 # Table 1 + figure benchmarks (testing.B)
 bench:
@@ -39,6 +41,14 @@ bench:
 # Table-1 experiments (ns/op + allocs/op) written to BENCH_1.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_1.json
+
+# Regression gate: rerun the row-key and hash-join microbenchmarks and fail
+# if any is >15% slower than the BENCH_1.json baseline (threshold tunable via
+# BENCH_THRESHOLD). The fresh run goes to a scratch file, not the baseline.
+BENCH_THRESHOLD ?= 15
+bench-check:
+	$(GO) run ./cmd/benchjson -out .bench_check.json -experiments "" \
+		-baseline BENCH_1.json -threshold $(BENCH_THRESHOLD)
 
 # The paper's Table 1, normalized elapsed times
 table1:
@@ -64,3 +74,4 @@ examples:
 
 clean:
 	$(GO) clean -testcache
+	rm -f .bench_check.json

@@ -6,9 +6,15 @@
 // `make bench-json` writes BENCH_1.json at the repository root so successive
 // PRs can track executor performance against recorded baselines.
 //
+// With -baseline it additionally compares the fresh run against a recorded
+// report and exits non-zero if any gated benchmark (row-key encoders,
+// hash-join build) regressed in ns/op by more than -threshold percent —
+// `make bench-check` uses this as the perf-regression gate.
+//
 // Usage:
 //
 //	benchjson [-out BENCH_1.json] [-experiments A,B,...] [-scale N]
+//	          [-baseline BENCH_1.json] [-threshold 15] [-gate rowkey/,hashjoin_build/]
 package main
 
 import (
@@ -47,6 +53,9 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "output file")
 	expFilter := flag.String("experiments", "A,B,C,D,E,F,G,H", "comma-separated Table-1 experiment IDs (empty = skip)")
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
+	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
+	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -141,6 +150,64 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+
+	if *baseline != "" {
+		if !compareBaseline(rep, *baseline, *threshold, strings.Split(*gate, ",")) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline checks the fresh results against a recorded report and
+// reports per-benchmark deltas. It returns false if any benchmark whose name
+// matches a gated prefix regressed in ns/op by more than threshold percent.
+// Benchmarks absent from the baseline (newly added) pass trivially.
+func compareBaseline(rep report, path string, threshold float64, gates []string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline:", err)
+		return false
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s: %v\n", path, err)
+		return false
+	}
+	old := map[string]result{}
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	gated := func(name string) bool {
+		for _, g := range gates {
+			if g = strings.TrimSpace(g); g != "" && strings.HasPrefix(name, g) {
+				return true
+			}
+		}
+		return false
+	}
+	ok := true
+	fmt.Printf("\nagainst %s (threshold %+.0f%% on gated benchmarks):\n", path, threshold)
+	for _, r := range rep.Results {
+		b, found := old[r.Name]
+		if !found || b.NsPerOp <= 0 {
+			fmt.Printf("  %-28s (no baseline)\n", r.Name)
+			continue
+		}
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		verdict := "ok"
+		if gated(r.Name) && delta > threshold {
+			verdict = "REGRESSION"
+			ok = false
+		} else if !gated(r.Name) {
+			verdict = "info"
+		}
+		fmt.Printf("  %-28s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta, verdict)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: performance regression beyond %.0f%% detected\n", threshold)
+	}
+	return ok
 }
 
 // hashJoinBench measures the unindexed equi-join from BenchmarkHashJoinBuild

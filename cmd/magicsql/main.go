@@ -5,6 +5,7 @@
 //	.strategy emst|original|correlated    pick the execution strategy
 //	.explain SELECT ...                   show the rewrite phases and costs
 //	.timing on|off                        print elapsed times
+//	.metrics [reset]                      show (or zero) session metrics
 //	.tables                               list tables and views
 //	.help                                 this text
 //
@@ -16,12 +17,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"starmagic/internal/engine"
+	"starmagic/internal/obs"
 )
 
 func main() {
@@ -100,7 +105,8 @@ func (sh *shell) runScript(script string) error {
 		}
 		first := strings.ToUpper(firstWord(trimmed))
 		if first == "SELECT" || strings.HasPrefix(trimmed, "(") {
-			res, err := sh.db.QueryWith(trimmed, sh.strategy)
+			res, err := sh.db.QueryContext(context.Background(), trimmed,
+				engine.WithStrategy(sh.strategy))
 			if err != nil {
 				return err
 			}
@@ -121,6 +127,7 @@ func (sh *shell) dotCommand(line string) {
 		fmt.Fprintln(sh.out, ".strategy emst|original|correlated — pick execution strategy")
 		fmt.Fprintln(sh.out, ".explain SELECT ...                — show rewrite phases and costs")
 		fmt.Fprintln(sh.out, ".timing on|off                     — print elapsed times")
+		fmt.Fprintln(sh.out, ".metrics [reset]                   — show (or zero) session metrics")
 		fmt.Fprintln(sh.out, ".tables                            — list tables and views")
 	case ".strategy":
 		if len(fields) < 2 {
@@ -144,16 +151,60 @@ func (sh *shell) dotCommand(line string) {
 		for _, v := range sh.db.Catalog().Views() {
 			fmt.Fprintf(sh.out, "view  %s\n", v.Name)
 		}
+	case ".metrics":
+		if len(fields) > 1 && fields[1] == "reset" {
+			sh.db.ResetMetrics()
+			fmt.Fprintln(sh.out, "metrics reset")
+			return
+		}
+		sh.printMetrics(sh.db.Metrics())
 	case ".explain":
 		query := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
-		out, err := sh.db.Explain(query, sh.strategy)
+		info, err := sh.db.ExplainContext(context.Background(), query,
+			engine.WithStrategy(sh.strategy))
 		if err != nil {
 			fmt.Fprintln(sh.out, "error:", err)
 			return
 		}
-		fmt.Fprint(sh.out, out)
+		fmt.Fprint(sh.out, info.String())
 	default:
 		fmt.Fprintf(sh.out, "unknown command %s (.help for help)\n", fields[0])
+	}
+}
+
+// printMetrics renders the session-wide metrics snapshot.
+func (sh *shell) printMetrics(m obs.Metrics) {
+	fmt.Fprintf(sh.out, "plans: %d  queries: %d  errors: %d\n", m.Plans, m.Queries, m.Errors)
+	if len(m.ByStrategy) > 0 {
+		keys := make([]string, 0, len(m.ByStrategy))
+		for k := range m.ByStrategy {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(sh.out, "by strategy:")
+		for _, k := range keys {
+			fmt.Fprintf(sh.out, " %s=%d", k, m.ByStrategy[k])
+		}
+		fmt.Fprintln(sh.out)
+	}
+	fmt.Fprintf(sh.out, "emst chosen: %d  pre-emst chosen: %d  cost saved: %.1f\n",
+		m.EMSTChosen, m.PreEMSTChosen, m.CostDelta)
+	fmt.Fprintf(sh.out, "optimize: %v  execute: %v\n",
+		time.Duration(m.OptimizeNanos), time.Duration(m.ExecNanos))
+	fmt.Fprintf(sh.out, "exec: base-rows=%d box-evals=%d hash-builds=%d hash-probes=%d index-lookups=%d output-rows=%d\n",
+		m.Exec.BaseRows, m.Exec.BoxEvals, m.Exec.HashBuilds, m.Exec.HashProbes,
+		m.Exec.IndexLookups, m.Exec.OutputRows)
+	if len(m.RuleFires) > 0 {
+		keys := make([]string, 0, len(m.RuleFires))
+		for k := range m.RuleFires {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(sh.out, "rule fires:")
+		for _, k := range keys {
+			fmt.Fprintf(sh.out, " %s=%d", k, m.RuleFires[k])
+		}
+		fmt.Fprintln(sh.out)
 	}
 }
 

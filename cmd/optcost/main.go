@@ -15,16 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"starmagic/internal/core"
 	"starmagic/internal/datum"
 	"starmagic/internal/engine"
-	"starmagic/internal/semant"
-	"starmagic/internal/sql"
 )
 
 func main() {
@@ -48,27 +46,19 @@ func main() {
 	db.Analyze()
 
 	fmt.Printf("%-4s %18s %22s %14s\n", "n", "heuristic orders", "naive (2^n x 1 pass)", "ratio")
+	ctx := context.Background()
 	for n := 2; n <= *maxN; n++ {
-		query := chainQuery(n)
-		q, err := sql.ParseQuery(query)
-		if err != nil {
-			fatal(err)
-		}
-		g, err := semant.NewBuilder(db.Catalog()).Build(q)
-		if err != nil {
-			fatal(err)
-		}
-		res, err := core.Optimize(g, core.Options{})
+		info, err := db.ExplainContext(ctx, chainQuery(n))
 		if err != nil {
 			fatal(err)
 		}
 		// The heuristic ran the plan optimizer twice; a naive scheme runs it
 		// once per bound-attribute subset of the widest box: 2^n times the
 		// single-pass effort.
-		onePass := res.PlansConsidered / 2
+		onePass := info.PlansConsidered / 2
 		naive := (1 << uint(n)) * onePass
-		fmt.Printf("%-4d %18d %22d %13.1fx\n", n, res.PlansConsidered, naive,
-			float64(naive)/float64(res.PlansConsidered))
+		fmt.Printf("%-4d %18d %22d %13.1fx\n", n, info.PlansConsidered, naive,
+			float64(naive)/float64(info.PlansConsidered))
 	}
 }
 

@@ -13,15 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"starmagic/internal/bench"
-	"starmagic/internal/core"
 	"starmagic/internal/engine"
-	"starmagic/internal/semant"
-	"starmagic/internal/sql"
 )
 
 const paperSchema = `
@@ -78,43 +76,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *dot {
-		if err := emitDOT(db, *query, strat); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	out, err := db.Explain(*query, strat)
+	info, err := db.ExplainContext(context.Background(), *query, engine.WithStrategy(strat))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(out)
-}
-
-// emitDOT prints one Graphviz digraph per optimization phase (initial,
-// phase1, phase2, phase3) plus the executed plan.
-func emitDOT(db *engine.Database, query string, strat engine.Strategy) error {
-	db.Analyze()
-	q, err := sql.ParseQuery(query)
-	if err != nil {
-		return err
+	if *dot {
+		// One digraph per captured phase snapshot plus the executed plan.
+		for _, p := range info.Phases {
+			if p.HasSnapshot {
+				fmt.Print(p.DOT)
+			}
+		}
+		fmt.Print(info.PlanDOT)
+		return
 	}
-	g, err := semant.NewBuilder(db.Catalog()).Build(q)
-	if err != nil {
-		return err
-	}
-	res, err := core.Optimize(g, core.Options{
-		SkipEMST:  strat == engine.Original,
-		Snapshots: true,
-	})
-	if err != nil {
-		return err
-	}
-	for _, s := range res.Snapshots {
-		fmt.Print(s.DOT)
-	}
-	fmt.Print(res.Graph.DumpDOT("executed plan"))
-	return nil
+	fmt.Print(info.String())
 }
 
 func fatal(err error) {

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"starmagic/internal/bench"
 	"starmagic/internal/engine"
@@ -21,6 +23,7 @@ func main() {
 	reps := flag.Int("reps", 3, "executions per measurement (fastest wins)")
 	parallel := flag.Int("parallel", 0, "intra-query parallelism (0/1 serial, -1 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print raw timings, counters, and regimes")
+	metrics := flag.Bool("metrics", false, "print the database-wide metrics snapshot after the runs")
 	ablation := flag.Bool("ablation", false, "also run the design-choice ablation study on experiments G and H")
 	sweep := flag.Bool("sweep", false, "also sweep outer width on the experiment-C query (crossover curve)")
 	flag.Parse()
@@ -76,6 +79,36 @@ func main() {
 				fmt.Printf("  %-10s %12v rows=%-6d base-rows=%-8d probes=%-8d emst-plan=%v\n",
 					s, m.Elapsed, m.Rows, m.Counters.BaseRows, m.Counters.HashProbes, m.UsedEMST)
 			}
+		}
+	}
+
+	if *metrics {
+		m := db.Metrics()
+		fmt.Println()
+		fmt.Println("Database metrics across all runs:")
+		fmt.Printf("  plans: %d  queries: %d  errors: %d\n", m.Plans, m.Queries, m.Errors)
+		keys := make([]string, 0, len(m.ByStrategy))
+		for k := range m.ByStrategy {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  queries[%s] = %d\n", k, m.ByStrategy[k])
+		}
+		fmt.Printf("  emst chosen: %d  pre-emst chosen: %d  estimated cost saved: %.1f\n",
+			m.EMSTChosen, m.PreEMSTChosen, m.CostDelta)
+		fmt.Printf("  optimize: %v  execute: %v\n",
+			time.Duration(m.OptimizeNanos), time.Duration(m.ExecNanos))
+		fmt.Printf("  exec: base-rows=%d hash-builds=%d hash-probes=%d index-lookups=%d output-rows=%d\n",
+			m.Exec.BaseRows, m.Exec.HashBuilds, m.Exec.HashProbes,
+			m.Exec.IndexLookups, m.Exec.OutputRows)
+		rules := make([]string, 0, len(m.RuleFires))
+		for k := range m.RuleFires {
+			rules = append(rules, k)
+		}
+		sort.Strings(rules)
+		for _, k := range rules {
+			fmt.Printf("  fires[%s] = %d\n", k, m.RuleFires[k])
 		}
 	}
 }

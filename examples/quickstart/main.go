@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,10 +67,11 @@ func main() {
 	FROM department d, avgMgrSal s
 	WHERE d.deptno = s.workdept AND d.deptname = 'Planning'`
 
+	ctx := context.Background()
 	for _, strategy := range []starmagic.Strategy{
 		starmagic.StrategyOriginal, starmagic.StrategyCorrelated, starmagic.StrategyEMST,
 	} {
-		res, err := db.QueryWith(queryD, strategy)
+		res, err := db.QueryContext(ctx, queryD, starmagic.WithStrategy(strategy))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,12 +88,23 @@ func main() {
 			res.Plan.ExecTime, res.Plan.Counters.BaseRows, res.Plan.UsedEMST)
 	}
 
+	// A tracer sees every pipeline phase of a query as a timed span.
+	rec := starmagic.NewRecorder()
+	if _, err := db.QueryContext(ctx, queryD, starmagic.WithTracer(rec)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- pipeline spans ---")
+	for _, sp := range rec.Spans() {
+		fmt.Printf("%-10s %v\n", sp.Name, sp.Duration)
+	}
+
 	// EXPLAIN shows the QGM graph through the three rewrite phases — the
 	// textual form of the paper's Figure 4.
 	fmt.Println("\n--- EXPLAIN (EMST) ---")
-	out, err := db.Explain(queryD, starmagic.StrategyEMST)
+	info, err := db.ExplainContext(ctx, queryD)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(out)
+	fmt.Print(info.String())
+	fmt.Printf("\nmagic rule fired %d times\n", info.RuleFires("emst"))
 }

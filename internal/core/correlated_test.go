@@ -53,11 +53,11 @@ func TestCorrelatedEligibility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runPhase(g, Options{Validate: true}, Phase1Rules()...); err != nil {
+	if err := runPhase(g, Options{Validate: true}, nil, Phase1Rules()...); err != nil {
 		t.Fatal(err)
 	}
 	planOptimizeForTest(g)
-	if err := runPhase(g, Options{Validate: true}, Phase2Rules()...); err != nil {
+	if err := runPhase(g, Options{Validate: true}, nil, Phase2Rules()...); err != nil {
 		t.Fatal(err)
 	}
 	outer := g.Top.Quantifiers[0]

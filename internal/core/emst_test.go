@@ -191,11 +191,11 @@ func TestDistinctDroppedFromMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Run phases manually to inspect the phase-2 graph.
-	if err := runPhase(g, Options{Validate: true}, Phase1Rules()...); err != nil {
+	if err := runPhase(g, Options{Validate: true}, nil, Phase1Rules()...); err != nil {
 		t.Fatal(err)
 	}
 	optimizePlans(t, g)
-	if err := runPhase(g, Options{Validate: true}, Phase2Rules()...); err != nil {
+	if err := runPhase(g, Options{Validate: true}, nil, Phase2Rules()...); err != nil {
 		t.Fatal(err)
 	}
 	sawMagic := false

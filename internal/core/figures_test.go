@@ -23,7 +23,7 @@ func TestFigure3Phases(t *testing.T) {
 	run := func(phase string, rules []rewrite.Rule) {
 		firedByPhase[phase] = map[string]bool{}
 		o := Options{Trace: func(rule string, _ *qgm.Box) { firedByPhase[phase][rule] = true }}
-		if err := runPhase(g, o, rules...); err != nil {
+		if err := runPhase(g, o, nil, rules...); err != nil {
 			t.Fatal(err)
 		}
 	}

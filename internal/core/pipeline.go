@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"starmagic/internal/obs"
 	"starmagic/internal/opt"
 	"starmagic/internal/qgm"
 	"starmagic/internal/rewrite"
@@ -20,6 +23,13 @@ type Options struct {
 	Validate bool
 	// Trace receives one line per rule application when non-nil.
 	Trace func(rule string, box *qgm.Box)
+	// Ctx, when non-nil, is polled at stage boundaries so a cancelled or
+	// timed-out query stops optimizing early.
+	Ctx context.Context
+	// Tracer, when non-nil, receives one span per pipeline stage (the
+	// boxes of Figures 2 and 3): phase1, plan-opt1, phase2, phase3,
+	// plan-opt2.
+	Tracer obs.Tracer
 
 	// Ablations disable individual design choices for the ablation study
 	// (cmd/table1 -ablation); all false in normal operation.
@@ -70,6 +80,18 @@ type Result struct {
 	PlansConsidered int
 	// Snapshots, when requested, holds the graph after each phase.
 	Snapshots []Snapshot
+	// Phases records wall-clock per pipeline stage in execution order
+	// (phase1, plan-opt1, phase2, phase3, plan-opt2).
+	Phases []PhaseTiming
+	// RuleStats tallies rewrite-rule attempts and fires across all rewrite
+	// phases of this optimization.
+	RuleStats []rewrite.RuleStat
+}
+
+// PhaseTiming is the wall-clock of one pipeline stage.
+type PhaseTiming struct {
+	Name     string
+	Duration time.Duration
 }
 
 // Optimize runs the paper's optimization architecture (Figures 2 and 3):
@@ -86,6 +108,8 @@ type Result struct {
 // degrade the query plan produced without it.
 func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 	res := &Result{}
+	stats := &rewrite.Stats{}
+	defer func() { res.RuleStats = stats.Snapshot() }()
 	snap := func(name string) {
 		if o.Snapshots {
 			res.Snapshots = append(res.Snapshots, Snapshot{
@@ -96,16 +120,39 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 			})
 		}
 	}
+	// stage wraps one pipeline box of Figure 2/3 in a span and a timing
+	// entry, checking for cancellation before starting the work.
+	stage := func(name string, f func() error) error {
+		if o.Ctx != nil {
+			if err := o.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		sp := obs.Start(o.Tracer, name)
+		start := time.Now()
+		err := f()
+		sp.End()
+		res.Phases = append(res.Phases, PhaseTiming{Name: name, Duration: time.Since(start)})
+		return err
+	}
 	snap("initial")
 
 	// Phase 1: rewrite rules that do not depend on join orders.
-	if err := runPhase(g, o, Phase1Rules()...); err != nil {
-		return nil, fmt.Errorf("phase 1: %w", err)
+	if err := stage("phase1", func() error {
+		return runPhase(g, o, stats, Phase1Rules()...)
+	}); err != nil {
+		return res, fmt.Errorf("phase 1: %w", err)
 	}
 	snap("phase1")
 
 	// Plan optimization #1: join orders for EMST, and the no-EMST cost.
-	r1 := opt.Optimize(g)
+	var r1 opt.Result
+	if err := stage("plan-opt1", func() error {
+		r1 = opt.Optimize(g)
+		return nil
+	}); err != nil {
+		return res, err
+	}
 	res.CostBefore = r1.Cost
 	res.PlansConsidered += r1.PlansConsidered
 
@@ -126,32 +173,43 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 
 	// Phase 2: EMST plus the join-order-independent rules (the paper keeps
 	// graph-simplifying merges for phase 3).
-	emst := NewEMSTRule()
-	emst.NoSupplementary = o.Ablations.NoSupplementary
-	phase2 := []rewrite.Rule{emst, rewrite.LocalPushdownRule{}}
-	if !o.Ablations.NoDistinctPullup {
-		phase2 = append(phase2, rewrite.DistinctPullupRule{})
-	}
-	if err := runPhase(g, o, phase2...); err != nil {
-		return nil, fmt.Errorf("phase 2: %w", err)
+	if err := stage("phase2", func() error {
+		emst := NewEMSTRule()
+		emst.NoSupplementary = o.Ablations.NoSupplementary
+		phase2 := []rewrite.Rule{emst, rewrite.LocalPushdownRule{}}
+		if !o.Ablations.NoDistinctPullup {
+			phase2 = append(phase2, rewrite.DistinctPullupRule{})
+		}
+		return runPhase(g, o, stats, phase2...)
+	}); err != nil {
+		return res, fmt.Errorf("phase 2: %w", err)
 	}
 	clearMagicLinks(g)
 	snap("phase2")
 
 	// Phase 3: simplify the magic graph; EMST disabled.
-	if !o.Ablations.NoPhase3 {
+	if err := stage("phase3", func() error {
+		if o.Ablations.NoPhase3 {
+			return nil
+		}
 		phase3 := Phase3Rules()
 		if o.Ablations.NoDistinctPullup {
 			phase3 = withoutRule(phase3, rewrite.DistinctPullupRule{}.Name())
 		}
-		if err := runPhase(g, o, phase3...); err != nil {
-			return nil, fmt.Errorf("phase 3: %w", err)
-		}
+		return runPhase(g, o, stats, phase3...)
+	}); err != nil {
+		return res, fmt.Errorf("phase 3: %w", err)
 	}
 	snap("phase3")
 
 	// Plan optimization #2 and the cost comparison.
-	r2 := opt.Optimize(g)
+	var r2 opt.Result
+	if err := stage("plan-opt2", func() error {
+		r2 = opt.Optimize(g)
+		return nil
+	}); err != nil {
+		return res, err
+	}
 	res.CostAfter = r2.Cost
 	res.PlansConsidered += r2.PlansConsidered
 	if r2.Cost <= r1.Cost {
@@ -204,9 +262,9 @@ func withoutRule(rules []rewrite.Rule, name string) []rewrite.Rule {
 	return out
 }
 
-func runPhase(g *qgm.Graph, o Options, rules ...rewrite.Rule) error {
+func runPhase(g *qgm.Graph, o Options, stats *rewrite.Stats, rules ...rewrite.Rule) error {
 	engine := rewrite.NewEngine(rules...)
-	ctx := &rewrite.Context{G: g, Validate: o.Validate, Trace: o.Trace}
+	ctx := &rewrite.Context{G: g, Validate: o.Validate, Trace: o.Trace, Stats: stats}
 	return engine.Run(ctx)
 }
 

@@ -1,0 +1,354 @@
+package engine
+
+// This file is the context-aware query API: QueryContext/PrepareContext/
+// ExplainContext with functional options, span tracing across the Figure
+// 2/3 pipeline, and the database-wide metrics snapshot. The legacy
+// Query/QueryWith/Explain methods in engine.go are thin wrappers over
+// these.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"starmagic/internal/core"
+	"starmagic/internal/exec"
+	"starmagic/internal/obs"
+	"starmagic/internal/opt"
+	"starmagic/internal/qgm"
+	"starmagic/internal/rewrite"
+	"starmagic/internal/semant"
+	"starmagic/internal/sql"
+)
+
+// QueryOption configures one QueryContext/PrepareContext/ExplainContext
+// call.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	strategy       Strategy
+	tracer         obs.Tracer
+	parallelism    int
+	hasParallelism bool
+	rowLimit       int64
+	snapshots      bool
+}
+
+// WithStrategy selects the optimization/execution strategy (default EMST).
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithTracer installs a span tracer for this call. Every pipeline phase —
+// parse, bind, phase1, plan-opt1, phase2 (EMST), phase3 (simplify),
+// plan-opt2, execute — emits one span. The default (nil) tracer is a no-op
+// whose per-phase cost is one nil check.
+func WithTracer(t obs.Tracer) QueryOption {
+	return func(c *queryConfig) { c.tracer = t }
+}
+
+// WithParallelism overrides the database-wide SetParallelism setting for
+// this call: 0 or 1 serial, negative = GOMAXPROCS workers.
+func WithParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.parallelism = n; c.hasParallelism = true }
+}
+
+// WithRowLimit bounds the executor's total produced rows (a runaway-query
+// guard for serving concurrent traffic, not a LIMIT clause): evaluation
+// aborts with an error once the budget is exceeded. 0 means unlimited.
+func WithRowLimit(n int64) QueryOption {
+	return func(c *queryConfig) { c.rowLimit = n }
+}
+
+// WithSnapshots captures QGM graph dumps after each rewrite phase into the
+// plan's ExplainInfo (ExplainContext always captures them).
+func WithSnapshots() QueryOption {
+	return func(c *queryConfig) { c.snapshots = true }
+}
+
+func newQueryConfig(opts []QueryOption) queryConfig {
+	cfg := queryConfig{strategy: EMST}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// QueryContext optimizes and executes a SELECT under ctx: cancellation and
+// deadlines are honored between pipeline stages and — amortized, every few
+// hundred rows — inside the executor's scan/join/recursion loops, returning
+// ctx.Err() promptly. Options select strategy, tracing, parallelism, and
+// row budget.
+func (db *Database) QueryContext(ctx context.Context, query string, opts ...QueryOption) (*Result, error) {
+	p, err := db.PrepareContext(ctx, query, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExecuteContext(ctx)
+}
+
+// ExplainContext runs the optimization pipeline without executing and
+// returns the structured account: per-phase timings and QGM snapshots,
+// rule-fire counts, the cost comparison, and the chosen plan's join orders.
+func (db *Database) ExplainContext(ctx context.Context, query string, opts ...QueryOption) (*ExplainInfo, error) {
+	opts = append(opts[:len(opts):len(opts)], WithSnapshots())
+	p, err := db.PrepareContext(ctx, query, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Explain(), nil
+}
+
+// PrepareContext parses, binds and optimizes a query for repeated
+// execution. The returned Prepared is safe for concurrent ExecuteContext
+// calls: each run uses a fresh evaluator.
+func (db *Database) PrepareContext(ctx context.Context, query string, opts ...QueryOption) (*Prepared, error) {
+	cfg := newQueryConfig(opts)
+	p, err := db.prepare(ctx, query, cfg)
+	if err != nil {
+		db.metrics.RecordPlan(obs.PlanSample{Err: true, Strategy: cfg.strategy.String()})
+		return nil, err
+	}
+	db.metrics.RecordPlan(obs.PlanSample{
+		Strategy:       cfg.strategy.String(),
+		EMSTConsidered: cfg.strategy == EMST,
+		UsedEMST:       p.info.UsedEMST,
+		CostBefore:     p.info.CostBefore,
+		CostAfter:      p.info.CostAfter,
+		OptimizeNanos:  int64(p.info.OptimizeTime),
+		RuleFires:      p.ruleFires,
+	})
+	return p, nil
+}
+
+func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) (*Prepared, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	db.mu.Lock()
+	if db.statsDirty {
+		db.analyzeLocked()
+	}
+	db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	explain := &ExplainInfo{Query: query, Strategy: cfg.strategy}
+	// timed wraps the pre-pipeline phases (parse, bind) in a span and a
+	// phase entry.
+	timed := func(name string, f func() error) error {
+		sp := obs.Start(cfg.tracer, name)
+		start := time.Now()
+		err := f()
+		sp.End()
+		explain.Phases = append(explain.Phases, PhaseInfo{Name: name, Duration: time.Since(start)})
+		return err
+	}
+
+	var q sql.QueryExpr
+	if err := timed("parse", func() (err error) {
+		q, err = sql.ParseQuery(query)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var g *qgm.Graph
+	if err := timed("bind", func() (err error) {
+		g, err = semant.NewBuilder(db.cat).Build(q)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	visible := len(g.Top.Output) - g.HiddenCols
+	cols := make([]string, visible)
+	for i := 0; i < visible; i++ {
+		cols[i] = g.Top.Output[i].Name
+	}
+
+	start := time.Now()
+	info := PlanInfo{Strategy: cfg.strategy}
+	switch cfg.strategy {
+	case Original, EMST:
+		res, err := core.Optimize(g, core.Options{
+			SkipEMST:  cfg.strategy == Original,
+			Snapshots: cfg.snapshots,
+			Ctx:       ctx,
+			Tracer:    cfg.tracer,
+		})
+		if res != nil {
+			explain.addPipelinePhases(res)
+		}
+		if err != nil {
+			return nil, err
+		}
+		g = res.Graph
+		info.UsedEMST = res.UsedEMST
+		info.CostBefore, info.CostAfter = res.CostBefore, res.CostAfter
+		info.PlansConsidered = res.PlansConsidered
+	case Correlated:
+		res, err := db.prepareCorrelated(ctx, g, cfg, explain)
+		if err != nil {
+			return nil, err
+		}
+		info.CostAfter = res.Cost
+		info.PlansConsidered = res.PlansConsidered
+	default:
+		return nil, fmt.Errorf("unknown strategy %v", cfg.strategy)
+	}
+	info.OptimizeTime = time.Since(start)
+	if err := g.Check(); err != nil {
+		return nil, fmt.Errorf("engine: optimized graph invalid: %w", err)
+	}
+
+	explain.CostBefore, explain.CostAfter = info.CostBefore, info.CostAfter
+	explain.UsedEMST = info.UsedEMST
+	explain.PlansConsidered = info.PlansConsidered
+	explain.JoinOrders = joinOrders(g)
+	if cfg.snapshots {
+		explain.PlanDOT = g.DumpDOT("executed plan")
+	}
+	ruleFires := map[string]int64{}
+	for _, r := range explain.Rules {
+		if r.Fires > 0 {
+			ruleFires[r.Rule] = r.Fires
+		}
+	}
+	return &Prepared{
+		db:        db,
+		graph:     g,
+		columns:   cols,
+		strategy:  cfg.strategy,
+		cfg:       cfg,
+		info:      info,
+		explain:   explain,
+		ruleFires: ruleFires,
+	}, nil
+}
+
+// prepareCorrelated runs the Correlated strategy's pipeline (phase-1
+// rewrite, plan optimization, view correlation, plan optimization) with the
+// same span/timing instrumentation as the core pipeline.
+func (db *Database) prepareCorrelated(ctx context.Context, g *qgm.Graph, cfg queryConfig, explain *ExplainInfo) (opt.Result, error) {
+	var res opt.Result
+	stats := &rewrite.Stats{}
+	snap := func(name string) {
+		if cfg.snapshots {
+			explain.Phases = append(explain.Phases, PhaseInfo{
+				Name:        name,
+				HasSnapshot: true,
+				Boxes:       g.Stats(),
+				Dump:        g.Dump(),
+				DOT:         g.DumpDOT(name),
+			})
+		}
+	}
+	stage := func(name string, f func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sp := obs.Start(cfg.tracer, name)
+		start := time.Now()
+		err := f()
+		sp.End()
+		explain.Phases = append(explain.Phases, PhaseInfo{Name: name, Duration: time.Since(start)})
+		return err
+	}
+	snap("initial")
+	if err := stage("phase1", func() error {
+		engine := rewrite.NewEngine(core.Phase1Rules()...)
+		return engine.Run(&rewrite.Context{G: g, Stats: stats})
+	}); err != nil {
+		return res, err
+	}
+	if err := stage("plan-opt1", func() error {
+		opt.Optimize(g)
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	if err := stage("correlate", func() error {
+		rewrite.CorrelateViews(g)
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	err := stage("plan-opt2", func() error {
+		res = opt.Optimize(g)
+		return nil
+	})
+	snap("correlated")
+	explain.Rules = stats.Snapshot()
+	return res, err
+}
+
+// ExecuteContext runs the prepared plan with a fresh evaluator under ctx.
+// Counters in the returned Result are this run's alone (they reset between
+// executions), so repeated runs are directly comparable.
+func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.db.mu.RLock()
+	defer p.db.mu.RUnlock()
+	ev := exec.New(p.db.store)
+	ev.SetContext(ctx)
+	if p.cfg.hasParallelism {
+		ev.Parallelism = p.cfg.parallelism
+	} else {
+		ev.Parallelism = p.db.parallelism
+	}
+	if p.cfg.rowLimit > 0 {
+		ev.MaxRows = p.cfg.rowLimit
+	}
+	if p.strategy == Correlated {
+		ev.NoSubqueryCache = true
+	}
+	sp := obs.Start(p.cfg.tracer, "execute")
+	start := time.Now()
+	rows, err := ev.EvalGraph(p.graph)
+	elapsed := time.Since(start)
+	sp.End()
+	p.db.metrics.RecordExec(obs.ExecSample{
+		Err:       err != nil,
+		Strategy:  p.strategy.String(),
+		ExecNanos: int64(elapsed),
+		Exec:      execStats(ev.Counters),
+	})
+	if err != nil {
+		return nil, err
+	}
+	info := p.info
+	info.ExecTime = elapsed
+	info.Counters = ev.Counters
+	return &Result{Columns: p.columns, Rows: rows, Plan: info}, nil
+}
+
+// Explain returns the structured optimization account captured when the
+// plan was prepared (QGM snapshots included only when the plan was prepared
+// with WithSnapshots or through ExplainContext).
+func (p *Prepared) Explain() *ExplainInfo { return p.explain }
+
+// Metrics returns a snapshot of database-wide activity: plan and query
+// volume, EMST cost-comparison outcomes, cumulative executor counters, and
+// rewrite-rule fire counts.
+func (db *Database) Metrics() obs.Metrics { return db.metrics.Snapshot() }
+
+// ResetMetrics zeroes the database-wide metrics.
+func (db *Database) ResetMetrics() { db.metrics.Reset() }
+
+// execStats copies executor counters into the dependency-free obs form.
+func execStats(c exec.Counters) obs.ExecStats {
+	return obs.ExecStats{
+		BaseRows:      c.BaseRows,
+		BoxEvals:      c.BoxEvals,
+		SubqueryEvals: c.SubqueryEvals,
+		HashBuilds:    c.HashBuilds,
+		HashProbes:    c.HashProbes,
+		IndexLookups:  c.IndexLookups,
+		OutputRows:    c.OutputRows,
+	}
+}

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -17,9 +18,8 @@ import (
 	"starmagic/internal/core"
 	"starmagic/internal/datum"
 	"starmagic/internal/exec"
-	"starmagic/internal/opt"
+	"starmagic/internal/obs"
 	"starmagic/internal/qgm"
-	"starmagic/internal/rewrite"
 	"starmagic/internal/semant"
 	"starmagic/internal/sql"
 	"starmagic/internal/storage"
@@ -76,6 +76,8 @@ type Database struct {
 	statsDirty bool
 	// parallelism is handed to each query's evaluator (see SetParallelism).
 	parallelism int
+	// metrics accumulates plan and execution samples (see Metrics).
+	metrics obs.MetricsSink
 }
 
 // New returns an empty database.
@@ -510,179 +512,50 @@ type PlanInfo struct {
 
 // Query optimizes and executes a SELECT under the default EMST strategy.
 func (db *Database) Query(query string) (*Result, error) {
-	return db.QueryWith(query, EMST)
+	return db.QueryContext(context.Background(), query)
 }
 
 // QueryWith optimizes and executes a SELECT under the given strategy.
 func (db *Database) QueryWith(query string, strategy Strategy) (*Result, error) {
-	p, err := db.Prepare(query, strategy)
-	if err != nil {
-		return nil, err
-	}
-	return p.Execute()
+	return db.QueryContext(context.Background(), query, WithStrategy(strategy))
 }
 
-// Prepared is an optimized, re-executable query.
+// Prepared is an optimized, re-executable query. It is safe for concurrent
+// ExecuteContext/Execute calls: each run uses a fresh evaluator whose
+// counters reset between runs.
 type Prepared struct {
 	db       *Database
 	graph    *qgm.Graph
 	columns  []string
 	strategy Strategy
+	cfg      queryConfig
 	info     PlanInfo
+	explain  *ExplainInfo
+	// ruleFires feeds the metrics sink (fires-only subset of explain.Rules).
+	ruleFires map[string]int64
 }
 
 // Prepare parses, binds and optimizes a query for repeated execution.
 func (db *Database) Prepare(query string, strategy Strategy) (*Prepared, error) {
-	db.mu.Lock()
-	if db.statsDirty {
-		db.analyzeLocked()
-	}
-	db.mu.Unlock()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	g, err := buildGraph(db.cat, query)
-	if err != nil {
-		return nil, err
-	}
-	visible := len(g.Top.Output) - g.HiddenCols
-	cols := make([]string, visible)
-	for i := 0; i < visible; i++ {
-		cols[i] = g.Top.Output[i].Name
-	}
-	start := time.Now()
-	info := PlanInfo{Strategy: strategy}
-	switch strategy {
-	case Original:
-		res, err := core.Optimize(g, core.Options{SkipEMST: true})
-		if err != nil {
-			return nil, err
-		}
-		g = res.Graph
-		info.CostBefore, info.CostAfter = res.CostBefore, res.CostAfter
-		info.PlansConsidered = res.PlansConsidered
-	case Correlated:
-		if err := runPhase1(g); err != nil {
-			return nil, err
-		}
-		opt.Optimize(g)
-		rewrite.CorrelateViews(g)
-		r := opt.Optimize(g)
-		info.CostAfter = r.Cost
-		info.PlansConsidered = r.PlansConsidered
-	case EMST:
-		res, err := core.Optimize(g, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		g = res.Graph
-		info.UsedEMST = res.UsedEMST
-		info.CostBefore, info.CostAfter = res.CostBefore, res.CostAfter
-		info.PlansConsidered = res.PlansConsidered
-	default:
-		return nil, fmt.Errorf("unknown strategy %v", strategy)
-	}
-	info.OptimizeTime = time.Since(start)
-	if err := g.Check(); err != nil {
-		return nil, fmt.Errorf("engine: optimized graph invalid: %w", err)
-	}
-	return &Prepared{db: db, graph: g, columns: cols, strategy: strategy, info: info}, nil
+	return db.PrepareContext(context.Background(), query, WithStrategy(strategy))
 }
 
 // Execute runs the prepared plan with a fresh evaluator.
 func (p *Prepared) Execute() (*Result, error) {
-	p.db.mu.RLock()
-	defer p.db.mu.RUnlock()
-	ev := exec.New(p.db.store)
-	ev.Parallelism = p.db.parallelism
-	if p.strategy == Correlated {
-		ev.NoSubqueryCache = true
-	}
-	start := time.Now()
-	rows, err := ev.EvalGraph(p.graph)
-	if err != nil {
-		return nil, err
-	}
-	info := p.info
-	info.ExecTime = time.Since(start)
-	info.Counters = ev.Counters
-	return &Result{Columns: p.columns, Rows: rows, Plan: info}, nil
+	return p.ExecuteContext(context.Background())
 }
 
 // Graph exposes the optimized graph (qgmviz and tests inspect it).
 func (p *Prepared) Graph() *qgm.Graph { return p.graph }
 
 // Explain returns a human-readable account of the optimization: the QGM
-// graph after each rewrite phase, the costs, and the chosen plan — the
-// textual equivalent of the paper's Figure 4 panels.
+// graph after each rewrite phase, per-phase timings, rule-fire counts, the
+// costs, and the chosen plan — the textual equivalent of the paper's
+// Figure 4 panels. Structured access is ExplainContext.
 func (db *Database) Explain(query string, strategy Strategy) (string, error) {
-	db.mu.Lock()
-	if db.statsDirty {
-		db.analyzeLocked()
-	}
-	db.mu.Unlock()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	g, err := buildGraph(db.cat, query)
+	info, err := db.ExplainContext(context.Background(), query, WithStrategy(strategy))
 	if err != nil {
 		return "", err
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "strategy: %s\n", strategy)
-	switch strategy {
-	case Correlated:
-		fmt.Fprintf(&sb, "-- initial --\n%s\n", g.Dump())
-		if err := runPhase1(g); err != nil {
-			return "", err
-		}
-		opt.Optimize(g)
-		rewrite.CorrelateViews(g)
-		opt.Optimize(g)
-		fmt.Fprintf(&sb, "-- correlated --\n%s", g.Dump())
-	default:
-		o := core.Options{Snapshots: true, SkipEMST: strategy == Original}
-		res, err := core.Optimize(g, o)
-		if err != nil {
-			return "", err
-		}
-		for _, snap := range res.Snapshots {
-			fmt.Fprintf(&sb, "-- %s -- (%s)\n%s\n", snap.Name, snap.Stats, snap.Dump)
-		}
-		fmt.Fprintf(&sb, "cost before EMST: %.1f\ncost after EMST:  %.1f\nexecuting: ", res.CostBefore, res.CostAfter)
-		if res.UsedEMST {
-			sb.WriteString("EMST plan\n")
-		} else {
-			sb.WriteString("pre-EMST plan\n")
-		}
-		writeJoinOrders(&sb, res.Graph)
-	}
-	return sb.String(), nil
-}
-
-// writeJoinOrders lists the plan optimizer's chosen quantifier order per
-// select box of the executed plan.
-func writeJoinOrders(sb *strings.Builder, g *qgm.Graph) {
-	sb.WriteString("join orders:\n")
-	for _, b := range g.Reachable() {
-		if b.Kind != qgm.KindSelect || len(b.Quantifiers) < 2 {
-			continue
-		}
-		fmt.Fprintf(sb, "  %s:", b.Name)
-		for _, q := range b.OrderedQuantifiers() {
-			fmt.Fprintf(sb, " %s", q.Name)
-		}
-		sb.WriteString("\n")
-	}
-}
-
-func buildGraph(cat *catalog.Catalog, query string) (*qgm.Graph, error) {
-	q, err := sql.ParseQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	return semant.NewBuilder(cat).Build(q)
-}
-
-func runPhase1(g *qgm.Graph) error {
-	engine := rewrite.NewEngine(core.Phase1Rules()...)
-	return engine.Run(&rewrite.Context{G: g})
+	return info.String(), nil
 }

@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -69,6 +70,16 @@ type Evaluator struct {
 
 	Counters Counters
 
+	// ctx/ctxDone arm cooperative cancellation (see SetContext). ctxDone is
+	// cached so the amortized poll sites pay one nil check when no
+	// cancellable context is installed.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+	// ticks amortizes the cancellation poll: only every ctxPollInterval-th
+	// per-row checkpoint actually reads the done channel, keeping the
+	// scan/join hot loops within benchmark noise.
+	ticks int
+
 	memo       map[*qgm.Box][]datum.Row
 	subCache   map[*qgm.Quantifier]map[string][]datum.Row
 	free       map[*qgm.Box][]corrRef
@@ -101,6 +112,50 @@ func New(store *storage.Store) *Evaluator {
 	}
 }
 
+// ctxPollInterval is the amortization window for cancellation checks: one
+// done-channel read per this many per-row checkpoints.
+const ctxPollInterval = 1024
+
+// SetContext arms cooperative cancellation: the evaluator polls ctx in its
+// per-row hot loops (amortized, every ctxPollInterval rows) and once per
+// recursive fixpoint round, so a cancelled or expired context aborts the
+// evaluation promptly with ctx.Err(). Contexts that can never be cancelled
+// (nil, context.Background()) disable polling entirely.
+func (ev *Evaluator) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ev.ctx, ev.ctxDone = nil, nil
+		return
+	}
+	ev.ctx = ctx
+	ev.ctxDone = ctx.Done()
+}
+
+// tick is the amortized per-row cancellation checkpoint.
+func (ev *Evaluator) tick() error {
+	if ev.ctxDone == nil {
+		return nil
+	}
+	ev.ticks++
+	if ev.ticks%ctxPollInterval != 0 {
+		return nil
+	}
+	return ev.ctxErr()
+}
+
+// ctxErr is the unamortized cancellation check (stage boundaries, fixpoint
+// rounds).
+func (ev *Evaluator) ctxErr() error {
+	if ev.ctxDone == nil {
+		return nil
+	}
+	select {
+	case <-ev.ctxDone:
+		return ev.ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // KindHandler evaluates an extension box kind.
 type KindHandler func(ev *Evaluator, b *qgm.Box, env Env) ([]datum.Row, error)
 
@@ -114,6 +169,9 @@ func RegisterKind(k qgm.BoxKind, h KindHandler) { kindHandlers[k] = h }
 // EvalGraph evaluates the whole query: the top box plus top-level ORDER BY
 // and LIMIT.
 func (ev *Evaluator) EvalGraph(g *qgm.Graph) ([]datum.Row, error) {
+	if err := ev.ctxErr(); err != nil {
+		return nil, err
+	}
 	rows, err := ev.EvalBox(g.Top, Env{})
 	if err != nil {
 		return nil, err
@@ -211,6 +269,11 @@ func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
 	for iter := 0; ; iter++ {
 		if iter >= maxIter {
 			return nil, fmt.Errorf("exec: recursive view %q did not reach a fixpoint in %d iterations", b.Name, maxIter)
+		}
+		// A cancelled query must not keep iterating toward a distant (or
+		// unreachable) fixpoint; check every round, unamortized.
+		if err := ev.ctxErr(); err != nil {
+			return nil, err
 		}
 		ev.memo[b] = cur
 		ev.invalidateSCC(b, scc)
@@ -311,6 +374,12 @@ func (ev *Evaluator) invalidateSCC(b *qgm.Box, scc []*qgm.Box) {
 }
 
 func (ev *Evaluator) evalBoxNow(b *qgm.Box, env Env) ([]datum.Row, error) {
+	// Correlated (tuple-at-a-time) plans re-enter here once per outer row,
+	// so this checkpoint also bounds cancellation latency for plans whose
+	// inner loops are many small box evaluations.
+	if err := ev.tick(); err != nil {
+		return nil, err
+	}
 	ev.Counters.BoxEvals++
 	var rows []datum.Row
 	var err error
@@ -535,6 +604,9 @@ func (ev *Evaluator) joinStage(b *qgm.Box, plan *selectPlan, q *qgm.Quantifier, 
 	}
 
 	emit := func(row datum.Row) (bool, error) {
+		if err := ev.tick(); err != nil {
+			return false, err
+		}
 		cur[q] = row
 		for _, pred := range residual {
 			tv, err := EvalPred(pred, cur)
@@ -857,6 +929,9 @@ func (ev *Evaluator) evalGroupBy(b *qgm.Box, env Env) ([]datum.Row, error) {
 
 	cur := env.clone()
 	for _, row := range rows {
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
 		cur[inQ] = row
 		key := make(datum.Row, len(b.GroupBy))
 		for i, ge := range b.GroupBy {

@@ -37,6 +37,9 @@ func (ev *Evaluator) child() *Evaluator {
 	c.MaxRows = ev.MaxRows
 	c.MaxRecursion = ev.MaxRecursion
 	c.Parallelism = 1
+	// Children poll the same context (with private tick counters), so a
+	// cancelled query aborts its prefetch workers too.
+	c.ctx, c.ctxDone = ev.ctx, ev.ctxDone
 	return c
 }
 

@@ -1,0 +1,170 @@
+package obs
+
+import "sync"
+
+// ExecStats mirrors the executor's work counters in a dependency-free form
+// (internal/exec cannot be imported here without a cycle; the engine copies
+// field by field).
+type ExecStats struct {
+	BaseRows      int64 `json:"base_rows"`
+	BoxEvals      int64 `json:"box_evals"`
+	SubqueryEvals int64 `json:"subquery_evals"`
+	HashBuilds    int64 `json:"hash_builds"`
+	HashProbes    int64 `json:"hash_probes"`
+	IndexLookups  int64 `json:"index_lookups"`
+	OutputRows    int64 `json:"output_rows"`
+}
+
+// Add accumulates other into e.
+func (e *ExecStats) Add(other ExecStats) {
+	e.BaseRows += other.BaseRows
+	e.BoxEvals += other.BoxEvals
+	e.SubqueryEvals += other.SubqueryEvals
+	e.HashBuilds += other.HashBuilds
+	e.HashProbes += other.HashProbes
+	e.IndexLookups += other.IndexLookups
+	e.OutputRows += other.OutputRows
+}
+
+// PlanSample is one optimization's (Prepare's) contribution to the metrics:
+// what the rewrite pipeline did and how the §3.2 cost comparison came out.
+type PlanSample struct {
+	// Err marks a failed parse/bind/optimization.
+	Err bool
+	// Strategy is the strategy name ("emst", "original", "correlated").
+	Strategy string
+	// EMSTConsidered reports that the pre-/post-EMST cost comparison ran
+	// (only the EMST strategy runs it); UsedEMST reports that it chose the
+	// transformed plan.
+	EMSTConsidered bool
+	UsedEMST       bool
+	// CostBefore/CostAfter are the optimizer estimates around EMST.
+	CostBefore, CostAfter float64
+	// OptimizeNanos is the pipeline wall-clock (rewrite + both plan passes).
+	OptimizeNanos int64
+	// RuleFires counts graph-mutating rewrite-rule applications by rule.
+	RuleFires map[string]int64
+}
+
+// ExecSample is one execution's contribution to the metrics.
+type ExecSample struct {
+	// Err marks a failed or cancelled execution.
+	Err bool
+	// Strategy is the strategy name the plan was prepared under.
+	Strategy string
+	// ExecNanos is the evaluation wall-clock.
+	ExecNanos int64
+	// Exec is the executor counter snapshot of this run.
+	Exec ExecStats
+}
+
+// Metrics is a point-in-time snapshot of engine activity since Open (or the
+// last Reset): optimization volume and plan-choice outcomes of the paper's
+// §3.2 cost comparison (per prepared plan), execution volume and cumulative
+// executor work (per run), and rewrite-rule fire counts.
+type Metrics struct {
+	// Plans counts optimizations (Prepare/Explain calls, including failed
+	// ones); Queries counts plan executions. A plan prepared once and
+	// executed N times contributes 1 and N respectively.
+	Plans   int64 `json:"plans"`
+	Queries int64 `json:"queries"`
+	// Errors counts failed optimizations plus failed/cancelled executions.
+	Errors int64 `json:"errors"`
+	// ByStrategy counts executions per strategy name.
+	ByStrategy map[string]int64 `json:"by_strategy"`
+	// EMSTChosen/PreEMSTChosen split the cost-comparison outcomes: how often
+	// the magic plan won versus how often the engine fell back.
+	EMSTChosen    int64 `json:"emst_chosen"`
+	PreEMSTChosen int64 `json:"pre_emst_chosen"`
+	// CostDelta sums CostBefore-CostAfter over comparisons that chose EMST:
+	// the optimizer's estimate of the total work magic saved.
+	CostDelta float64 `json:"cost_delta"`
+	// OptimizeNanos/ExecNanos accumulate pipeline wall-clock.
+	OptimizeNanos int64 `json:"optimize_nanos"`
+	ExecNanos     int64 `json:"exec_nanos"`
+	// RuleFires accumulates graph-mutating rewrite-rule applications.
+	RuleFires map[string]int64 `json:"rule_fires"`
+	// Exec accumulates executor counters across all executions.
+	Exec ExecStats `json:"exec"`
+}
+
+// MetricsSink accumulates samples; Snapshot returns an independent Metrics
+// copy. Safe for concurrent use.
+type MetricsSink struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+// RecordPlan folds one optimization's sample into the sink.
+func (s *MetricsSink) RecordPlan(p PlanSample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Plans++
+	if p.Err {
+		s.m.Errors++
+		return
+	}
+	if p.EMSTConsidered {
+		if p.UsedEMST {
+			s.m.EMSTChosen++
+			s.m.CostDelta += p.CostBefore - p.CostAfter
+		} else {
+			s.m.PreEMSTChosen++
+		}
+	}
+	s.m.OptimizeNanos += p.OptimizeNanos
+	if len(p.RuleFires) > 0 {
+		if s.m.RuleFires == nil {
+			s.m.RuleFires = map[string]int64{}
+		}
+		for rule, n := range p.RuleFires {
+			s.m.RuleFires[rule] += n
+		}
+	}
+}
+
+// RecordExec folds one execution's sample into the sink.
+func (s *MetricsSink) RecordExec(e ExecSample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Queries++
+	if e.Err {
+		s.m.Errors++
+	}
+	if e.Strategy != "" {
+		if s.m.ByStrategy == nil {
+			s.m.ByStrategy = map[string]int64{}
+		}
+		s.m.ByStrategy[e.Strategy]++
+	}
+	s.m.ExecNanos += e.ExecNanos
+	s.m.Exec.Add(e.Exec)
+}
+
+// Snapshot returns a deep copy of the accumulated metrics.
+func (s *MetricsSink) Snapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.m
+	out.ByStrategy = copyMap(s.m.ByStrategy)
+	out.RuleFires = copyMap(s.m.RuleFires)
+	return out
+}
+
+// Reset zeroes the accumulated metrics.
+func (s *MetricsSink) Reset() {
+	s.mu.Lock()
+	s.m = Metrics{}
+	s.mu.Unlock()
+}
+
+func copyMap(m map[string]int64) map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package obs is the engine's observability substrate: a pluggable span
+// tracer for the optimization/execution pipeline of the paper's Figure 2,
+// and an aggregated metrics sink that promotes executor counters and
+// plan-choice outcomes to structured, queryable data.
+//
+// The package is dependency-free by design (it imports only the standard
+// library) so every layer — rewrite engine, pipeline, executor, engine —
+// can emit into it without import cycles.
+//
+// Tracing is zero-cost when disabled: Start on a nil Tracer returns a
+// shared no-op span (a zero-size value, so the interface conversion does
+// not allocate), and End on it is an empty method. The engine threads a
+// nil Tracer by default; only callers that pass WithTracer pay for spans.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer receives one span per pipeline phase (parse, bind, the three
+// rewrite phases, both plan-optimization passes, execution). Implementations
+// must be safe for concurrent use: one Database serves many queries.
+type Tracer interface {
+	// StartSpan opens a span. The returned span's End marks its completion;
+	// spans of one query do not nest (the pipeline is sequential), but spans
+	// of concurrent queries interleave.
+	StartSpan(name string) Span
+}
+
+// Span is one timed pipeline phase.
+type Span interface {
+	// Annotate attaches a key/value to the span. No-op implementations
+	// discard it.
+	Annotate(key, value string)
+	// End marks the span complete.
+	End()
+}
+
+// nopSpan is the shared disabled span. It is an empty struct, so storing it
+// in a Span interface points at the runtime's zero base and never allocates.
+type nopSpan struct{}
+
+func (nopSpan) Annotate(string, string) {}
+func (nopSpan) End()                    {}
+
+// NopSpan is the span returned when tracing is disabled.
+var NopSpan Span = nopSpan{}
+
+// Start opens a span on t, tolerating a nil tracer: the common
+// tracing-disabled call is one nil check and no allocation.
+func Start(t Tracer, name string) Span {
+	if t == nil {
+		return NopSpan
+	}
+	return t.StartSpan(name)
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	Key, Value string
+}
+
+// SpanRecord is one completed span captured by a Recorder.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Recorder is a Tracer that captures completed spans in memory, in End
+// order. It is safe for concurrent use; ExplainContext uses one per call,
+// and tests assert phase coverage through it.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// StartSpan opens a recording span.
+func (r *Recorder) StartSpan(name string) Span {
+	return &recSpan{rec: r, name: name, start: time.Now()}
+}
+
+// Spans returns a copy of the completed spans in completion order.
+func (r *Recorder) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Span returns the first completed span with the given name, if any.
+func (r *Recorder) Span(name string) (SpanRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SpanRecord{}, false
+}
+
+// Reset discards the captured spans.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.mu.Unlock()
+}
+
+type recSpan struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+func (s *recSpan) Annotate(key, value string) {
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+func (s *recSpan) End() {
+	rec := SpanRecord{Name: s.name, Start: s.start, Duration: time.Since(s.start), Attrs: s.attrs}
+	s.rec.mu.Lock()
+	s.rec.spans = append(s.rec.spans, rec)
+	s.rec.mu.Unlock()
+}

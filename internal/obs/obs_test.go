@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNopTracingAllocFree verifies the tracing-disabled contract the engine
+// relies on in its hot path: Start on a nil tracer plus End must not
+// allocate.
+func TestNopTracingAllocFree(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Start(nil, "execute")
+		sp.Annotate("k", "v")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op span allocates %.1f times per start/end; want 0", allocs)
+	}
+}
+
+func TestRecorderCapturesSpans(t *testing.T) {
+	r := NewRecorder()
+	sp := Start(r, "phase1")
+	sp.Annotate("rules", "6")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	Start(r, "plan-opt-1").End()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	p1, ok := r.Span("phase1")
+	if !ok {
+		t.Fatal("phase1 span missing")
+	}
+	if p1.Duration <= 0 {
+		t.Errorf("phase1 duration = %v; want > 0", p1.Duration)
+	}
+	if len(p1.Attrs) != 1 || p1.Attrs[0] != (Attr{Key: "rules", Value: "6"}) {
+		t.Errorf("phase1 attrs = %v", p1.Attrs)
+	}
+	if _, ok := r.Span("missing"); ok {
+		t.Error("found a span that was never started")
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 {
+		t.Error("Reset did not clear spans")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := r.StartSpan("execute")
+				sp.Annotate("i", "x")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Spans()); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+}
+
+func TestMetricsSink(t *testing.T) {
+	var sink MetricsSink
+	sink.RecordPlan(PlanSample{
+		Strategy:       "emst",
+		EMSTConsidered: true,
+		UsedEMST:       true,
+		CostBefore:     100,
+		CostAfter:      40,
+		OptimizeNanos:  5,
+		RuleFires:      map[string]int64{"MAGIC": 2, "MERGE": 3},
+	})
+	sink.RecordPlan(PlanSample{
+		Strategy:       "emst",
+		EMSTConsidered: true,
+		UsedEMST:       false,
+		CostBefore:     10,
+		CostAfter:      20,
+	})
+	sink.RecordPlan(PlanSample{Strategy: "original", Err: true})
+	sink.RecordExec(ExecSample{Strategy: "emst", ExecNanos: 7, Exec: ExecStats{BaseRows: 10, HashProbes: 4}})
+	sink.RecordExec(ExecSample{Strategy: "emst", Exec: ExecStats{BaseRows: 1}})
+	sink.RecordExec(ExecSample{Strategy: "correlated", Err: true})
+
+	m := sink.Snapshot()
+	if m.Plans != 3 || m.Queries != 3 || m.Errors != 2 {
+		t.Errorf("plans=%d queries=%d errors=%d; want 3, 3, 2", m.Plans, m.Queries, m.Errors)
+	}
+	if m.EMSTChosen != 1 || m.PreEMSTChosen != 1 {
+		t.Errorf("emst=%d pre=%d; want 1, 1", m.EMSTChosen, m.PreEMSTChosen)
+	}
+	if m.CostDelta != 60 {
+		t.Errorf("cost delta = %v; want 60 (losing comparison must not contribute)", m.CostDelta)
+	}
+	if m.ByStrategy["emst"] != 2 || m.ByStrategy["correlated"] != 1 {
+		t.Errorf("by strategy = %v", m.ByStrategy)
+	}
+	if m.RuleFires["MAGIC"] != 2 || m.RuleFires["MERGE"] != 3 {
+		t.Errorf("rule fires = %v", m.RuleFires)
+	}
+	if m.Exec.BaseRows != 11 || m.Exec.HashProbes != 4 {
+		t.Errorf("exec stats = %+v", m.Exec)
+	}
+	if m.OptimizeNanos != 5 || m.ExecNanos != 7 {
+		t.Errorf("nanos = %d/%d", m.OptimizeNanos, m.ExecNanos)
+	}
+
+	// Snapshot must be independent of later recording.
+	sink.RecordExec(ExecSample{Strategy: "emst"})
+	if m.ByStrategy["emst"] != 2 {
+		t.Error("snapshot aliases the sink's map")
+	}
+	sink.Reset()
+	if got := sink.Snapshot(); got.Queries != 0 || got.Plans != 0 {
+		t.Errorf("after reset: %+v", got)
+	}
+}

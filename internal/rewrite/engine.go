@@ -22,6 +22,10 @@ type Context struct {
 	G *qgm.Graph
 	// Trace, when non-nil, receives one line per rule application.
 	Trace func(rule string, box *qgm.Box)
+	// Stats, when non-nil, tallies per-rule attempt and fire counts. The
+	// pipeline shares one Stats across its rewrite phases so Explain and the
+	// metrics sink see whole-query rule activity.
+	Stats *Stats
 	// Validate runs Graph.Check after every change (tests set it).
 	Validate bool
 	// Traversal, when non-nil, reorders the boxes visited in each pass.
@@ -70,6 +74,9 @@ func (e *Engine) Run(ctx *Context) error {
 			}
 			for _, r := range e.rules {
 				fired, err := r.Apply(ctx, b)
+				if ctx.Stats != nil {
+					ctx.Stats.Observe(r.Name(), fired && err == nil)
+				}
 				if err != nil {
 					return fmt.Errorf("rewrite: rule %s: %w", r.Name(), err)
 				}

@@ -18,22 +18,38 @@
 //	db := starmagic.Open()
 //	db.MustExec(`CREATE TABLE employee (empno INT, workdept INT, salary FLOAT, PRIMARY KEY (empno))`)
 //	db.MustExec(`INSERT INTO employee VALUES (1, 10, 50000.0)`)
-//	res, err := db.Query(`SELECT workdept, AVG(salary) FROM employee GROUP BY workdept`)
+//	res, err := db.QueryContext(ctx, `SELECT workdept, AVG(salary) FROM employee GROUP BY workdept`)
 //
 // The three execution strategies of the paper's Table 1 are selectable per
 // query: StrategyOriginal (views materialized in full), StrategyCorrelated
 // (tuple-at-a-time re-evaluation, the technique EMST is benchmarked
 // against), and StrategyEMST (the default).
+//
+// QueryContext honors cancellation and deadlines (polled in the executor's
+// hot loops), and per-call options select strategy, tracing, parallelism
+// and row budgets:
+//
+//	res, err := db.QueryContext(ctx, query,
+//	    starmagic.WithStrategy(starmagic.StrategyEMST),
+//	    starmagic.WithTracer(rec),       // *obs.Recorder or any Tracer
+//	    starmagic.WithRowLimit(1e6))
 package starmagic
 
 import (
+	"context"
+
 	"starmagic/internal/datum"
 	"starmagic/internal/engine"
 	"starmagic/internal/exec"
+	"starmagic/internal/obs"
 )
 
-// DB is an in-memory starmagic database instance. It is not safe for
-// concurrent use; callers serialize access.
+// DB is an in-memory starmagic database instance. It is safe for concurrent
+// use: queries (Query, QueryContext, Prepared executions) run under a shared
+// read lock with per-execution evaluator state, while DDL and data loading
+// (Exec, InsertRows) serialize behind a write lock and block queries only
+// for their own duration. Writes are not visible to query plans prepared
+// before the write; re-prepare to observe new tables or views.
 type DB struct {
 	eng *engine.Database
 }
@@ -106,6 +122,38 @@ func (db *DB) InsertRows(table string, rows []Row) error {
 // you want to control when the work happens.
 func (db *DB) Analyze() { db.eng.Analyze() }
 
+// QueryOption configures one QueryContext/PrepareContext/ExplainContext
+// call.
+type QueryOption = engine.QueryOption
+
+// Tracer receives one span per pipeline phase (parse, bind, the rewrite
+// phases, both plan-optimization passes, execute); Span is one timed phase.
+// A nil tracer (the default) is a no-op with no allocation on any path.
+type Tracer = obs.Tracer
+
+// Span is one timed pipeline phase reported to a Tracer.
+type Span = obs.Span
+
+// Recorder is an in-memory Tracer capturing completed spans; pass it via
+// WithTracer and read Spans() after the query.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty span recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// WithStrategy selects the optimization/execution strategy for one call.
+func WithStrategy(s Strategy) QueryOption { return engine.WithStrategy(s) }
+
+// WithTracer installs a span tracer for one call.
+func WithTracer(t Tracer) QueryOption { return engine.WithTracer(t) }
+
+// WithParallelism overrides the database-wide parallelism for one call.
+func WithParallelism(n int) QueryOption { return engine.WithParallelism(n) }
+
+// WithRowLimit bounds the executor's total produced rows for one call;
+// exceeding it aborts the query with an error.
+func WithRowLimit(n int64) QueryOption { return engine.WithRowLimit(n) }
+
 // Query optimizes and executes a SELECT with the default EMST strategy.
 func (db *DB) Query(query string) (*Result, error) { return db.eng.Query(query) }
 
@@ -114,7 +162,17 @@ func (db *DB) QueryWith(query string, s Strategy) (*Result, error) {
 	return db.eng.QueryWith(query, s)
 }
 
-// Prepared is an optimized query plan that can be executed repeatedly.
+// QueryContext optimizes and executes a SELECT under ctx: cancellation and
+// deadlines abort the pipeline between phases and the executor inside its
+// scan/join/recursion loops (amortized, so the overhead stays within
+// benchmark noise), returning ctx.Err() promptly.
+func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOption) (*Result, error) {
+	return db.eng.QueryContext(ctx, query, opts...)
+}
+
+// Prepared is an optimized query plan that can be executed repeatedly, from
+// any number of goroutines; each execution uses fresh evaluator state and
+// reports its own counters.
 type Prepared = engine.Prepared
 
 // Prepare parses, binds and optimizes a query for repeated execution.
@@ -122,12 +180,38 @@ func (db *DB) Prepare(query string, s Strategy) (*Prepared, error) {
 	return db.eng.Prepare(query, s)
 }
 
+// PrepareContext is Prepare with a context and per-call options.
+func (db *DB) PrepareContext(ctx context.Context, query string, opts ...QueryOption) (*Prepared, error) {
+	return db.eng.PrepareContext(ctx, query, opts...)
+}
+
+// ExplainInfo is the structured optimization account: per-phase timings and
+// QGM snapshots, rewrite-rule fire counts, the plan-cost comparison and its
+// winner, and the executed plan's join orders. String() renders it as text.
+type ExplainInfo = engine.ExplainInfo
+
 // Explain returns a textual account of the optimization: the QGM graph
 // after each rewrite phase (the paper's Figure 4 panels), plan costs, and
 // which plan won the cost comparison.
 func (db *DB) Explain(query string, s Strategy) (string, error) {
 	return db.eng.Explain(query, s)
 }
+
+// ExplainContext returns the structured ExplainInfo for a query without
+// executing it.
+func (db *DB) ExplainContext(ctx context.Context, query string, opts ...QueryOption) (*ExplainInfo, error) {
+	return db.eng.ExplainContext(ctx, query, opts...)
+}
+
+// Metrics is a snapshot of database-wide activity: plan/query volume, EMST
+// cost-comparison outcomes, cumulative executor counters, and rule fires.
+type Metrics = obs.Metrics
+
+// Metrics returns the current metrics snapshot.
+func (db *DB) Metrics() Metrics { return db.eng.Metrics() }
+
+// ResetMetrics zeroes the accumulated metrics.
+func (db *DB) ResetMetrics() { db.eng.ResetMetrics() }
 
 // Engine exposes the underlying engine for advanced integrations
 // (extension box kinds, direct catalog access).

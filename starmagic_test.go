@@ -1,6 +1,8 @@
 package starmagic_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -108,6 +110,57 @@ func TestParseStrategyPublic(t *testing.T) {
 	s, err := starmagic.ParseStrategy("magic")
 	if err != nil || s != starmagic.StrategyEMST {
 		t.Errorf("ParseStrategy = %v, %v", s, err)
+	}
+}
+
+// TestPublicAPIQueryContext exercises the context API surface end to end:
+// options, tracing, structured explain, and the metrics snapshot.
+func TestPublicAPIQueryContext(t *testing.T) {
+	db := openPaperDB(t)
+	ctx := context.Background()
+	const queryD = `SELECT d.deptname, s.workdept, s.avgsalary
+		FROM department d, avgMgrSal s
+		WHERE d.deptno = s.workdept AND d.deptname = 'Planning'`
+
+	rec := starmagic.NewRecorder()
+	res, err := db.QueryContext(ctx, queryD,
+		starmagic.WithStrategy(starmagic.StrategyEMST),
+		starmagic.WithTracer(rec),
+		starmagic.WithRowLimit(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Planning" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if _, ok := rec.Span("execute"); !ok {
+		t.Errorf("no execute span; spans = %v", rec.Spans())
+	}
+
+	info, err := db.ExplainContext(ctx, queryD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RuleFires("emst") == 0 {
+		t.Error("explain reports no magic fires for query D")
+	}
+	if !strings.Contains(info.String(), "cost before EMST") {
+		t.Error("explain text lost the cost comparison")
+	}
+
+	m := db.Metrics()
+	if m.Queries != 1 || m.Plans != 2 {
+		t.Errorf("metrics queries=%d plans=%d; want 1, 2", m.Queries, m.Plans)
+	}
+	db.ResetMetrics()
+	if m = db.Metrics(); m.Queries != 0 {
+		t.Errorf("after reset queries = %d", m.Queries)
+	}
+
+	ctx2, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := db.QueryContext(ctx2, queryD); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx: err = %v", err)
 	}
 }
 
