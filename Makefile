@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover check bench bench-json bench-check table1 sweep ablation fuzz examples clean
+.PHONY: all build test test-short race cover check fmt-check bench bench-json bench-check table1 sweep ablation fuzz examples clean
 
 all: build test
 
@@ -23,15 +23,20 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Full verification gate: build, vet, tests, the race detector over the
-# packages with intra-query parallelism (executor and engine), and the
-# bench-regression gate against the recorded baseline.
-check:
+# Full verification gate: formatting, build, vet, tests, the race detector
+# over the packages with intra-query parallelism (executor and engine), and
+# the bench-regression gate against the recorded baseline.
+check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/exec/... ./internal/engine/...
 	$(MAKE) bench-check
+
+# gofmt as a gate: print offending files and fail if any exist.
+fmt-check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 # Table 1 + figure benchmarks (testing.B)
 bench:

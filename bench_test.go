@@ -16,6 +16,7 @@
 package starmagic_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -233,6 +234,71 @@ func BenchmarkHashJoinBuild(b *testing.B) {
 		})
 	}
 	db.SetParallelism(0)
+}
+
+// earlyExitDB builds a 100k-row table for the streaming early-exit
+// benchmarks.
+func earlyExitDB(b *testing.B) *engine.Database {
+	b.Helper()
+	db := engine.New()
+	if _, err := db.Exec(`
+	CREATE TABLE big (id INT, grp INT);
+	CREATE TABLE small (id INT);
+	INSERT INTO small VALUES (1), (2), (3);`); err != nil {
+		b.Fatal(err)
+	}
+	const rows = 100_000
+	batch := make([]datum.Row, rows)
+	for i := range batch {
+		batch[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 97))}
+	}
+	if err := db.InsertRows("big", batch); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// runEarlyExit benchmarks one query streaming versus materialized: the
+// streaming side stops pulling at the first decisive row, the materialized
+// baseline reads the full 100k-row table every execution.
+func runEarlyExit(b *testing.B, db *engine.Database, query string) {
+	cases := []struct {
+		name string
+		opts []engine.QueryOption
+	}{
+		{"streaming", nil},
+		{"materialized", []engine.QueryOption{engine.WithMaterialized()}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			p, err := db.PrepareContext(context.Background(), query, c.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExistsEarlyExit measures the semi-join short-circuit: an
+// uncorrelated EXISTS over a 100k-row table is satisfied by its first
+// batch when streamed.
+func BenchmarkExistsEarlyExit(b *testing.B) {
+	db := earlyExitDB(b)
+	runEarlyExit(b, db, `SELECT s.id FROM small s WHERE EXISTS (SELECT 1 FROM big t)`)
+}
+
+// BenchmarkLimitPushdown measures the LIMIT stop signal: five rows out of
+// 100k stop the scan spine when streamed.
+func BenchmarkLimitPushdown(b *testing.B) {
+	db := earlyExitDB(b)
+	runEarlyExit(b, db, `SELECT t.id FROM big t WHERE t.id >= 10 LIMIT 5`)
 }
 
 // BenchmarkJoinOrderHeuristic measures the §3.2 heuristic: two plan-

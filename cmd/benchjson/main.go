@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +45,9 @@ type report struct {
 	Schema     string   `json:"schema"`
 	Generated  string   `json:"generated"`
 	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Scale      int      `json:"scale"`
 	Results    []result `json:"results"`
@@ -62,6 +66,9 @@ func main() {
 		Schema:     "starmagic-bench/v1",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      *scale,
 	}
@@ -97,6 +104,13 @@ func main() {
 	// Hash-join build: fresh evaluator per execution over unindexed tables.
 	if err := hashJoinBench(record); err != nil {
 		fmt.Fprintln(os.Stderr, "hash-join bench:", err)
+		os.Exit(1)
+	}
+
+	// Streaming early exit: EXISTS and LIMIT over a 100k-row table,
+	// streaming versus the materializing baseline.
+	if err := earlyExitBench(record); err != nil {
+		fmt.Fprintln(os.Stderr, "early-exit bench:", err)
 		os.Exit(1)
 	}
 
@@ -254,5 +268,56 @@ func hashJoinBench(record func(string, func(b *testing.B))) error {
 		})
 	}
 	db.SetParallelism(0)
+	return nil
+}
+
+// earlyExitBench measures the streaming executor's short-circuits — an
+// uncorrelated EXISTS satisfied by its first batch and a LIMIT stopping the
+// scan spine — against the materializing evaluator reading all 100k rows.
+func earlyExitBench(record func(string, func(b *testing.B))) error {
+	const rows = 100_000
+	db := engine.New()
+	if _, err := db.Exec(`
+	CREATE TABLE big (id INT, grp INT);
+	CREATE TABLE small (id INT);
+	INSERT INTO small VALUES (1), (2), (3);`); err != nil {
+		return err
+	}
+	batch := make([]datum.Row, rows)
+	for i := range batch {
+		batch[i] = datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 97))}
+	}
+	if err := db.InsertRows("big", batch); err != nil {
+		return err
+	}
+	queries := []struct {
+		name  string
+		query string
+	}{
+		{"exists_early_exit", `SELECT s.id FROM small s WHERE EXISTS (SELECT 1 FROM big t)`},
+		{"limit_pushdown", `SELECT t.id FROM big t WHERE t.id >= 10 LIMIT 5`},
+	}
+	for _, q := range queries {
+		for _, mode := range []struct {
+			name string
+			opts []engine.QueryOption
+		}{
+			{"streaming", nil},
+			{"materialized", []engine.QueryOption{engine.WithMaterialized()}},
+		} {
+			p, err := db.PrepareContext(context.Background(), q.query, mode.opts...)
+			if err != nil {
+				return err
+			}
+			record(q.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Execute(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 	return nil
 }

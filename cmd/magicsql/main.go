@@ -4,6 +4,9 @@
 //
 //	.strategy emst|original|correlated    pick the execution strategy
 //	.explain SELECT ...                   show the rewrite phases and costs
+//	.plan on|off                          print the executed physical
+//	                                      operator tree with row/batch/time
+//	                                      counters after each SELECT
 //	.timing on|off                        print elapsed times
 //	.metrics [reset]                      show (or zero) session metrics
 //	.tables                               list tables and views
@@ -91,6 +94,7 @@ type shell struct {
 	db       *engine.Database
 	strategy engine.Strategy
 	timing   bool
+	showPlan bool
 	out      io.Writer
 }
 
@@ -126,6 +130,7 @@ func (sh *shell) dotCommand(line string) {
 	case ".help":
 		fmt.Fprintln(sh.out, ".strategy emst|original|correlated — pick execution strategy")
 		fmt.Fprintln(sh.out, ".explain SELECT ...                — show rewrite phases and costs")
+		fmt.Fprintln(sh.out, ".plan on|off                       — print executed operator tree")
 		fmt.Fprintln(sh.out, ".timing on|off                     — print elapsed times")
 		fmt.Fprintln(sh.out, ".metrics [reset]                   — show (or zero) session metrics")
 		fmt.Fprintln(sh.out, ".tables                            — list tables and views")
@@ -144,6 +149,9 @@ func (sh *shell) dotCommand(line string) {
 	case ".timing":
 		sh.timing = len(fields) > 1 && fields[1] == "on"
 		fmt.Fprintf(sh.out, "timing: %v\n", sh.timing)
+	case ".plan":
+		sh.showPlan = len(fields) > 1 && fields[1] == "on"
+		fmt.Fprintf(sh.out, "plan: %v\n", sh.showPlan)
 	case ".tables":
 		for _, t := range sh.db.Catalog().Tables() {
 			fmt.Fprintf(sh.out, "table %s (%d rows)\n", t.Name, t.RowCount)
@@ -194,6 +202,18 @@ func (sh *shell) printMetrics(m obs.Metrics) {
 	fmt.Fprintf(sh.out, "exec: base-rows=%d box-evals=%d hash-builds=%d hash-probes=%d index-lookups=%d output-rows=%d\n",
 		m.Exec.BaseRows, m.Exec.BoxEvals, m.Exec.HashBuilds, m.Exec.HashProbes,
 		m.Exec.IndexLookups, m.Exec.OutputRows)
+	if len(m.OpRows) > 0 {
+		keys := make([]string, 0, len(m.OpRows))
+		for k := range m.OpRows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(sh.out, "operators:")
+		for _, k := range keys {
+			fmt.Fprintf(sh.out, " %s=%d", k, m.OpRows[k])
+		}
+		fmt.Fprintln(sh.out)
+	}
 	if len(m.RuleFires) > 0 {
 		keys := make([]string, 0, len(m.RuleFires))
 		for k := range m.RuleFires {
@@ -244,6 +264,9 @@ func (sh *shell) printResult(res *engine.Result) {
 		}
 	}
 	fmt.Fprintf(sh.out, "(%d rows)\n", len(res.Rows))
+	if sh.showPlan && res.Plan.Physical != "" {
+		fmt.Fprint(sh.out, res.Plan.Physical)
+	}
 	if sh.timing {
 		fmt.Fprintf(sh.out, "optimize %v, execute %v (strategy %s, emst-plan=%v)\n",
 			res.Plan.OptimizeTime, res.Plan.ExecTime, res.Plan.Strategy, res.Plan.UsedEMST)

@@ -7,6 +7,7 @@ import (
 
 	"starmagic/internal/obs"
 	"starmagic/internal/opt"
+	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
 	"starmagic/internal/rewrite"
 )
@@ -69,6 +70,9 @@ type Result struct {
 	// Graph is the graph to execute (the transformed graph, or the
 	// pre-EMST graph when the cost comparison favored it).
 	Graph *qgm.Graph
+	// Physical is Graph lowered into the physical operator tree the
+	// streaming executor runs (the "lower" stage).
+	Physical *plan.Plan
 	// UsedEMST reports whether the executed plan is the EMST-transformed
 	// one.
 	UsedEMST bool
@@ -81,7 +85,7 @@ type Result struct {
 	// Snapshots, when requested, holds the graph after each phase.
 	Snapshots []Snapshot
 	// Phases records wall-clock per pipeline stage in execution order
-	// (phase1, plan-opt1, phase2, phase3, plan-opt2).
+	// (phase1, plan-opt1, phase2, phase3, plan-opt2, lower).
 	Phases []PhaseTiming
 	// RuleStats tallies rewrite-rule attempts and fires across all rewrite
 	// phases of this optimization.
@@ -159,7 +163,11 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 	if o.SkipEMST {
 		res.Graph = g
 		res.CostAfter = r1.Cost
-		return res, nil
+		err := stage("lower", func() error {
+			res.Physical = plan.Lower(res.Graph)
+			return nil
+		})
+		return res, err
 	}
 
 	// Keep the pre-EMST plan for the cost comparison.
@@ -217,6 +225,15 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 		res.UsedEMST = true
 	} else {
 		res.Graph = fallback
+	}
+
+	// Lowering: the winning graph plus its chosen join orders become the
+	// physical operator tree the streaming executor runs.
+	if err := stage("lower", func() error {
+		res.Physical = plan.Lower(res.Graph)
+		return nil
+	}); err != nil {
+		return res, err
 	}
 	return res, nil
 }

@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"starmagic/internal/core"
+	"starmagic/internal/datum"
 	"starmagic/internal/exec"
 	"starmagic/internal/obs"
 	"starmagic/internal/opt"
+	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
 	"starmagic/internal/rewrite"
 	"starmagic/internal/semant"
@@ -32,6 +34,7 @@ type queryConfig struct {
 	hasParallelism bool
 	rowLimit       int64
 	snapshots      bool
+	materialized   bool
 }
 
 // WithStrategy selects the optimization/execution strategy (default EMST).
@@ -64,6 +67,15 @@ func WithRowLimit(n int64) QueryOption {
 // plan's ExplainInfo (ExplainContext always captures them).
 func WithSnapshots() QueryOption {
 	return func(c *queryConfig) { c.snapshots = true }
+}
+
+// WithMaterialized executes through the classic box-at-a-time evaluator
+// instead of the streaming physical plan. Results are identical; the
+// materialized path computes every intermediate relation in full, so it is
+// the baseline the streaming executor's early-exit behavior is measured
+// against (and an escape hatch should a physical plan misbehave).
+func WithMaterialized() QueryOption {
+	return func(c *queryConfig) { c.materialized = true }
 }
 
 func newQueryConfig(opts []QueryOption) queryConfig {
@@ -171,6 +183,7 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 
 	start := time.Now()
 	info := PlanInfo{Strategy: cfg.strategy}
+	var phys *plan.Plan
 	switch cfg.strategy {
 	case Original, EMST:
 		res, err := core.Optimize(g, core.Options{
@@ -186,6 +199,7 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 			return nil, err
 		}
 		g = res.Graph
+		phys = res.Physical
 		info.UsedEMST = res.UsedEMST
 		info.CostBefore, info.CostAfter = res.CostBefore, res.CostAfter
 		info.PlansConsidered = res.PlansConsidered
@@ -196,6 +210,12 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 		}
 		info.CostAfter = res.Cost
 		info.PlansConsidered = res.PlansConsidered
+		if err := timed("lower", func() error {
+			phys = plan.Lower(g)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("unknown strategy %v", cfg.strategy)
 	}
@@ -208,6 +228,10 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 	explain.UsedEMST = info.UsedEMST
 	explain.PlansConsidered = info.PlansConsidered
 	explain.JoinOrders = joinOrders(g)
+	if phys != nil {
+		explain.Physical = phys.String()
+		explain.Operators = phys.Report(nil)
+	}
 	if cfg.snapshots {
 		explain.PlanDOT = g.DumpDOT("executed plan")
 	}
@@ -220,6 +244,7 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 	return &Prepared{
 		db:        db,
 		graph:     g,
+		phys:      phys,
 		columns:   cols,
 		strategy:  cfg.strategy,
 		cfg:       cfg,
@@ -287,7 +312,10 @@ func (db *Database) prepareCorrelated(ctx context.Context, g *qgm.Graph, cfg que
 
 // ExecuteContext runs the prepared plan with a fresh evaluator under ctx.
 // Counters in the returned Result are this run's alone (they reset between
-// executions), so repeated runs are directly comparable.
+// executions), so repeated runs are directly comparable. When the plan was
+// lowered to a physical operator tree (the default) the streaming executor
+// runs it and the result carries per-operator counters; WithMaterialized
+// falls back to box-at-a-time evaluation.
 func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -309,14 +337,26 @@ func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 	}
 	sp := obs.Start(p.cfg.tracer, "execute")
 	start := time.Now()
-	rows, err := ev.EvalGraph(p.graph)
+	var rows []datum.Row
+	var opStats []plan.OpStats
+	var err error
+	if p.phys != nil && !p.cfg.materialized {
+		rows, opStats, err = ev.EvalPlan(p.phys)
+	} else {
+		rows, err = ev.EvalGraph(p.graph)
+	}
 	elapsed := time.Since(start)
 	sp.End()
+	var reports []plan.OpReport
+	if opStats != nil {
+		reports = p.phys.Report(opStats)
+	}
 	p.db.metrics.RecordExec(obs.ExecSample{
 		Err:       err != nil,
 		Strategy:  p.strategy.String(),
 		ExecNanos: int64(elapsed),
 		Exec:      execStats(ev.Counters),
+		Operators: opSamples(reports),
 	})
 	if err != nil {
 		return nil, err
@@ -324,7 +364,23 @@ func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 	info := p.info
 	info.ExecTime = elapsed
 	info.Counters = ev.Counters
+	if opStats != nil {
+		info.Physical = p.phys.Format(opStats)
+		info.Operators = reports
+	}
 	return &Result{Columns: p.columns, Rows: rows, Plan: info}, nil
+}
+
+// opSamples copies operator reports into the dependency-free obs form.
+func opSamples(reports []plan.OpReport) []obs.OpSample {
+	if len(reports) == 0 {
+		return nil
+	}
+	out := make([]obs.OpSample, len(reports))
+	for i, r := range reports {
+		out[i] = obs.OpSample{Kind: r.Kind, Rows: r.Rows, Batches: r.Batches, Nanos: r.Nanos}
+	}
+	return out
 }
 
 // Explain returns the structured optimization account captured when the

@@ -117,9 +117,9 @@ func TestTracerPhaseCoverage(t *testing.T) {
 		strategy Strategy
 		phases   []string
 	}{
-		{EMST, []string{"parse", "bind", "phase1", "plan-opt1", "phase2", "phase3", "plan-opt2", "execute"}},
-		{Original, []string{"parse", "bind", "phase1", "plan-opt1", "execute"}},
-		{Correlated, []string{"parse", "bind", "phase1", "plan-opt1", "correlate", "plan-opt2", "execute"}},
+		{EMST, []string{"parse", "bind", "phase1", "plan-opt1", "phase2", "phase3", "plan-opt2", "lower", "execute"}},
+		{Original, []string{"parse", "bind", "phase1", "plan-opt1", "lower", "execute"}},
+		{Correlated, []string{"parse", "bind", "phase1", "plan-opt1", "correlate", "plan-opt2", "lower", "execute"}},
 	}
 	query := `SELECT d.deptname, s.avgsalary FROM department d, avgMgrSal s
 		WHERE d.deptno = s.workdept AND d.deptname = 'Planning'`

@@ -19,6 +19,7 @@ import (
 	"starmagic/internal/datum"
 	"starmagic/internal/exec"
 	"starmagic/internal/obs"
+	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
 	"starmagic/internal/semant"
 	"starmagic/internal/sql"
@@ -508,6 +509,11 @@ type PlanInfo struct {
 	Counters        exec.Counters
 	OptimizeTime    time.Duration
 	ExecTime        time.Duration
+	// Physical renders the physical operator tree with this run's
+	// per-operator rows/batches/time; Operators is the structured form
+	// (depth-first). Both are empty for materialized (box-at-a-time) runs.
+	Physical  string
+	Operators []plan.OpReport
 }
 
 // Query optimizes and executes a SELECT under the default EMST strategy.
@@ -524,9 +530,11 @@ func (db *Database) QueryWith(query string, strategy Strategy) (*Result, error) 
 // ExecuteContext/Execute calls: each run uses a fresh evaluator whose
 // counters reset between runs.
 type Prepared struct {
-	db       *Database
-	graph    *qgm.Graph
-	columns  []string
+	db      *Database
+	graph   *qgm.Graph
+	phys    *plan.Plan
+	columns []string
+
 	strategy Strategy
 	cfg      queryConfig
 	info     PlanInfo

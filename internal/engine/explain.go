@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"starmagic/internal/core"
+	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
 	"starmagic/internal/rewrite"
 )
@@ -36,6 +37,11 @@ type ExplainInfo struct {
 	// JoinOrders lists the chosen quantifier order per multi-quantifier
 	// select box of the executed plan.
 	JoinOrders []JoinOrder
+	// Physical renders the lowered physical operator tree (cardinality
+	// estimates only — per-operator execution counters appear on
+	// Result.Plan.Physical after a run); Operators is the structured form.
+	Physical  string
+	Operators []plan.OpReport
 	// PlanDOT is the Graphviz rendering of the executed plan (captured with
 	// the snapshots).
 	PlanDOT string
@@ -118,6 +124,12 @@ func (e *ExplainInfo) String() string {
 		sb.WriteString("join orders:\n")
 		for _, jo := range e.JoinOrders {
 			fmt.Fprintf(&sb, "  %s: %s\n", jo.Box, strings.Join(jo.Order, " "))
+		}
+	}
+	if e.Physical != "" {
+		sb.WriteString("physical plan:\n")
+		for _, line := range strings.Split(strings.TrimRight(e.Physical, "\n"), "\n") {
+			sb.WriteString("  " + line + "\n")
 		}
 	}
 	return sb.String()

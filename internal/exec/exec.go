@@ -296,6 +296,12 @@ func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
 		if !grew {
 			break
 		}
+		// The row budget bounds the accumulated fixpoint itself, aborting
+		// between rounds — a runaway recursion must not iterate on just
+		// because each individual round stayed under budget.
+		if ev.MaxRows > 0 && int64(len(cur)) > ev.MaxRows {
+			return nil, errRowBudget(int64(len(cur)))
+		}
 	}
 	ev.memo[b] = cur
 	return cur, nil

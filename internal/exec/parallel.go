@@ -52,14 +52,26 @@ func (ev *Evaluator) child() *Evaluator {
 // therefore the merged counter totals — do not depend on goroutine
 // scheduling.
 func (ev *Evaluator) prefetchClosed(b *qgm.Box) error {
+	boxes := make([]*qgm.Box, 0, len(b.Quantifiers))
+	for _, q := range b.Quantifiers {
+		boxes = append(boxes, q.Ranges)
+	}
+	return ev.prefetchBoxes(boxes)
+}
+
+// prefetchBoxes materializes the prefetchable members of boxes concurrently:
+// distinct, closed, non-recursive, non-base, not already memoized. The
+// streaming executor passes the subtrees its join stages will materialize
+// anyway (hash build sides, nested-loop inners) — never the streamed driving
+// stage, which would defeat early exit.
+func (ev *Evaluator) prefetchBoxes(boxes []*qgm.Box) error {
 	workers := ev.workerCount()
 	if workers <= 1 || ev.NoSubqueryCache || len(ev.recActive) > 0 {
 		return nil
 	}
 	var cands []*qgm.Box
 	seen := map[*qgm.Box]bool{}
-	for _, q := range b.Quantifiers {
-		box := q.Ranges
+	for _, box := range boxes {
 		if box == nil || seen[box] {
 			continue
 		}

@@ -1,0 +1,1318 @@
+// Streaming (Volcano-style) execution of physical plans: every operator
+// implements an open/next/close iterator protocol over small row batches, so
+// a consumer that stops pulling (LIMIT, a satisfied EXISTS) stops the whole
+// spine, and memory is bounded by pipeline-breaker state (hash tables,
+// group-by state, sort buffers, fixpoint deltas) rather than by
+// intermediate-result size.
+//
+// The operators reuse the classic evaluator's machinery — expression
+// evaluation, subquery memoization, partitioned parallel hash build, closed
+// -subtree prefetch, the shared box memo — so a plan mixing streamed
+// operators with box-eval bridges (correlated or shared subtrees, extension
+// kinds, recursive fixpoints) stays consistent with box-at-a-time results.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"starmagic/internal/datum"
+	"starmagic/internal/plan"
+	"starmagic/internal/qgm"
+	"starmagic/internal/storage"
+)
+
+// streamBatch is the row-batch granularity of the iterator protocol: big
+// enough to amortize per-batch bookkeeping, small enough that early exit
+// wastes little work.
+const streamBatch = 64
+
+// operator is the iterator protocol. next returns an empty batch at end of
+// stream; returned batches are only valid until the following next call.
+type operator interface {
+	open() error
+	next() ([]datum.Row, error)
+	close() error
+}
+
+// EvalPlan executes a physical plan and returns the result rows plus
+// per-operator statistics indexed by plan node ID. Counters accounting
+// matches the box-at-a-time evaluator's shape (BoxEvals and OutputRows once
+// per box, BaseRows for rows actually read — which streaming makes smaller
+// under early exit), and MaxRows/context cancellation are enforced at batch
+// granularity.
+func (ev *Evaluator) EvalPlan(p *plan.Plan) ([]datum.Row, []plan.OpStats, error) {
+	if err := ev.ctxErr(); err != nil {
+		return nil, nil, err
+	}
+	run := &planRun{ev: ev, stats: make([]plan.OpStats, len(p.Nodes))}
+	root := run.build(p.Root)
+	var out []datum.Row
+	err := func() error {
+		if err := root.open(); err != nil {
+			return err
+		}
+		for {
+			batch, err := root.next()
+			if err != nil {
+				return err
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			out = append(out, batch...)
+		}
+	}()
+	if cerr := root.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, run.stats, err
+	}
+	return out, run.stats, nil
+}
+
+// addOutput accounts rows produced by a box-root operator and enforces the
+// row budget, mirroring evalBoxNow's accounting.
+func (ev *Evaluator) addOutput(n int) error {
+	ev.Counters.OutputRows += int64(n)
+	if ev.MaxRows > 0 && ev.Counters.OutputRows > ev.MaxRows {
+		return errRowBudget(ev.Counters.OutputRows)
+	}
+	return nil
+}
+
+// planRun is one execution of a plan: the operator instances and their
+// per-node statistics (plans are shared across concurrent executions; all
+// mutable state lives here and in the evaluator).
+type planRun struct {
+	ev    *Evaluator
+	stats []plan.OpStats
+}
+
+// build constructs the operator for a node, wrapped with instrumentation.
+func (r *planRun) build(n *plan.Node) operator {
+	var op operator
+	switch n.Kind {
+	case plan.OpScan:
+		op = &scanOp{r: r, n: n}
+	case plan.OpSelect:
+		op = &selectPipeOp{r: r, n: n}
+	case plan.OpGroupBy:
+		op = &groupByOp{r: r, n: n}
+	case plan.OpUnion:
+		op = &unionOp{r: r, n: n}
+	case plan.OpIntersect, plan.OpExcept:
+		op = &setOpOp{r: r, n: n}
+	case plan.OpDistinct:
+		op = &distinctOp{r: r, n: n, child: r.build(n.Children[0])}
+	case plan.OpSort:
+		op = &sortOp{r: r, n: n, child: r.build(n.Children[0])}
+	case plan.OpLimit:
+		op = &limitOp{r: r, n: n, child: r.build(n.Children[0])}
+	case plan.OpTrim:
+		op = &trimOp{r: r, n: n, child: r.build(n.Children[0])}
+	case plan.OpBoxEval, plan.OpFixpoint:
+		op = &boxEvalOp{r: r, n: n}
+	default:
+		op = &boxEvalOp{r: r, n: n}
+	}
+	return &instrumented{op: op, st: &r.stats[n.ID]}
+}
+
+// materialize fully evaluates a subtree (for hash build sides, nested-loop
+// inners, and set-operation right inputs). Closed box-rooted subtrees go
+// through — and populate — the evaluator's box memo, so shared work between
+// streamed and bridged parts of a plan is still done once.
+func (r *planRun) materialize(n *plan.Node) ([]datum.Row, error) {
+	ev := r.ev
+	if n.Kind == plan.OpBoxEval || n.Kind == plan.OpFixpoint {
+		rows, err := ev.EvalBox(n.Box, Env{})
+		if err != nil {
+			return nil, err
+		}
+		st := &r.stats[n.ID]
+		st.Opens++
+		st.Batches++
+		st.Rows += int64(len(rows))
+		return rows, nil
+	}
+	if n.Box != nil && !ev.NoSubqueryCache {
+		if rows, ok := ev.memo[n.Box]; ok {
+			return rows, nil
+		}
+	}
+	// A bare scan materializes to the stored rows themselves — callers
+	// treat the result as read-only, so skip the batch-append copy and
+	// charge the same counters the streamed scan would.
+	if n.Kind == plan.OpScan {
+		rel, ok := ev.store.Relation(n.Box.Table.Name)
+		if !ok {
+			return nil, fmt.Errorf("exec: no storage for table %q", n.Box.Table.Name)
+		}
+		rows := rel.Rows()
+		ev.Counters.BoxEvals++
+		ev.Counters.BaseRows += int64(len(rows))
+		if err := ev.addOutput(len(rows)); err != nil {
+			return nil, err
+		}
+		st := &r.stats[n.ID]
+		st.Opens++
+		if len(rows) > 0 {
+			st.Batches++
+			st.Rows += int64(len(rows))
+		}
+		return rows, nil
+	}
+	op := r.build(n)
+	var rows []datum.Row
+	err := func() error {
+		if err := op.open(); err != nil {
+			return err
+		}
+		for {
+			batch, err := op.next()
+			if err != nil {
+				return err
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			rows = append(rows, batch...)
+		}
+	}()
+	if cerr := op.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Streamed subtrees are closed by construction (lowering bridges
+	// correlated boxes), so the result is safe to memoize.
+	if n.Box != nil && !ev.NoSubqueryCache {
+		ev.memo[n.Box] = rows
+	}
+	return rows, nil
+}
+
+// instrumented wraps an operator with per-node counters: opens, batches,
+// rows, and inclusive wall-clock time. It also makes close idempotent, so
+// early closes (LIMIT) compose with the final tree close.
+type instrumented struct {
+	op     operator
+	st     *plan.OpStats
+	closed bool
+}
+
+func (w *instrumented) open() error {
+	t := time.Now()
+	err := w.op.open()
+	w.st.Opens++
+	w.st.Nanos += time.Since(t).Nanoseconds()
+	return err
+}
+
+func (w *instrumented) next() ([]datum.Row, error) {
+	t := time.Now()
+	batch, err := w.op.next()
+	w.st.Nanos += time.Since(t).Nanoseconds()
+	if len(batch) > 0 {
+		w.st.Batches++
+		w.st.Rows += int64(len(batch))
+	}
+	return batch, err
+}
+
+func (w *instrumented) close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	t := time.Now()
+	err := w.op.close()
+	w.st.Nanos += time.Since(t).Nanoseconds()
+	return err
+}
+
+// scanOp streams a base table in batches. BaseRows counts rows actually
+// pulled, so early exit is visible in the counters.
+type scanOp struct {
+	r    *planRun
+	n    *plan.Node
+	rows []datum.Row
+	pos  int
+}
+
+func (s *scanOp) open() error {
+	ev := s.r.ev
+	rel, ok := ev.store.Relation(s.n.Box.Table.Name)
+	if !ok {
+		return fmt.Errorf("exec: no storage for table %q", s.n.Box.Table.Name)
+	}
+	s.rows = rel.Rows()
+	s.pos = 0
+	ev.Counters.BoxEvals++
+	return nil
+}
+
+func (s *scanOp) next() ([]datum.Row, error) {
+	ev := s.r.ev
+	if err := ev.ctxErr(); err != nil {
+		return nil, err
+	}
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	end := s.pos + streamBatch
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	batch := s.rows[s.pos:end]
+	s.pos = end
+	ev.Counters.BaseRows += int64(len(batch))
+	if err := ev.addOutput(len(batch)); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+func (s *scanOp) close() error {
+	s.rows = nil
+	return nil
+}
+
+// boxEvalOp bridges to the classic evaluator: OpBoxEval (correlated, shared,
+// extension) and OpFixpoint (recursive) nodes materialize through EvalBox —
+// which handles memoization and semi-naive fixpoint iteration — and stream
+// the result out in batches. All Counters accounting happens inside EvalBox.
+type boxEvalOp struct {
+	r    *planRun
+	n    *plan.Node
+	rows []datum.Row
+	pos  int
+}
+
+func (o *boxEvalOp) open() error {
+	rows, err := o.r.ev.EvalBox(o.n.Box, Env{})
+	if err != nil {
+		return err
+	}
+	o.rows = rows
+	o.pos = 0
+	return nil
+}
+
+func (o *boxEvalOp) next() ([]datum.Row, error) {
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	end := o.pos + streamBatch
+	if end > len(o.rows) {
+		end = len(o.rows)
+	}
+	batch := o.rows[o.pos:end]
+	o.pos = end
+	return batch, nil
+}
+
+func (o *boxEvalOp) close() error {
+	o.rows = nil
+	return nil
+}
+
+// stageState is the runtime state of one join-pipeline stage.
+type stageState struct {
+	st     *plan.Stage
+	access plan.AccessKind // may be downgraded at runtime (missing index)
+	// filters are the predicates applied with the stage quantifier bound
+	// (residual; plus reconstructed key equalities after an index or
+	// nested-loop downgrade).
+	filters []qgm.Expr
+
+	child     operator // AccessStream
+	rel       *storage.Relation
+	probe     datum.Row   // AccessIndex probe buffer
+	childRows []datum.Row // materialized child (hash/scan)
+	built     bool
+	ht        map[string][]datum.Row
+
+	rows []datum.Row // current candidate rows for the outer binding
+	idx  int
+}
+
+// subqState caches a first-match subquery verdict for the pipe's lifetime
+// (the check is provably constant across outer bindings).
+type subqState struct {
+	valid bool
+	val   bool
+}
+
+// selectPipeOp executes a select box's join pipeline: an odometer over the
+// stages, binding each stage's quantifier to qualifying rows, then scalar
+// subqueries, post-predicates, semi/anti-join checks, and projection.
+type selectPipeOp struct {
+	r *planRun
+	n *plan.Node
+
+	env    Env
+	stages []stageState
+	subqs  []subqState
+	depth  int
+	done   bool
+	// oneShot handles a stage-less box (no ForEach quantifiers): exactly one
+	// candidate binding is finished.
+	oneShot bool
+}
+
+func (p *selectPipeOp) open() error {
+	ev := p.r.ev
+	if p.n.BoxRoot {
+		ev.Counters.BoxEvals++
+	}
+	p.env = Env{}
+	p.done = false
+	p.oneShot = len(p.n.Stages) == 0
+
+	// Constant predicates: any non-TRUE empties the box.
+	for _, pred := range p.n.ConstPreds {
+		tv, err := EvalPred(pred, p.env)
+		if err != nil {
+			return err
+		}
+		if tv != datum.True {
+			p.done = true
+			return nil
+		}
+	}
+
+	// Under parallelism, prefetch the closed subtrees the stages will
+	// materialize anyway (hash build sides and nested-loop inners) — never
+	// the streamed driving stage, which must stay pull-driven for early
+	// exit.
+	var pre []*qgm.Box
+	for i := range p.n.Stages {
+		st := &p.n.Stages[i]
+		if st.Access == plan.AccessHash || st.Access == plan.AccessScan {
+			pre = append(pre, st.Quant.Ranges)
+		}
+	}
+	if err := ev.prefetchBoxes(pre); err != nil {
+		return err
+	}
+
+	p.stages = make([]stageState, len(p.n.Stages))
+	for i := range p.n.Stages {
+		st := &p.n.Stages[i]
+		ss := &p.stages[i]
+		ss.st = st
+		ss.access = st.Access
+		ss.filters = st.Residual
+		switch st.Access {
+		case plan.AccessStream:
+			ss.child = p.r.build(st.Child)
+			if err := ss.child.open(); err != nil {
+				return err
+			}
+		case plan.AccessIndex:
+			rel, ok := ev.store.Relation(st.Quant.Ranges.Table.Name)
+			if !ok {
+				return fmt.Errorf("exec: no storage for table %q", st.Quant.Ranges.Table.Name)
+			}
+			ss.rel = rel
+			ss.probe = make(datum.Row, len(st.KeyOther))
+		}
+	}
+	p.subqs = make([]subqState, len(p.n.Subqs))
+	p.depth = 0
+	if len(p.stages) > 0 {
+		return p.resetStage(0)
+	}
+	return nil
+}
+
+// downgrade switches a stage whose index probe found no usable index to a
+// hash join (build side big enough) or a nested loop with the key
+// equalities as filters. The choice depends only on the store, so plans
+// stay deterministic.
+func (p *selectPipeOp) downgrade(ss *stageState) error {
+	ev := p.r.ev
+	rows, err := p.r.materialize(ss.st.Child)
+	if err != nil {
+		return err
+	}
+	if len(rows) > 4 {
+		ss.access = plan.AccessHash
+		ss.childRows = rows
+		ev.Counters.HashBuilds++
+		ss.ht, err = ev.buildHashTable(ss.st.Quant, ss.st.KeyMine, rows, p.env)
+		if err != nil {
+			return err
+		}
+		ss.built = true
+		return nil
+	}
+	ss.access = plan.AccessScan
+	ss.childRows = rows
+	ss.built = true
+	filters := make([]qgm.Expr, 0, len(ss.st.Residual)+len(ss.st.KeyMine))
+	filters = append(filters, ss.st.Residual...)
+	for j := range ss.st.KeyMine {
+		filters = append(filters, &qgm.Cmp{Op: datum.EQ, L: ss.st.KeyMine[j], R: ss.st.KeyOther[j]})
+	}
+	ss.filters = filters
+	return nil
+}
+
+// resetStage prepares stage i's candidate rows for the current outer
+// binding.
+func (p *selectPipeOp) resetStage(i int) error {
+	ev := p.r.ev
+	ss := &p.stages[i]
+	ss.idx = 0
+	switch ss.access {
+	case plan.AccessStream:
+		// advanceStage pulls batches from the child.
+		ss.rows = nil
+	case plan.AccessIndex:
+		for j, e := range ss.st.KeyOther {
+			v, err := EvalExpr(e, p.env)
+			if err != nil {
+				return err
+			}
+			ss.probe[j] = v
+		}
+		if rows, used := ss.rel.Lookup(ss.st.IndexCols, ss.probe); used {
+			ev.Counters.IndexLookups++
+			ss.rows = rows
+			return nil
+		}
+		if err := p.downgrade(ss); err != nil {
+			return err
+		}
+		return p.resetStage(i)
+	case plan.AccessHash:
+		if !ss.built {
+			rows, err := p.r.materialize(ss.st.Child)
+			if err != nil {
+				return err
+			}
+			ss.childRows = rows
+			ev.Counters.HashBuilds++
+			ss.ht, err = ev.buildHashTable(ss.st.Quant, ss.st.KeyMine, rows, p.env)
+			if err != nil {
+				return err
+			}
+			ss.built = true
+		}
+		ev.keyBuf = ev.keyBuf[:0]
+		for _, e := range ss.st.KeyOther {
+			v, err := EvalExpr(e, p.env)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				ss.rows = nil // equality never matches NULL
+				return nil
+			}
+			ev.keyBuf = v.AppendKey(ev.keyBuf)
+		}
+		ev.Counters.HashProbes++
+		ss.rows = ss.ht[string(ev.keyBuf)]
+	case plan.AccessScan:
+		if !ss.built {
+			rows, err := p.r.materialize(ss.st.Child)
+			if err != nil {
+				return err
+			}
+			ss.childRows = rows
+			ss.built = true
+		}
+		ss.rows = ss.childRows
+	case plan.AccessCorr:
+		rows, err := ev.EvalBox(ss.st.Quant.Ranges, p.env)
+		if err != nil {
+			return err
+		}
+		ss.rows = rows
+		st := &p.r.stats[ss.st.Child.ID]
+		st.Opens++
+		st.Rows += int64(len(rows))
+	}
+	return nil
+}
+
+// advanceStage moves stage i to its next qualifying row, binding the stage
+// quantifier. Returns false when the stage is exhausted for the current
+// outer binding.
+func (p *selectPipeOp) advanceStage(i int) (bool, error) {
+	ev := p.r.ev
+	ss := &p.stages[i]
+	q := ss.st.Quant
+	for {
+		if ss.idx >= len(ss.rows) {
+			if ss.access == plan.AccessStream {
+				batch, err := ss.child.next()
+				if err != nil {
+					return false, err
+				}
+				if len(batch) > 0 {
+					ss.rows = batch
+					ss.idx = 0
+					continue
+				}
+			}
+			delete(p.env, q)
+			return false, nil
+		}
+		row := ss.rows[ss.idx]
+		ss.idx++
+		if err := ev.tick(); err != nil {
+			return false, err
+		}
+		p.env[q] = row
+		pass := true
+		for _, pred := range ss.filters {
+			tv, err := EvalPred(pred, p.env)
+			if err != nil {
+				return false, err
+			}
+			if tv != datum.True {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return true, nil
+		}
+	}
+}
+
+// finishRow completes the current full binding: scalar subqueries,
+// post-predicates, and semi/anti-join checks. Scalar bindings stay live for
+// the projection; the caller clears them.
+func (p *selectPipeOp) finishRow() (bool, error) {
+	ev := p.r.ev
+	for _, q := range p.n.Scalars {
+		rows, err := ev.evalSubquery(q, p.env)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case len(rows) == 0:
+			null := make(datum.Row, len(q.Ranges.Output))
+			for i := range null {
+				null[i] = datum.NullOf(q.Ranges.Output[i].Type)
+			}
+			p.env[q] = null
+		case len(rows) == 1:
+			p.env[q] = rows[0]
+		default:
+			return false, fmt.Errorf("exec: scalar subquery returned %d rows", len(rows))
+		}
+	}
+	for _, pred := range p.n.PostPreds {
+		tv, err := EvalPred(pred, p.env)
+		if err != nil {
+			return false, err
+		}
+		if tv != datum.True {
+			return false, nil
+		}
+	}
+	for i := range p.n.Subqs {
+		pass, err := p.checkSubq(i)
+		if err != nil {
+			return false, err
+		}
+		if !pass {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (p *selectPipeOp) checkSubq(i int) (bool, error) {
+	ev := p.r.ev
+	sq := &p.n.Subqs[i]
+	if sq.Mode == plan.SubqBridge {
+		rows, err := ev.evalSubquery(sq.Quant, p.env)
+		if err != nil {
+			return false, err
+		}
+		return ev.checkQuantifier(sq.Quant, sq.Match, rows, p.env)
+	}
+	// First-match: the verdict is independent of the outer bindings, so it
+	// is computed once per open — except in tuple-at-a-time mode, which
+	// re-streams per outer row (still early-exiting).
+	c := &p.subqs[i]
+	if c.valid && !ev.NoSubqueryCache {
+		return c.val, nil
+	}
+	ev.Counters.SubqueryEvals++
+	val, err := p.firstMatch(sq)
+	if err != nil {
+		return false, err
+	}
+	c.valid, c.val = true, val
+	return val, nil
+}
+
+// firstMatch streams the subquery tree and stops pulling at the first
+// decisive row: a witness for Exists (semi-join), a violation for ForAll
+// (anti-join). This is the true early exit the materializing evaluator
+// cannot do — the build side stops producing as soon as the verdict is
+// known.
+func (p *selectPipeOp) firstMatch(sq *plan.Subquery) (bool, error) {
+	ev := p.r.ev
+	q := sq.Quant
+	child := p.r.build(sq.Child)
+	if err := child.open(); err != nil {
+		child.close()
+		return false, err
+	}
+	defer child.close()
+	for {
+		batch, err := child.next()
+		if err != nil {
+			return false, err
+		}
+		if len(batch) == 0 {
+			// Exhausted without a decisive row: no witness / no violation.
+			return q.Type == qgm.ForAll, nil
+		}
+		for _, row := range batch {
+			if err := ev.tick(); err != nil {
+				return false, err
+			}
+			p.env[q] = row
+			all := true
+			for _, m := range sq.Match {
+				tv, err := EvalPred(m, p.env)
+				if err != nil {
+					delete(p.env, q)
+					return false, err
+				}
+				if tv != datum.True {
+					all = false
+					break
+				}
+			}
+			delete(p.env, q)
+			if q.Type == qgm.Exists && all {
+				return true, nil
+			}
+			if q.Type == qgm.ForAll && !all {
+				return false, nil
+			}
+		}
+	}
+}
+
+func (p *selectPipeOp) next() ([]datum.Row, error) {
+	ev := p.r.ev
+	if p.done {
+		return nil, nil
+	}
+	if p.oneShot {
+		p.done = true
+		pass, err := p.finishRow()
+		if err != nil {
+			return nil, err
+		}
+		var out []datum.Row
+		if pass {
+			row, err := ev.projectRow(p.n.Box, p.env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+		for _, q := range p.n.Scalars {
+			delete(p.env, q)
+		}
+		if p.n.BoxRoot && len(out) > 0 {
+			if err := ev.addOutput(len(out)); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	var out []datum.Row
+	i := p.depth
+	last := len(p.stages) - 1
+	for {
+		if i < 0 {
+			p.done = true
+			break
+		}
+		ok, err := p.advanceStage(i)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			i--
+			continue
+		}
+		if i < last {
+			i++
+			if err := p.resetStage(i); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pass, err := p.finishRow()
+		if err != nil {
+			return nil, err
+		}
+		var row datum.Row
+		if pass {
+			row, err = ev.projectRow(p.n.Box, p.env)
+		}
+		for _, q := range p.n.Scalars {
+			delete(p.env, q)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if pass {
+			out = append(out, row)
+			if len(out) >= streamBatch {
+				break
+			}
+		}
+	}
+	p.depth = i
+	if p.n.BoxRoot && len(out) > 0 {
+		if err := ev.addOutput(len(out)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *selectPipeOp) close() error {
+	var err error
+	for i := range p.stages {
+		if c := p.stages[i].child; c != nil {
+			if e := c.close(); e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	p.stages = nil
+	p.env = nil
+	return err
+}
+
+// groupByOp is a pipeline breaker: open drains the input into grouped
+// aggregate state (insertion order preserved), next streams the groups.
+type groupByOp struct {
+	r   *planRun
+	n   *plan.Node
+	out []datum.Row
+	pos int
+}
+
+func (g *groupByOp) open() error {
+	ev := g.r.ev
+	b := g.n.Box
+	if g.n.BoxRoot {
+		ev.Counters.BoxEvals++
+	}
+	inQ := b.Quantifiers[0]
+	child := g.r.build(g.n.Children[0])
+	if err := child.open(); err != nil {
+		child.close()
+		return err
+	}
+
+	type group struct {
+		key      datum.Row
+		states   []*datum.AggState
+		distinct []map[string]bool
+	}
+	groups := map[string]*group{}
+	var order []string
+	env := Env{}
+
+	err := func() error {
+		for {
+			batch, err := child.next()
+			if err != nil {
+				return err
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			for _, row := range batch {
+				if err := ev.tick(); err != nil {
+					return err
+				}
+				env[inQ] = row
+				key := make(datum.Row, len(b.GroupBy))
+				for i, ge := range b.GroupBy {
+					v, err := EvalExpr(ge, env)
+					if err != nil {
+						return err
+					}
+					key[i] = v
+				}
+				ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], key)
+				grp, ok := groups[string(ev.keyBuf)]
+				if !ok {
+					ks := string(ev.keyBuf)
+					grp = &group{key: key}
+					for _, a := range b.Aggs {
+						grp.states = append(grp.states, datum.NewAggState(a.Kind))
+						if a.Distinct {
+							grp.distinct = append(grp.distinct, map[string]bool{})
+						} else {
+							grp.distinct = append(grp.distinct, nil)
+						}
+					}
+					groups[ks] = grp
+					order = append(order, ks)
+				}
+				for i, a := range b.Aggs {
+					var v datum.D
+					if a.Arg != nil {
+						var err error
+						v, err = EvalExpr(a.Arg, env)
+						if err != nil {
+							return err
+						}
+					}
+					if a.Distinct {
+						if v.IsNull() {
+							continue
+						}
+						ev.keyBuf = v.AppendKey(ev.keyBuf[:0])
+						if grp.distinct[i][string(ev.keyBuf)] {
+							continue
+						}
+						grp.distinct[i][string(ev.keyBuf)] = true
+					}
+					if err := grp.states[i].Add(v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}()
+	if cerr := child.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	// Scalar aggregation (no GROUP BY) over empty input yields one row.
+	if len(groups) == 0 && len(b.GroupBy) == 0 {
+		row := make(datum.Row, len(b.Output))
+		for i, a := range b.Aggs {
+			row[i] = datum.NewAggState(a.Kind).Result()
+		}
+		g.out = []datum.Row{row}
+		return nil
+	}
+	g.out = make([]datum.Row, 0, len(groups))
+	for _, ks := range order {
+		grp := groups[ks]
+		row := make(datum.Row, 0, len(b.Output))
+		row = append(row, grp.key...)
+		for _, st := range grp.states {
+			row = append(row, st.Result())
+		}
+		g.out = append(g.out, row)
+	}
+	return nil
+}
+
+func (g *groupByOp) next() ([]datum.Row, error) {
+	if g.pos >= len(g.out) {
+		return nil, nil
+	}
+	end := g.pos + streamBatch
+	if end > len(g.out) {
+		end = len(g.out)
+	}
+	batch := g.out[g.pos:end]
+	g.pos = end
+	if g.n.BoxRoot {
+		if err := g.r.ev.addOutput(len(batch)); err != nil {
+			return nil, err
+		}
+	}
+	return batch, nil
+}
+
+func (g *groupByOp) close() error {
+	g.out = nil
+	return nil
+}
+
+// unionOp streams its inputs in order, opening each child only when
+// reached and closing it as soon as it is exhausted.
+type unionOp struct {
+	r        *planRun
+	n        *plan.Node
+	children []operator
+	cur      int
+}
+
+func (u *unionOp) open() error {
+	if u.n.BoxRoot {
+		u.r.ev.Counters.BoxEvals++
+	}
+	u.children = make([]operator, len(u.n.Children))
+	for i, c := range u.n.Children {
+		u.children[i] = u.r.build(c)
+	}
+	u.cur = 0
+	if len(u.children) > 0 {
+		return u.children[0].open()
+	}
+	return nil
+}
+
+func (u *unionOp) next() ([]datum.Row, error) {
+	for u.cur < len(u.children) {
+		batch, err := u.children[u.cur].next()
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) > 0 {
+			if u.n.BoxRoot {
+				if err := u.r.ev.addOutput(len(batch)); err != nil {
+					return nil, err
+				}
+			}
+			return batch, nil
+		}
+		if err := u.children[u.cur].close(); err != nil {
+			return nil, err
+		}
+		u.cur++
+		if u.cur < len(u.children) {
+			if err := u.children[u.cur].open(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (u *unionOp) close() error {
+	var err error
+	for _, c := range u.children {
+		if c == nil {
+			continue
+		}
+		if e := c.close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	u.children = nil
+	return err
+}
+
+// setOpOp implements INTERSECT/EXCEPT (ALL and DISTINCT): the right input
+// is materialized into multiplicity counts, the left input streams through
+// the multiset filter.
+type setOpOp struct {
+	r      *planRun
+	n      *plan.Node
+	left   operator
+	counts map[string]int
+	seen   map[string]bool
+	out    []datum.Row
+}
+
+func (s *setOpOp) open() error {
+	ev := s.r.ev
+	if s.n.BoxRoot {
+		ev.Counters.BoxEvals++
+	}
+	right, err := s.r.materialize(s.n.Children[1])
+	if err != nil {
+		return err
+	}
+	s.counts = make(map[string]int, len(right))
+	for _, row := range right {
+		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+		s.counts[string(ev.keyBuf)]++
+	}
+	s.seen = map[string]bool{}
+	s.left = s.r.build(s.n.Children[0])
+	return s.left.open()
+}
+
+func (s *setOpOp) next() ([]datum.Row, error) {
+	ev := s.r.ev
+	distinct := s.n.Box.Distinct != qgm.DistinctPreserve
+	for {
+		batch, err := s.left.next()
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			return nil, nil
+		}
+		s.out = s.out[:0]
+		for _, row := range batch {
+			if err := ev.tick(); err != nil {
+				return nil, err
+			}
+			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+			key := string(ev.keyBuf)
+			inRight := s.counts[key] > 0
+			switch s.n.Box.Kind {
+			case qgm.KindIntersect:
+				if !inRight {
+					continue
+				}
+				if distinct {
+					if s.seen[key] {
+						continue
+					}
+					s.seen[key] = true
+				} else {
+					s.counts[key]-- // INTERSECT ALL: min of multiplicities
+				}
+				s.out = append(s.out, row)
+			case qgm.KindExcept:
+				if distinct {
+					if inRight || s.seen[key] {
+						continue
+					}
+					s.seen[key] = true
+					s.out = append(s.out, row)
+				} else {
+					if inRight {
+						s.counts[key]-- // EXCEPT ALL: subtract multiplicities
+						continue
+					}
+					s.out = append(s.out, row)
+				}
+			}
+		}
+		if len(s.out) == 0 {
+			continue
+		}
+		if s.n.BoxRoot {
+			if err := ev.addOutput(len(s.out)); err != nil {
+				return nil, err
+			}
+		}
+		return s.out, nil
+	}
+}
+
+func (s *setOpOp) close() error {
+	var err error
+	if s.left != nil {
+		err = s.left.close()
+	}
+	s.counts, s.seen, s.out = nil, nil, nil
+	return err
+}
+
+// distinctOp filters duplicates with a streaming seen-set, keeping the
+// first occurrence — matching the materializing evaluator's dedupe order.
+type distinctOp struct {
+	r     *planRun
+	n     *plan.Node
+	child operator
+	seen  map[string]bool
+	out   []datum.Row
+}
+
+func (d *distinctOp) open() error {
+	if d.n.BoxRoot {
+		d.r.ev.Counters.BoxEvals++
+	}
+	d.seen = map[string]bool{}
+	return d.child.open()
+}
+
+func (d *distinctOp) next() ([]datum.Row, error) {
+	ev := d.r.ev
+	for {
+		batch, err := d.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			return nil, nil
+		}
+		d.out = d.out[:0]
+		for _, row := range batch {
+			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+			if d.seen[string(ev.keyBuf)] {
+				continue
+			}
+			d.seen[string(ev.keyBuf)] = true
+			d.out = append(d.out, row)
+		}
+		if len(d.out) == 0 {
+			continue
+		}
+		if d.n.BoxRoot {
+			if err := ev.addOutput(len(d.out)); err != nil {
+				return nil, err
+			}
+		}
+		return d.out, nil
+	}
+}
+
+func (d *distinctOp) close() error {
+	err := d.child.close()
+	d.seen, d.out = nil, nil
+	return err
+}
+
+// sortOp is a pipeline breaker implementing top-level ORDER BY with the
+// same stable comparator as the materializing evaluator.
+type sortOp struct {
+	r     *planRun
+	n     *plan.Node
+	child operator
+	rows  []datum.Row
+	pos   int
+}
+
+func (s *sortOp) open() error {
+	if err := s.child.open(); err != nil {
+		s.child.close()
+		return err
+	}
+	err := func() error {
+		for {
+			batch, err := s.child.next()
+			if err != nil {
+				return err
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			s.rows = append(s.rows, batch...)
+		}
+	}()
+	if cerr := s.child.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	specs := s.n.OrderBy
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, spec := range specs {
+			c := datum.SortCompare(s.rows[i][spec.Ord], s.rows[j][spec.Ord])
+			if spec.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func (s *sortOp) next() ([]datum.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	end := s.pos + streamBatch
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	batch := s.rows[s.pos:end]
+	s.pos = end
+	return batch, nil
+}
+
+func (s *sortOp) close() error {
+	s.rows = nil
+	return nil
+}
+
+// limitOp delivers at most N rows, then stops pulling and eagerly closes
+// its child — the stop signal that makes LIMIT a true early exit.
+type limitOp struct {
+	r         *planRun
+	n         *plan.Node
+	child     operator
+	remaining int64
+	done      bool
+}
+
+func (l *limitOp) open() error {
+	l.remaining = l.n.N
+	l.done = l.remaining <= 0
+	if l.done {
+		return nil
+	}
+	return l.child.open()
+}
+
+func (l *limitOp) next() ([]datum.Row, error) {
+	if l.done {
+		return nil, nil
+	}
+	batch, err := l.child.next()
+	if err != nil {
+		return nil, err
+	}
+	if len(batch) == 0 {
+		l.done = true
+		return nil, nil
+	}
+	if int64(len(batch)) > l.remaining {
+		batch = batch[:l.remaining]
+	}
+	l.remaining -= int64(len(batch))
+	if l.remaining <= 0 {
+		l.done = true
+		if err := l.child.close(); err != nil {
+			return nil, err
+		}
+	}
+	return batch, nil
+}
+
+func (l *limitOp) close() error {
+	return l.child.close()
+}
+
+// trimOp drops trailing hidden ORDER BY support columns.
+type trimOp struct {
+	r     *planRun
+	n     *plan.Node
+	child operator
+	out   []datum.Row
+}
+
+func (t *trimOp) open() error { return t.child.open() }
+
+func (t *trimOp) next() ([]datum.Row, error) {
+	batch, err := t.child.next()
+	if err != nil || len(batch) == 0 {
+		return nil, err
+	}
+	t.out = t.out[:0]
+	for _, r := range batch {
+		t.out = append(t.out, r[:len(r)-t.n.Hidden])
+	}
+	return t.out, nil
+}
+
+func (t *trimOp) close() error {
+	err := t.child.close()
+	t.out = nil
+	return err
+}

@@ -1,0 +1,47 @@
+package exec
+
+import (
+	"testing"
+
+	"starmagic/internal/datum"
+	"starmagic/internal/qgm"
+	"starmagic/internal/storage"
+)
+
+// TestHashProbeAllocs pins the transient hash-join probe to zero
+// allocations per probe: the key is encoded into the evaluator's reused
+// buffer and the bucket is read with the map-index string(buf) pattern,
+// which Go compiles without materializing a string.
+func TestHashProbeAllocs(t *testing.T) {
+	ev := New(storage.NewStore())
+	inner := &qgm.Quantifier{Name: "i"}
+	outer := &qgm.Quantifier{Name: "o"}
+	rows := make([]datum.Row, 256)
+	for i := range rows {
+		rows[i] = datum.Row{datum.Int(int64(i % 32)), datum.Int(int64(i))}
+	}
+	ht, err := ev.buildHashTable(inner, []qgm.Expr{&qgm.ColRef{Q: inner, Ord: 0}}, rows, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeKey := []qgm.Expr{&qgm.ColRef{Q: outer, Ord: 0}}
+	env := Env{outer: datum.Row{datum.Int(7), datum.Int(0)}}
+
+	var matched int
+	if avg := testing.AllocsPerRun(500, func() {
+		ev.keyBuf = ev.keyBuf[:0]
+		for _, e := range probeKey {
+			v, err := EvalExpr(e, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev.keyBuf = v.AppendKey(ev.keyBuf)
+		}
+		matched = len(ht[string(ev.keyBuf)])
+	}); avg > 0 {
+		t.Errorf("hash probe allocates %.1f times per run, want 0", avg)
+	}
+	if matched != 8 {
+		t.Fatalf("probe matched %d rows, want 8", matched)
+	}
+}

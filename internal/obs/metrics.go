@@ -56,6 +56,22 @@ type ExecSample struct {
 	ExecNanos int64
 	// Exec is the executor counter snapshot of this run.
 	Exec ExecStats
+	// Operators holds per-physical-operator counters when the run used the
+	// streaming executor (empty for materialized box-at-a-time runs).
+	Operators []OpSample
+}
+
+// OpSample is one physical operator's execution counters (the dependency-
+// free mirror of internal/plan's OpStats — the engine copies field by
+// field).
+type OpSample struct {
+	// Kind is the operator kind ("scan", "select", "limit", ...).
+	Kind string `json:"kind"`
+	// Rows and Batches count the operator's output.
+	Rows    int64 `json:"rows"`
+	Batches int64 `json:"batches"`
+	// Nanos is inclusive wall-clock (children included).
+	Nanos int64 `json:"nanos"`
 }
 
 // Metrics is a point-in-time snapshot of engine activity since Open (or the
@@ -86,6 +102,10 @@ type Metrics struct {
 	RuleFires map[string]int64 `json:"rule_fires"`
 	// Exec accumulates executor counters across all executions.
 	Exec ExecStats `json:"exec"`
+	// OpRows/OpNanos accumulate per-operator-kind output rows and inclusive
+	// wall-clock across streaming executions.
+	OpRows  map[string]int64 `json:"op_rows"`
+	OpNanos map[string]int64 `json:"op_nanos"`
 }
 
 // MetricsSink accumulates samples; Snapshot returns an independent Metrics
@@ -139,6 +159,14 @@ func (s *MetricsSink) RecordExec(e ExecSample) {
 	}
 	s.m.ExecNanos += e.ExecNanos
 	s.m.Exec.Add(e.Exec)
+	for _, op := range e.Operators {
+		if s.m.OpRows == nil {
+			s.m.OpRows = map[string]int64{}
+			s.m.OpNanos = map[string]int64{}
+		}
+		s.m.OpRows[op.Kind] += op.Rows
+		s.m.OpNanos[op.Kind] += op.Nanos
+	}
 }
 
 // Snapshot returns a deep copy of the accumulated metrics.
@@ -148,6 +176,8 @@ func (s *MetricsSink) Snapshot() Metrics {
 	out := s.m
 	out.ByStrategy = copyMap(s.m.ByStrategy)
 	out.RuleFires = copyMap(s.m.RuleFires)
+	out.OpRows = copyMap(s.m.OpRows)
+	out.OpNanos = copyMap(s.m.OpNanos)
 	return out
 }
 

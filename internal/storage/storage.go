@@ -12,7 +12,6 @@ package storage
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"starmagic/internal/catalog"
@@ -126,9 +125,21 @@ func (r *Relation) Len() int {
 	return len(r.rows)
 }
 
+// probeBuf is the reusable scratch of one Lookup call. Lookup runs under
+// the shared read lock — concurrent probes from parallel evaluators are the
+// norm — so the scratch lives in a pool rather than on the relation.
+type probeBuf struct {
+	probe datum.Row
+	key   []byte
+}
+
+var probePool = sync.Pool{New: func() any { return &probeBuf{key: make([]byte, 0, 48)} }}
+
 // Lookup returns the rows whose indexed columns equal key, using the index
 // over exactly cols if one exists. The boolean reports whether an index was
-// available; when false the caller must fall back to a scan.
+// available; when false the caller must fall back to a scan. The probe
+// itself is allocation-free (pooled scratch plus the string(buf) map
+// index); only a non-empty result allocates, for the returned slice.
 func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -136,14 +147,16 @@ func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
 	if idx == nil {
 		return nil, false
 	}
+	pb := probePool.Get().(*probeBuf)
+	defer probePool.Put(pb)
 	// The index stores keys in idx.Cols order; reorder the probe key to
 	// match when the caller's column order differs.
-	probe := make(datum.Row, len(idx.Cols))
-	for i, c := range idx.Cols {
+	pb.probe = pb.probe[:0]
+	for _, c := range idx.Cols {
 		found := false
 		for j, cc := range cols {
 			if cc == c {
-				probe[i] = key[j]
+				pb.probe = append(pb.probe, key[j])
 				found = true
 				break
 			}
@@ -153,35 +166,40 @@ func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
 		}
 	}
 	// SQL equality never matches NULL.
-	for _, d := range probe {
+	for _, d := range pb.probe {
 		if d.IsNull() {
 			return nil, true
 		}
 	}
-	// Lookup runs under the read lock, so it cannot share r.keyBuf; a small
-	// local buffer plus the string(buf) map index keeps this to one
-	// allocation per probe.
-	buf := make([]byte, 0, 48)
-	buf = datum.AppendKey(buf, probe)
-	var out []datum.Row
-	for _, pos := range idx.buckets[string(buf)] {
-		out = append(out, r.rows[pos])
+	pb.key = datum.AppendKey(pb.key[:0], pb.probe)
+	positions := idx.buckets[string(pb.key)]
+	if len(positions) == 0 {
+		return nil, true
+	}
+	out := make([]datum.Row, len(positions))
+	for i, pos := range positions {
+		out[i] = r.rows[pos]
 	}
 	return out, true
 }
 
+// findIndexLocked matches cols against an index as a set, without
+// allocating (Lookup is the executor's per-outer-row hot path).
 func (r *Relation) findIndexLocked(cols []int) *HashIndex {
-	want := append([]int(nil), cols...)
-	sort.Ints(want)
 	for _, idx := range r.indexes {
-		have := append([]int(nil), idx.Cols...)
-		sort.Ints(have)
-		if len(have) != len(want) {
+		if len(idx.Cols) != len(cols) {
 			continue
 		}
 		match := true
-		for i := range have {
-			if have[i] != want[i] {
+		for _, c := range cols {
+			found := false
+			for _, ic := range idx.Cols {
+				if ic == c {
+					found = true
+					break
+				}
+			}
+			if !found {
 				match = false
 				break
 			}

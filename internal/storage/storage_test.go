@@ -155,3 +155,35 @@ func TestStore(t *testing.T) {
 		t.Error("phantom relation found")
 	}
 }
+
+// TestLookupAllocs pins the probe path's allocation behavior: a missed
+// probe is allocation-free (pooled scratch, string(buf) map index), and a
+// hit allocates only the returned row slice.
+func TestLookupAllocs(t *testing.T) {
+	r := NewRelation(empMeta())
+	for i := 0; i < 64; i++ {
+		if err := r.Insert(datum.Row{datum.Int(int64(i)), datum.Int(int64(i % 8)), datum.Float(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missKey := datum.Row{datum.Int(9999)}
+	hitKey := datum.Row{datum.Int(7)}
+	// Warm the pool outside the measured runs.
+	r.Lookup([]int{0}, missKey)
+
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, ok := r.Lookup([]int{0}, missKey); !ok {
+			t.Fatal("index unexpectedly missing")
+		}
+	}); avg > 0 {
+		t.Errorf("missed probe allocates %.1f times per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		rows, ok := r.Lookup([]int{0}, hitKey)
+		if !ok || len(rows) != 1 {
+			t.Fatal("probe failed")
+		}
+	}); avg > 1 {
+		t.Errorf("hit probe allocates %.1f times per run, want <= 1 (result slice)", avg)
+	}
+}
