@@ -42,14 +42,18 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable perf trajectory: row-key encoders, hash-join build, and
-# Table-1 experiments (ns/op + allocs/op) written to BENCH_1.json.
+# Machine-readable perf trajectory: row-key encoders, hash-join build,
+# cold-vs-cached prepares, and Table-1 experiments (ns/op + allocs/op)
+# written to $(BENCH_OUT). Override per PR: make bench-json BENCH_OUT=BENCH_5.json
+BENCH_OUT ?= BENCH_4.json
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_1.json
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-# Regression gate: rerun the row-key and hash-join microbenchmarks and fail
-# if any is >15% slower than the BENCH_1.json baseline (threshold tunable via
-# BENCH_THRESHOLD). The fresh run goes to a scratch file, not the baseline.
+# Regression gate: rerun the row-key, hash-join, and prepare-path
+# microbenchmarks and fail if any is >15% slower than the BENCH_1.json
+# baseline (threshold tunable via BENCH_THRESHOLD; benchmarks absent from
+# the baseline pass trivially). The fresh run goes to a scratch file, not
+# the baseline.
 BENCH_THRESHOLD ?= 15
 bench-check:
 	$(GO) run ./cmd/benchjson -out .bench_check.json -experiments "" \

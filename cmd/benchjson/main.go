@@ -1,20 +1,22 @@
 // Command benchjson runs the performance-trajectory benchmark suite in
 // process (via testing.Benchmark) and writes machine-readable results to a
 // JSON file: ns/op, bytes/op and allocs/op for the row-key encoders, the
-// hash-join build, and every Table-1 experiment under each strategy.
+// hash-join build, cold-vs-cached prepares, and every Table-1 experiment
+// under each strategy.
 //
-// `make bench-json` writes BENCH_1.json at the repository root so successive
-// PRs can track executor performance against recorded baselines.
+// `make bench-json` writes BENCH_$(N).json at the repository root (see the
+// Makefile's BENCH_OUT variable) so successive PRs can track executor
+// performance against recorded baselines.
 //
 // With -baseline it additionally compares the fresh run against a recorded
 // report and exits non-zero if any gated benchmark (row-key encoders,
-// hash-join build) regressed in ns/op by more than -threshold percent —
-// `make bench-check` uses this as the perf-regression gate.
+// hash-join build, prepare path) regressed in ns/op by more than -threshold
+// percent — `make bench-check` uses this as the perf-regression gate.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_1.json] [-experiments A,B,...] [-scale N]
-//	          [-baseline BENCH_1.json] [-threshold 15] [-gate rowkey/,hashjoin_build/]
+//	benchjson [-out BENCH.json] [-experiments A,B,...] [-scale N]
+//	          [-baseline BENCH_1.json] [-threshold 15] [-gate rowkey/,hashjoin_build/,prepare/]
 package main
 
 import (
@@ -59,7 +61,7 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
-	gate := flag.String("gate", "rowkey/,hashjoin_build/", "comma-separated name prefixes the regression gate applies to")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -111,6 +113,13 @@ func main() {
 	// streaming versus the materializing baseline.
 	if err := earlyExitBench(record); err != nil {
 		fmt.Fprintln(os.Stderr, "early-exit bench:", err)
+		os.Exit(1)
+	}
+
+	// Prepare path: a cold optimization versus a plan-cache hit for a
+	// parameterized query over the Table-1 schema.
+	if err := prepareBench(record); err != nil {
+		fmt.Fprintln(os.Stderr, "prepare bench:", err)
 		os.Exit(1)
 	}
 
@@ -222,6 +231,43 @@ func compareBaseline(rep report, path string, threshold float64, gates []string)
 		fmt.Fprintf(os.Stderr, "benchjson: performance regression beyond %.0f%% detected\n", threshold)
 	}
 	return ok
+}
+
+// prepareBench measures what the plan cache amortizes: a cold prepare runs
+// the full parse→bind→rewrite→cost pipeline (two plan-optimization passes
+// around the magic transformation); a cache hit is a sharded map lookup plus
+// a shallow per-call copy. The query is parameterized, so one cached plan —
+// magic seed included — serves every binding.
+func prepareBench(record func(string, func(b *testing.B))) error {
+	db, err := bench.NewDB(bench.Config{Departments: 100, EmpsPerDept: 20, SalesPerDept: 80, OrdersPerDept: 80, Seed: 1994})
+	if err != nil {
+		return err
+	}
+	const query = `SELECT d.deptname, v.avgsal FROM department d, avgSalary v
+	               WHERE d.deptno = v.workdept AND d.deptname = ?`
+	ctx := context.Background()
+	db.SetPlanCache(false)
+	record("prepare/cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.PrepareContext(ctx, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	db.SetPlanCache(true)
+	if _, err := db.PrepareContext(ctx, query); err != nil {
+		return err
+	}
+	record("prepare/cache_hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.PrepareContext(ctx, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return nil
 }
 
 // hashJoinBench measures the unindexed equi-join from BenchmarkHashJoinBuild

@@ -9,6 +9,7 @@
 //	                                      counters after each SELECT
 //	.timing on|off                        print elapsed times
 //	.metrics [reset]                      show (or zero) session metrics
+//	.cache on|off|stats                   toggle or inspect the plan cache
 //	.tables                               list tables and views
 //	.help                                 this text
 //
@@ -133,6 +134,7 @@ func (sh *shell) dotCommand(line string) {
 		fmt.Fprintln(sh.out, ".plan on|off                       — print executed operator tree")
 		fmt.Fprintln(sh.out, ".timing on|off                     — print elapsed times")
 		fmt.Fprintln(sh.out, ".metrics [reset]                   — show (or zero) session metrics")
+		fmt.Fprintln(sh.out, ".cache on|off|stats                — toggle or inspect the plan cache")
 		fmt.Fprintln(sh.out, ".tables                            — list tables and views")
 	case ".strategy":
 		if len(fields) < 2 {
@@ -166,6 +168,27 @@ func (sh *shell) dotCommand(line string) {
 			return
 		}
 		sh.printMetrics(sh.db.Metrics())
+	case ".cache":
+		if len(fields) > 1 {
+			switch fields[1] {
+			case "on":
+				sh.db.SetPlanCache(true)
+			case "off":
+				sh.db.SetPlanCache(false)
+			case "stats":
+				// fall through to the printout below
+			default:
+				fmt.Fprintln(sh.out, "usage: .cache on|off|stats")
+				return
+			}
+		}
+		st := sh.db.PlanCacheStats()
+		state := "off"
+		if st.Enabled {
+			state = "on"
+		}
+		fmt.Fprintf(sh.out, "plan cache: %s  entries: %d  hits: %d  misses: %d  shared: %d  evictions: %d\n",
+			state, st.Entries, st.Hits, st.Misses, st.Shared, st.Evictions)
 	case ".explain":
 		query := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
 		info, err := sh.db.ExplainContext(context.Background(), query,

@@ -35,11 +35,60 @@ type queryConfig struct {
 	rowLimit       int64
 	snapshots      bool
 	materialized   bool
+	// args are the values bound to the query's `?` placeholders; argsErr
+	// carries a WithArgs conversion failure to the first prepare call (the
+	// option signature cannot return an error).
+	args    datum.Row
+	argsErr error
 }
 
 // WithStrategy selects the optimization/execution strategy (default EMST).
 func WithStrategy(s Strategy) QueryOption {
 	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithArgs binds values to the query's `?` placeholders in left-to-right
+// order. Supported Go types: nil, bool, int, int32, int64, float32, float64,
+// string, and datum.D. Because a parameterized plan's shape — including the
+// magic seed the EMST transformation installs — does not depend on the bound
+// values, one cached plan serves every binding; only execution sees the
+// values.
+func WithArgs(args ...any) QueryOption {
+	row, err := toDatumRow(args)
+	return func(c *queryConfig) { c.args, c.argsErr = row, err }
+}
+
+// toDatumRow converts user-supplied bindings to datum values.
+func toDatumRow(args []any) (datum.Row, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	row := make(datum.Row, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			row[i] = datum.Null()
+		case datum.D:
+			row[i] = v
+		case bool:
+			row[i] = datum.Bool(v)
+		case int:
+			row[i] = datum.Int(int64(v))
+		case int32:
+			row[i] = datum.Int(int64(v))
+		case int64:
+			row[i] = datum.Int(v)
+		case float32:
+			row[i] = datum.Float(float64(v))
+		case float64:
+			row[i] = datum.Float(v)
+		case string:
+			row[i] = datum.String(v)
+		default:
+			return nil, fmt.Errorf("argument %d: unsupported type %T (want int, float, string, bool, nil, or datum.D)", i+1, a)
+		}
+	}
+	return row, nil
 }
 
 // WithTracer installs a span tracer for this call. Every pipeline phase —
@@ -121,6 +170,16 @@ func (db *Database) PrepareContext(ctx context.Context, query string, opts ...Qu
 		db.metrics.RecordPlan(obs.PlanSample{Err: true, Strategy: cfg.strategy.String()})
 		return nil, err
 	}
+	if p.explain.CacheStatus == "hit" {
+		// The stored optimization already contributed its cost and rule
+		// fires when it was prepared cold; count only the prepare call.
+		db.metrics.RecordPlan(obs.PlanSample{
+			Strategy: cfg.strategy.String(),
+			CacheHit: true,
+			UsedEMST: p.info.UsedEMST,
+		})
+		return p, nil
+	}
 	db.metrics.RecordPlan(obs.PlanSample{
 		Strategy:       cfg.strategy.String(),
 		EMSTConsidered: cfg.strategy == EMST,
@@ -133,15 +192,43 @@ func (db *Database) PrepareContext(ctx context.Context, query string, opts ...Qu
 	return p, nil
 }
 
+// prepare is the front door for every PrepareContext/QueryContext/
+// ExplainContext call: it freshens statistics — double-checked on an atomic
+// flag, so the hot path never takes the write lock when stats are clean —
+// then serves the plan from the cache or optimizes it cold. Tracer-bearing
+// calls bypass the cache: their value is the spans the live pipeline emits.
 func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) (*Prepared, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	db.mu.Lock()
-	if db.statsDirty {
-		db.analyzeLocked()
+	if cfg.argsErr != nil {
+		return nil, fmt.Errorf("WithArgs: %w", cfg.argsErr)
 	}
-	db.mu.Unlock()
+	// Freshen statistics before reading the epoch, so a cached entry always
+	// reflects post-ANALYZE statistics for its epoch.
+	if db.statsDirty.Load() {
+		db.mu.Lock()
+		if db.statsDirty.Load() {
+			db.analyzeLocked()
+		}
+		db.mu.Unlock()
+	}
+	if !db.plans.enabled() || cfg.tracer != nil {
+		p, err := db.prepareCold(ctx, query, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.explain.CacheStatus = "bypass"
+		p.explain.CacheEpoch = db.epoch.Load()
+		return p, nil
+	}
+	return db.prepareCached(ctx, query, cfg)
+}
+
+// prepareCold runs the full parse→bind→optimize→lower pipeline under the
+// read lock. The plan cache calls it on a miss; bypassing calls reach it
+// directly.
+func (db *Database) prepareCold(ctx context.Context, query string, cfg queryConfig) (*Prepared, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if err := ctx.Err(); err != nil {
@@ -180,6 +267,8 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 	for i := 0; i < visible; i++ {
 		cols[i] = g.Top.Output[i].Name
 	}
+	numParams := g.NumParams
+	explain.Params = numParams
 
 	start := time.Now()
 	info := PlanInfo{Strategy: cfg.strategy}
@@ -246,6 +335,7 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 		graph:     g,
 		phys:      phys,
 		columns:   cols,
+		numParams: numParams,
 		strategy:  cfg.strategy,
 		cfg:       cfg,
 		info:      info,
@@ -315,14 +405,28 @@ func (db *Database) prepareCorrelated(ctx context.Context, g *qgm.Graph, cfg que
 // executions), so repeated runs are directly comparable. When the plan was
 // lowered to a physical operator tree (the default) the streaming executor
 // runs it and the result carries per-operator counters; WithMaterialized
-// falls back to box-at-a-time evaluation.
-func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+// falls back to box-at-a-time evaluation. Optional args bind the query's
+// `?` placeholders for this run only, overriding WithArgs values captured
+// at prepare time; the cached plan itself is binding-invariant.
+func (p *Prepared) ExecuteContext(ctx context.Context, args ...any) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	bound := p.cfg.args
+	if len(args) > 0 {
+		b, err := toDatumRow(args)
+		if err != nil {
+			return nil, err
+		}
+		bound = b
+	}
+	if len(bound) != p.numParams {
+		return nil, fmt.Errorf("query expects %d parameter(s), got %d", p.numParams, len(bound))
 	}
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
 	ev := exec.New(p.db.store)
+	ev.Params = bound
 	ev.SetContext(ctx)
 	if p.cfg.hasParallelism {
 		ev.Parallelism = p.cfg.parallelism

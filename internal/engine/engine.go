@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"starmagic/internal/catalog"
@@ -73,18 +74,36 @@ type Database struct {
 	mu    sync.RWMutex
 	cat   *catalog.Catalog
 	store *storage.Store
-	// statsDirty triggers re-ANALYZE before the next optimization.
-	statsDirty bool
+	// statsDirty triggers re-ANALYZE before the next optimization. It is
+	// atomic so the prepare hot path can check it without taking the write
+	// lock (double-checked: the lock is acquired only when it reads true).
+	statsDirty atomic.Bool
+	// epoch is the catalog epoch: it advances on every schema or data
+	// mutation (DDL, DML, bulk loads, ANALYZE) and invalidates plan-cache
+	// entries prepared under earlier epochs.
+	epoch atomic.Uint64
+	// plans caches prepared plans by normalized SQL + strategy (see cache.go).
+	plans *planCache
 	// parallelism is handed to each query's evaluator (see SetParallelism).
 	parallelism int
 	// metrics accumulates plan and execution samples (see Metrics).
 	metrics obs.MetricsSink
 }
 
-// New returns an empty database.
+// New returns an empty database. The plan cache starts enabled.
 func New() *Database {
-	return &Database{cat: catalog.New(), store: storage.NewStore()}
+	return &Database{cat: catalog.New(), store: storage.NewStore(), plans: newPlanCache(0)}
 }
+
+// noteMutation records a data mutation: optimizer statistics are stale and
+// cached plans prepared under the old contents must not be reused.
+func (db *Database) noteMutation() {
+	db.statsDirty.Store(true)
+	db.epoch.Add(1)
+}
+
+// Epoch returns the current catalog epoch (see ExplainInfo.CacheEpoch).
+func (db *Database) Epoch() uint64 { return db.epoch.Load() }
 
 // Catalog exposes the schema directory (read-mostly; use Exec for DDL).
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
@@ -124,6 +143,9 @@ func (db *Database) Exec(script string) (int64, error) {
 }
 
 func (db *Database) execStmt(st sql.Statement) (int64, error) {
+	if n := sql.CountParams(st); n > 0 {
+		return 0, fmt.Errorf("statement uses %d parameter placeholder(s); parameters (?) are only supported in queries (use WithArgs)", n)
+	}
 	switch s := st.(type) {
 	case *sql.CreateTable:
 		return 0, db.createTable(s)
@@ -137,16 +159,22 @@ func (db *Database) execStmt(st sql.Statement) (int64, error) {
 		}
 		if _, err := semant.NewBuilder(db.cat).Build(s.Query); err != nil {
 			if strings.Contains(err.Error(), "table or view") && strings.Contains(err.Error(), "not found") {
+				db.epoch.Add(1)
 				return 0, nil // deferred: resolved at first use
 			}
 			_ = db.cat.DropView(s.Name)
 			return 0, fmt.Errorf("view %s: %w", s.Name, err)
 		}
+		db.epoch.Add(1)
 		return 0, nil
 	case *sql.CreateIndex:
 		return 0, db.createIndex(s)
 	case *sql.DropView:
-		return 0, db.cat.DropView(s.Name)
+		if err := db.cat.DropView(s.Name); err != nil {
+			return 0, err
+		}
+		db.epoch.Add(1)
+		return 0, nil
 	case *sql.Delete:
 		return db.deleteRows(s)
 	case *sql.Update:
@@ -195,6 +223,7 @@ func (db *Database) createTable(s *sql.CreateTable) error {
 		return err
 	}
 	db.store.Create(t)
+	db.epoch.Add(1)
 	return nil
 }
 
@@ -227,6 +256,7 @@ func (db *Database) createIndex(s *sql.CreateIndex) error {
 			return err
 		}
 	}
+	db.epoch.Add(1)
 	return nil
 }
 
@@ -253,7 +283,7 @@ func (db *Database) insert(s *sql.Insert) (int64, error) {
 		}
 		n++
 	}
-	db.statsDirty = true
+	db.noteMutation()
 	return n, nil
 }
 
@@ -319,7 +349,7 @@ func (db *Database) deleteRows(s *sql.Delete) (int64, error) {
 	if err := rel.Rebuild(kept); err != nil {
 		return 0, err
 	}
-	db.statsDirty = true
+	db.noteMutation()
 	return n, nil
 }
 
@@ -384,7 +414,7 @@ func (db *Database) updateRows(s *sql.Update) (int64, error) {
 	if err := rel.Rebuild(out); err != nil {
 		return 0, err
 	}
-	db.statsDirty = true
+	db.noteMutation()
 	return n, nil
 }
 
@@ -392,7 +422,7 @@ func (db *Database) updateRows(s *sql.Update) (int64, error) {
 // under the full EMST pipeline, and its rows are loaded into the table.
 func (db *Database) insertSelect(rel *storage.Relation, s *sql.Insert) (int64, error) {
 	// Called with db.mu held (via Exec).
-	if db.statsDirty {
+	if db.statsDirty.Load() {
 		db.analyzeLocked()
 	}
 	g, err := semant.NewBuilder(db.cat).Build(s.Query)
@@ -418,7 +448,7 @@ func (db *Database) insertSelect(rel *storage.Relation, s *sql.Insert) (int64, e
 		}
 		n++
 	}
-	db.statsDirty = true
+	db.noteMutation()
 	return n, nil
 }
 
@@ -472,15 +502,19 @@ func (db *Database) InsertRows(table string, rows []datum.Row) error {
 			return err
 		}
 	}
-	db.statsDirty = true
+	db.noteMutation()
 	return nil
 }
 
-// Analyze recomputes optimizer statistics for every table.
+// Analyze recomputes optimizer statistics for every table. An explicit
+// ANALYZE advances the catalog epoch (fresh statistics can change plan
+// choices); the implicit analyze on the prepare path does not — the
+// mutation that dirtied the stats already advanced it.
 func (db *Database) Analyze() {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.analyzeLocked()
+	db.mu.Unlock()
+	db.epoch.Add(1)
 }
 
 func (db *Database) analyzeLocked() {
@@ -489,7 +523,7 @@ func (db *Database) analyzeLocked() {
 			catalog.AnalyzeTable(t, rel.Rows())
 		}
 	}
-	db.statsDirty = false
+	db.statsDirty.Store(false)
 }
 
 // Result is a query result.
@@ -534,6 +568,9 @@ type Prepared struct {
 	graph   *qgm.Graph
 	phys    *plan.Plan
 	columns []string
+	// numParams is the number of `?` placeholders; every execution must
+	// bind exactly this many values (WithArgs or Execute/ExecuteContext args).
+	numParams int
 
 	strategy Strategy
 	cfg      queryConfig
@@ -548,9 +585,11 @@ func (db *Database) Prepare(query string, strategy Strategy) (*Prepared, error) 
 	return db.PrepareContext(context.Background(), query, WithStrategy(strategy))
 }
 
-// Execute runs the prepared plan with a fresh evaluator.
-func (p *Prepared) Execute() (*Result, error) {
-	return p.ExecuteContext(context.Background())
+// Execute runs the prepared plan with a fresh evaluator. Optional args bind
+// the query's `?` placeholders for this run, overriding any WithArgs values
+// captured at prepare time.
+func (p *Prepared) Execute(args ...any) (*Result, error) {
+	return p.ExecuteContext(context.Background(), args...)
 }
 
 // Graph exposes the optimized graph (qgmviz and tests inspect it).

@@ -45,6 +45,16 @@ type ExplainInfo struct {
 	// PlanDOT is the Graphviz rendering of the executed plan (captured with
 	// the snapshots).
 	PlanDOT string
+	// Params is the number of `?` placeholders the query declares. Their
+	// values are unknown at plan time, so predicates over them use the
+	// optimizer's default selectivities.
+	Params int
+	// CacheStatus reports how the plan cache served this prepare: "hit",
+	// "miss" (optimized cold and stored), or "bypass" (cache disabled or a
+	// tracer was attached). CacheEpoch is the catalog epoch the plan is
+	// valid for.
+	CacheStatus string
+	CacheEpoch  uint64
 }
 
 // PhaseInfo is one pipeline phase: its wall-clock and, for rewrite phases
@@ -91,6 +101,12 @@ func (e *ExplainInfo) RuleFires(rule string) int64 {
 func (e *ExplainInfo) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "strategy: %s\n", e.Strategy)
+	if e.CacheStatus != "" {
+		fmt.Fprintf(&sb, "cache: %s (epoch %d)\n", e.CacheStatus, e.CacheEpoch)
+	}
+	if e.Params > 0 {
+		fmt.Fprintf(&sb, "parameters: %d (planned with default selectivities)\n", e.Params)
+	}
 	for _, p := range e.Phases {
 		if !p.HasSnapshot {
 			continue

@@ -68,6 +68,13 @@ type Evaluator struct {
 	// counter totals stay deterministic for a given Parallelism setting.
 	Parallelism int
 
+	// Params binds the query's positional `?` placeholders for this run,
+	// slot i holding the value of parameter ordinal i. Bindings are constant
+	// for the whole evaluation, so box memoization and subquery caches stay
+	// valid; they enter expression evaluation through the paramsQ sentinel
+	// binding every root environment carries (see rootEnv).
+	Params datum.Row
+
 	Counters Counters
 
 	// ctx/ctxDone arm cooperative cancellation (see SetContext). ctxDone is
@@ -172,7 +179,7 @@ func (ev *Evaluator) EvalGraph(g *qgm.Graph) ([]datum.Row, error) {
 	if err := ev.ctxErr(); err != nil {
 		return nil, err
 	}
-	rows, err := ev.EvalBox(g.Top, Env{})
+	rows, err := ev.EvalBox(g.Top, ev.rootEnv())
 	if err != nil {
 		return nil, err
 	}

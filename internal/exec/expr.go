@@ -12,6 +12,28 @@ import (
 // rows of the box each quantifier ranges over.
 type Env map[*qgm.Quantifier]datum.Row
 
+// paramsQ is the sentinel quantifier binding the run's parameter values in
+// every environment: env[paramsQ][i] is the value of placeholder ordinal i.
+// It belongs to no box, so it never collides with a real quantifier, and
+// Env.clone propagates it into derived environments for free.
+var paramsQ = &qgm.Quantifier{Name: "?params"}
+
+// BindParams returns an environment carrying only parameter bindings.
+// Evaluators seed their root environments with it via rootEnv; it is
+// exported for callers evaluating expressions outside a box evaluation.
+func BindParams(params datum.Row) Env {
+	if params == nil {
+		return Env{}
+	}
+	return Env{paramsQ: params}
+}
+
+// rootEnv is the environment every top-level box evaluation starts from:
+// empty except for the run's parameter bindings.
+func (ev *Evaluator) rootEnv() Env {
+	return BindParams(ev.Params)
+}
+
 // clone returns a copy of the environment.
 func (e Env) clone() Env {
 	c := make(Env, len(e)+4)
@@ -36,6 +58,12 @@ func EvalExpr(e qgm.Expr, env Env) (datum.D, error) {
 		return row[x.Ord], nil
 	case *qgm.Const:
 		return x.Val, nil
+	case *qgm.Param:
+		params, ok := env[paramsQ]
+		if !ok || x.Ord >= len(params) {
+			return datum.Null(), fmt.Errorf("exec: unbound parameter ?%d (got %d bindings)", x.Ord+1, len(params))
+		}
+		return params[x.Ord], nil
 	case *qgm.Cmp:
 		l, err := EvalExpr(x.L, env)
 		if err != nil {

@@ -37,6 +37,7 @@ func (ev *Evaluator) child() *Evaluator {
 	c.MaxRows = ev.MaxRows
 	c.MaxRecursion = ev.MaxRecursion
 	c.Parallelism = 1
+	c.Params = ev.Params
 	// Children poll the same context (with private tick counters), so a
 	// cancelled query aborts its prefetch workers too.
 	c.ctx, c.ctxDone = ev.ctx, ev.ctxDone
@@ -105,7 +106,7 @@ func (ev *Evaluator) prefetchBoxes(boxes []*qgm.Box) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			_, errs[i] = children[i].EvalBox(box, Env{})
+			_, errs[i] = children[i].EvalBox(box, children[i].rootEnv())
 		}(i, box)
 	}
 	wg.Wait()

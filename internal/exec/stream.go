@@ -128,7 +128,7 @@ func (r *planRun) build(n *plan.Node) operator {
 func (r *planRun) materialize(n *plan.Node) ([]datum.Row, error) {
 	ev := r.ev
 	if n.Kind == plan.OpBoxEval || n.Kind == plan.OpFixpoint {
-		rows, err := ev.EvalBox(n.Box, Env{})
+		rows, err := ev.EvalBox(n.Box, ev.rootEnv())
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +294,7 @@ type boxEvalOp struct {
 }
 
 func (o *boxEvalOp) open() error {
-	rows, err := o.r.ev.EvalBox(o.n.Box, Env{})
+	rows, err := o.r.ev.EvalBox(o.n.Box, o.r.ev.rootEnv())
 	if err != nil {
 		return err
 	}
@@ -370,7 +370,7 @@ func (p *selectPipeOp) open() error {
 	if p.n.BoxRoot {
 		ev.Counters.BoxEvals++
 	}
-	p.env = Env{}
+	p.env = ev.rootEnv()
 	p.done = false
 	p.oneShot = len(p.n.Stages) == 0
 
@@ -835,7 +835,7 @@ func (g *groupByOp) open() error {
 	}
 	groups := map[string]*group{}
 	var order []string
-	env := Env{}
+	env := ev.rootEnv()
 
 	err := func() error {
 		for {

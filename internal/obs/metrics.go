@@ -44,6 +44,10 @@ type PlanSample struct {
 	OptimizeNanos int64
 	// RuleFires counts graph-mutating rewrite-rule applications by rule.
 	RuleFires map[string]int64
+	// CacheHit marks a prepare served from the plan cache: the stored
+	// optimization already contributed its cost/rule-fire sample when it was
+	// prepared cold, so only the call itself is counted.
+	CacheHit bool
 }
 
 // ExecSample is one execution's contribution to the metrics.
@@ -106,6 +110,14 @@ type Metrics struct {
 	// wall-clock across streaming executions.
 	OpRows  map[string]int64 `json:"op_rows"`
 	OpNanos map[string]int64 `json:"op_nanos"`
+	// Plan-cache counters. CacheHits counts prepares served from the cache,
+	// CacheMisses cold optimizations entered into it, CacheShared prepares
+	// that waited on another caller's in-flight miss (single-flight), and
+	// CacheEvictions entries displaced by LRU capacity.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheShared    int64 `json:"cache_shared"`
+	CacheEvictions int64 `json:"cache_evictions"`
 }
 
 // MetricsSink accumulates samples; Snapshot returns an independent Metrics
@@ -122,6 +134,9 @@ func (s *MetricsSink) RecordPlan(p PlanSample) {
 	s.m.Plans++
 	if p.Err {
 		s.m.Errors++
+		return
+	}
+	if p.CacheHit {
 		return
 	}
 	if p.EMSTConsidered {
@@ -167,6 +182,35 @@ func (s *MetricsSink) RecordExec(e ExecSample) {
 		s.m.OpRows[op.Kind] += op.Rows
 		s.m.OpNanos[op.Kind] += op.Nanos
 	}
+}
+
+// RecordCacheHit counts a prepare served from the plan cache.
+func (s *MetricsSink) RecordCacheHit() {
+	s.mu.Lock()
+	s.m.CacheHits++
+	s.mu.Unlock()
+}
+
+// RecordCacheMiss counts a cold optimization entered into the plan cache.
+func (s *MetricsSink) RecordCacheMiss() {
+	s.mu.Lock()
+	s.m.CacheMisses++
+	s.mu.Unlock()
+}
+
+// RecordCacheShared counts a prepare that waited on another caller's
+// in-flight miss instead of optimizing (single-flight).
+func (s *MetricsSink) RecordCacheShared() {
+	s.mu.Lock()
+	s.m.CacheShared++
+	s.mu.Unlock()
+}
+
+// RecordCacheEvictions counts plan-cache entries displaced by LRU capacity.
+func (s *MetricsSink) RecordCacheEvictions(n int) {
+	s.mu.Lock()
+	s.m.CacheEvictions += int64(n)
+	s.mu.Unlock()
 }
 
 // Snapshot returns a deep copy of the accumulated metrics.

@@ -195,6 +195,9 @@ func (e *Estimator) exprNDV(expr qgm.Expr, contextCard float64) float64 {
 		return clamp(e.NDV(x.Q.Ranges, x.Ord), 1, contextCard)
 	case *qgm.Const:
 		return 1
+	case *qgm.Param:
+		// A parameter is one (unknown) value per execution.
+		return 1
 	case *qgm.Arith:
 		return clamp(e.exprNDV(x.L, contextCard)*e.exprNDV(x.R, contextCard), 1, contextCard)
 	case *qgm.Neg:
@@ -347,6 +350,11 @@ func (e *Estimator) sideNDV(expr qgm.Expr) float64 {
 	case *qgm.ColRef:
 		return e.NDV(x.Q.Ranges, x.Ord)
 	case *qgm.Const:
+		return 1
+	case *qgm.Param:
+		// Equality against a parameter selects like equality against one
+		// value; range comparisons fall back to default selectivities in
+		// rangeSel (the binding is unknown at plan time).
 		return 1
 	default:
 		return 10

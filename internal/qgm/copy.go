@@ -40,6 +40,7 @@ func (g *Graph) CloneGraph() *Graph {
 	ng.OrderBy = append([]OrderSpec(nil), g.OrderBy...)
 	ng.Limit = g.Limit
 	ng.HiddenCols = g.HiddenCols
+	ng.NumParams = g.NumParams
 	remap := make(map[*Quantifier]*Quantifier)
 	shared := map[*Box]*Box{}
 	ng.Top = ng.cloneShared(g.Top, remap, shared)

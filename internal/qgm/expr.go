@@ -35,6 +35,17 @@ type Const struct {
 	Val datum.D
 }
 
+// Param is a positional query parameter (`?`), bound to a value only at
+// execution time. To the rewrite rules, the plan optimizer and the EMST
+// transformation it is an opaque constant: it references no quantifiers, so
+// plan shape and magic-seed structure are invariant under the binding —
+// which is what lets one cached plan serve any argument values. Type is the
+// declared slot type when known (TNull otherwise).
+type Param struct {
+	Ord  int
+	Type datum.Type
+}
+
 // Cmp is a comparison L op R.
 type Cmp struct {
 	Op   datum.CmpOp
@@ -123,6 +134,7 @@ type Match struct {
 
 func (*ColRef) expr() {}
 func (*Const) expr()  {}
+func (*Param) expr()  {}
 func (*Cmp) expr()    {}
 func (*Logic) expr()  {}
 func (*Not) expr()    {}
@@ -153,6 +165,10 @@ func (e *Const) String() string {
 		return "'" + e.Val.S + "'"
 	}
 	return e.Val.Format()
+}
+
+func (e *Param) String() string {
+	return fmt.Sprintf("?%d", e.Ord+1)
 }
 
 func (e *Cmp) String() string {
@@ -233,6 +249,7 @@ func VisitRefs(e Expr, fn func(*ColRef)) {
 	case *ColRef:
 		fn(x)
 	case *Const:
+	case *Param:
 	case *Cmp:
 		VisitRefs(x.L, fn)
 		VisitRefs(x.R, fn)
@@ -304,6 +321,8 @@ func RewriteRefs(e Expr, fn func(*ColRef) Expr) Expr {
 		return &ColRef{Q: x.Q, Ord: x.Ord}
 	case *Const:
 		return &Const{Val: x.Val}
+	case *Param:
+		return &Param{Ord: x.Ord, Type: x.Type}
 	case *Cmp:
 		return &Cmp{Op: x.Op, L: RewriteRefs(x.L, fn), R: RewriteRefs(x.R, fn)}
 	case *Logic:
@@ -381,6 +400,9 @@ func EqualExpr(a, b Expr) bool {
 			return x.Val.IsNull() && y.Val.IsNull()
 		}
 		return x.Val.T == y.Val.T && datum.DistinctEqual(x.Val, y.Val)
+	case *Param:
+		y, ok := b.(*Param)
+		return ok && x.Ord == y.Ord
 	case *Cmp:
 		y, ok := b.(*Cmp)
 		return ok && x.Op == y.Op && EqualExpr(x.L, y.L) && EqualExpr(x.R, y.R)
@@ -480,6 +502,8 @@ func TypeOf(e Expr) datum.Type {
 		return datum.TNull
 	case *Const:
 		return x.Val.T
+	case *Param:
+		return x.Type
 	case *Cmp, *Logic, *Not, *IsNull, *Like, *Match:
 		return datum.TBool
 	case *Arith:

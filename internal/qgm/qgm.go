@@ -296,6 +296,9 @@ type Graph struct {
 	// ORDER BY on non-projected expressions; the executor trims them after
 	// sorting.
 	HiddenCols int
+	// NumParams is the number of `?` placeholder slots expressions of this
+	// graph reference; executions must bind exactly this many values.
+	NumParams int
 
 	nextBoxID int
 	nextQID   int

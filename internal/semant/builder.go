@@ -40,6 +40,7 @@ func (b *Builder) Build(q sql.QueryExpr) (*qgm.Graph, error) {
 		return nil, err
 	}
 	bc.g.Top = top
+	bc.g.NumParams = bc.numParams
 	bc.g.GC()
 	if err := bc.g.Check(); err != nil {
 		return nil, fmt.Errorf("semant: internal error: %w", err)
@@ -64,11 +65,27 @@ type buildCtx struct {
 	placeholders map[string]*qgm.Box
 
 	nameSeq int
+	// numParams tracks the highest parameter ordinal bound so far, plus one.
+	numParams int
+	// inView is true while expanding a view body; views are closed
+	// definitions stored as text, so placeholders are rejected there.
+	inView bool
 }
 
 func (bc *buildCtx) genName(prefix string) string {
 	bc.nameSeq++
 	return fmt.Sprintf("%s%d", prefix, bc.nameSeq)
+}
+
+// noteParam records a bound placeholder and returns its QGM node.
+func (bc *buildCtx) noteParam(x *sql.Param) (qgm.Expr, error) {
+	if bc.inView {
+		return nil, fmt.Errorf("parameters (?) are not allowed in view definitions")
+	}
+	if x.Ord+1 > bc.numParams {
+		bc.numParams = x.Ord + 1
+	}
+	return &qgm.Param{Ord: x.Ord, Type: datum.TNull}, nil
 }
 
 // scope is a name-resolution scope: the F quantifiers of one box under
@@ -334,8 +351,11 @@ func (bc *buildCtx) resolveTable(name string) (*qgm.Box, error) {
 		if err != nil {
 			return nil, fmt.Errorf("view %q: %w", name, err)
 		}
-		// Views are closed: no outer scope.
+		// Views are closed: no outer scope, no query parameters.
+		savedInView := bc.inView
+		bc.inView = true
 		b, err := bc.buildQuery(q, nil, false)
+		bc.inView = savedInView
 		if err != nil {
 			return nil, fmt.Errorf("view %q: %w", name, err)
 		}

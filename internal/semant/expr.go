@@ -284,6 +284,8 @@ func (bc *buildCtx) buildScalar(e sql.Expr, box *qgm.Box, sc *scope) (qgm.Expr, 
 		return q.Col(ord), nil
 	case *sql.Lit:
 		return &qgm.Const{Val: x.Value}, nil
+	case *sql.Param:
+		return bc.noteParam(x)
 	case *sql.Bin:
 		l, err := bc.buildScalar(x.L, box, sc)
 		if err != nil {

@@ -187,6 +187,8 @@ func (bc *buildCtx) buildGroupedScalar(e sql.Expr, box *qgm.Box, gsc *scope) (qg
 		return bc.addAggregate(gctx, kind, arg, x.Distinct)
 	case *sql.Lit:
 		return &qgm.Const{Val: x.Value}, nil
+	case *sql.Param:
+		return bc.noteParam(x)
 	case *sql.ScalarSub:
 		// Uncorrelated scalar subqueries are allowed; the quantifier
 		// attaches to the HAVING box.

@@ -179,6 +179,12 @@ type Lit struct {
 	Value datum.D
 }
 
+// Param is a positional placeholder (`?`). Ord is the zero-based position
+// in left-to-right source order; the parser assigns it.
+type Param struct {
+	Ord int
+}
+
 // BinKind enumerates binary operators.
 type BinKind uint8
 
@@ -358,6 +364,7 @@ type FuncCall struct {
 
 func (*ColRef) expr()    {}
 func (*Lit) expr()       {}
+func (*Param) expr()     {}
 func (*Bin) expr()       {}
 func (*Unary) expr()     {}
 func (*IsNull) expr()    {}

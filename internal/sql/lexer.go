@@ -213,7 +213,7 @@ func (l *Lexer) Next() (Token, error) {
 			return tok, nil
 		}
 		switch c {
-		case '=', '<', '>', '(', ')', ',', '.', '*', '+', '-', '/', '%', ';':
+		case '=', '<', '>', '(', ')', ',', '.', '*', '+', '-', '/', '%', ';', '?':
 			l.advance()
 			tok.Kind = TokPunct
 			tok.Text = string(c)

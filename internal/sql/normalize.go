@@ -1,0 +1,38 @@
+package sql
+
+import "strings"
+
+// Normalize renders src as a canonical token string for plan-cache keys:
+// keywords are already upper-cased by the lexer, identifiers fold to lower
+// case (name resolution is case-insensitive throughout the engine),
+// whitespace and comments collapse to single separators, and string
+// literals keep their quotes so 'foo' never collides with the identifier
+// foo. Queries differing only in formatting or case map to the same key.
+// On a lex error the raw text is returned — it simply keys its own slot.
+func Normalize(src string) string {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return src
+	}
+	var sb strings.Builder
+	sb.Grow(len(src))
+	for i, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.Kind {
+		case TokIdent:
+			sb.WriteString(strings.ToLower(t.Text))
+		case TokString:
+			sb.WriteByte('\'')
+			sb.WriteString(t.Text)
+			sb.WriteByte('\'')
+		default:
+			sb.WriteString(t.Text)
+		}
+	}
+	return sb.String()
+}

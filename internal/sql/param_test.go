@@ -1,0 +1,97 @@
+package sql
+
+import "testing"
+
+// TestParamParsing checks that `?` placeholders parse into Param nodes with
+// left-to-right zero-based ordinals, everywhere an expression may appear.
+func TestParamParsing(t *testing.T) {
+	q, err := ParseQuery(`SELECT a FROM t WHERE a = ? AND b > ? OR c IN (SELECT d FROM u WHERE d < ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := QueryParams(q); got != 3 {
+		t.Fatalf("QueryParams = %d, want 3", got)
+	}
+	sel, ok := q.(*Select)
+	if !ok {
+		t.Fatalf("parsed %T, want *Select", q)
+	}
+	// The first predicate conjunct is a = ?; its placeholder must be ordinal 0.
+	var first *Param
+	walkSQLExprDeep(sel.Where, func(e Expr) bool {
+		if p, ok := e.(*Param); ok && first == nil {
+			first = p
+		}
+		return true
+	}, func(QueryExpr) {})
+	if first == nil || first.Ord != 0 {
+		t.Fatalf("first placeholder = %+v, want ordinal 0", first)
+	}
+}
+
+// TestParamRoundTrip checks that formatting a parameterized query and
+// re-parsing it reproduces the same placeholder count and ordinals (the
+// printer emits bare `?`; ordinals are positional, so they renumber
+// identically).
+func TestParamRoundTrip(t *testing.T) {
+	const src = `SELECT a, ? FROM t WHERE a = ? AND b BETWEEN ? AND ?`
+	q1, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatQuery(q1)
+	q2, err := ParseQuery(text)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", text, err)
+	}
+	if FormatQuery(q2) != text {
+		t.Fatalf("round-trip mismatch:\n first %s\nsecond %s", text, FormatQuery(q2))
+	}
+	if a, b := QueryParams(q1), QueryParams(q2); a != b || a != 4 {
+		t.Fatalf("param counts %d vs %d, want 4", a, b)
+	}
+}
+
+// TestCountParams covers the statement walker the engine uses to reject
+// placeholders in DDL/DML.
+func TestCountParams(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{`SELECT a FROM t WHERE a = ?`, 1},
+		{`INSERT INTO t VALUES (?, 2)`, 1},
+		{`DELETE FROM t WHERE a = ?`, 1},
+		{`UPDATE t SET a = ? WHERE b = ?`, 2},
+		{`CREATE VIEW v (a) AS SELECT a FROM t WHERE a > ?`, 1},
+		{`SELECT a FROM t`, 0},
+		{`CREATE TABLE t2 (a INT)`, 0},
+	}
+	for _, c := range cases {
+		stmts, err := ParseAll(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := CountParams(stmts[0]); got != c.want {
+			t.Errorf("CountParams(%s) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+// TestNormalize checks that the plan-cache key normalization collapses
+// whitespace and identifier case but preserves string literals.
+func TestNormalize(t *testing.T) {
+	a := Normalize("SELECT  E.Name FROM   Emp E\n WHERE e.dept = ? AND e.city = 'Lyon'")
+	b := Normalize("select e.name from emp e where E.DEPT = ? and E.City = 'Lyon'")
+	if a != b {
+		t.Fatalf("normalized forms differ:\n%s\n%s", a, b)
+	}
+	c := Normalize("select e.name from emp e where e.dept = ? and e.city = 'LYON'")
+	if a == c {
+		t.Fatal("normalization must not fold string literal case")
+	}
+	// Unlexable input falls back to the raw text rather than erroring.
+	if got := Normalize("SELECT $$$"); got != "SELECT $$$" {
+		t.Fatalf("lex-error fallback = %q", got)
+	}
+}

@@ -1,0 +1,122 @@
+package sql
+
+// CountParams returns the number of `?` placeholders in a statement,
+// walking every expression position including subqueries. The parser
+// numbers placeholders sequentially across one parse, so the count equals
+// the highest ordinal plus one. The engine uses this to reject parameters
+// where no bindings can be supplied (DDL and DML).
+func CountParams(st Statement) int {
+	n := 0
+	note := func(e Expr) bool {
+		if _, ok := e.(*Param); ok {
+			n++
+		}
+		return true
+	}
+	var walkQuery func(q QueryExpr)
+	walkExpr := func(e Expr) {
+		walkSQLExprDeep(e, note, walkQuery)
+	}
+	walkQuery = func(q QueryExpr) {
+		switch x := q.(type) {
+		case nil:
+		case *Select:
+			for _, it := range x.Items {
+				if !it.Star {
+					walkExpr(it.Expr)
+				}
+			}
+			for _, fr := range x.From {
+				if fr.Subquery != nil {
+					walkQuery(fr.Subquery)
+				}
+			}
+			walkExpr(x.Where)
+			for _, g := range x.GroupBy {
+				walkExpr(g)
+			}
+			walkExpr(x.Having)
+			for _, oi := range x.OrderBy {
+				walkExpr(oi.Expr)
+			}
+		case *SetOp:
+			walkQuery(x.Left)
+			walkQuery(x.Right)
+		}
+	}
+	switch s := st.(type) {
+	case *SelectStatement:
+		walkQuery(s.Query)
+	case *CreateView:
+		walkQuery(s.Query)
+	case *Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				walkExpr(e)
+			}
+		}
+		walkQuery(s.Query)
+	case *Delete:
+		walkExpr(s.Where)
+	case *Update:
+		for _, a := range s.Set {
+			walkExpr(a.Expr)
+		}
+		walkExpr(s.Where)
+	}
+	return n
+}
+
+// QueryParams counts `?` placeholders in a query expression.
+func QueryParams(q QueryExpr) int {
+	return CountParams(&SelectStatement{Query: q})
+}
+
+// walkSQLExprDeep visits e and (when fn returns true) its children,
+// descending into subquery expressions through sub.
+func walkSQLExprDeep(e Expr, fn func(Expr) bool, sub func(QueryExpr)) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Bin:
+		walkSQLExprDeep(x.L, fn, sub)
+		walkSQLExprDeep(x.R, fn, sub)
+	case *Unary:
+		walkSQLExprDeep(x.X, fn, sub)
+	case *IsNull:
+		walkSQLExprDeep(x.X, fn, sub)
+	case *Between:
+		walkSQLExprDeep(x.X, fn, sub)
+		walkSQLExprDeep(x.Lo, fn, sub)
+		walkSQLExprDeep(x.Hi, fn, sub)
+	case *Like:
+		walkSQLExprDeep(x.X, fn, sub)
+	case *In:
+		walkSQLExprDeep(x.X, fn, sub)
+		for _, le := range x.List {
+			walkSQLExprDeep(le, fn, sub)
+		}
+		if x.Sub != nil {
+			sub(x.Sub)
+		}
+	case *Exists:
+		sub(x.Sub)
+	case *QuantCmp:
+		walkSQLExprDeep(x.X, fn, sub)
+		sub(x.Sub)
+	case *ScalarSub:
+		sub(x.Sub)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkSQLExprDeep(a, fn, sub)
+		}
+	case *Case:
+		walkSQLExprDeep(x.Operand, fn, sub)
+		for _, w := range x.Whens {
+			walkSQLExprDeep(w.When, fn, sub)
+			walkSQLExprDeep(w.Then, fn, sub)
+		}
+		walkSQLExprDeep(x.Else, fn, sub)
+	}
+}

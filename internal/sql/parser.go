@@ -15,6 +15,9 @@ type Parser struct {
 	nxt  Token // one-token lookahead
 	nxt2 Token // two-token lookahead (needed for "t . *" select items)
 	err  error
+	// params counts `?` placeholders seen so far; each gets the next
+	// zero-based ordinal in source order.
+	params int
 }
 
 // NewParser returns a parser over src.
@@ -730,6 +733,10 @@ func (p *Parser) parsePrimary() Expr {
 		return &Lit{Value: datum.Int(i)}
 	case p.tok.Kind == TokString:
 		return &Lit{Value: datum.String(p.advance().Text)}
+	case p.isPunct("?"):
+		p.advance()
+		p.params++
+		return &Param{Ord: p.params - 1}
 	case p.isKeyword("NULL"):
 		p.advance()
 		return &Lit{Value: datum.Null()}

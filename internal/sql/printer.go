@@ -280,6 +280,10 @@ func formatExpr(sb *strings.Builder, e Expr, nested bool) {
 		sb.WriteString(ident(x.Name))
 	case *Lit:
 		formatLit(sb, x.Value)
+	case *Param:
+		// Ordinals are positional and re-assigned on parse, so the bare
+		// placeholder round-trips.
+		sb.WriteByte('?')
 	case *Bin:
 		if nested {
 			sb.WriteString("(")

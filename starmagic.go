@@ -33,6 +33,17 @@
 //	    starmagic.WithStrategy(starmagic.StrategyEMST),
 //	    starmagic.WithTracer(rec),       // *obs.Recorder or any Tracer
 //	    starmagic.WithRowLimit(1e6))
+//
+// Queries may use `?` placeholders bound per call with WithArgs (or per
+// execution via Prepared.Execute args); prepared plans are cached by
+// normalized SQL text and strategy, so re-preparing a parameterized query
+// skips the optimizer entirely until a data or schema change invalidates
+// the entry:
+//
+//	res, err := db.QueryContext(ctx,
+//	    `SELECT d.deptname, s.avgsalary FROM department d, avgMgrSal s
+//	     WHERE d.deptno = s.workdept AND d.deptname = ?`,
+//	    starmagic.WithArgs("Planning"))
 package starmagic
 
 import (
@@ -144,6 +155,12 @@ func NewRecorder() *Recorder { return obs.NewRecorder() }
 // WithStrategy selects the optimization/execution strategy for one call.
 func WithStrategy(s Strategy) QueryOption { return engine.WithStrategy(s) }
 
+// WithArgs binds values to the query's `?` placeholders in left-to-right
+// order (nil, bool, int/int32/int64, float32/float64, string, or Value).
+// Parameterized plans are binding-invariant, so the plan cache serves every
+// binding from one optimization.
+func WithArgs(args ...any) QueryOption { return engine.WithArgs(args...) }
+
 // WithTracer installs a span tracer for one call.
 func WithTracer(t Tracer) QueryOption { return engine.WithTracer(t) }
 
@@ -202,6 +219,18 @@ func (db *DB) Explain(query string, s Strategy) (string, error) {
 func (db *DB) ExplainContext(ctx context.Context, query string, opts ...QueryOption) (*ExplainInfo, error) {
 	return db.eng.ExplainContext(ctx, query, opts...)
 }
+
+// SetPlanCache enables or disables the prepared-plan cache (it starts
+// enabled). The cache serves repeated prepares of the same normalized SQL +
+// strategy without re-running the optimizer; DDL, DML and Analyze advance a
+// catalog epoch that invalidates stale entries automatically.
+func (db *DB) SetPlanCache(enabled bool) { db.eng.SetPlanCache(enabled) }
+
+// PlanCacheStats is a point-in-time view of the plan cache.
+type PlanCacheStats = engine.PlanCacheStats
+
+// PlanCacheStats reports cache size and hit/miss/eviction counters.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.eng.PlanCacheStats() }
 
 // Metrics is a snapshot of database-wide activity: plan/query volume, EMST
 // cost-comparison outcomes, cumulative executor counters, and rule fires.
