@@ -35,10 +35,13 @@ type queryConfig struct {
 	rowLimit       int64
 	snapshots      bool
 	materialized   bool
-	// args are the values bound to the query's `?` placeholders; argsErr
-	// carries a WithArgs conversion failure to the first prepare call (the
-	// option signature cannot return an error).
+	// args are the values bound to the query's `?` placeholders; hasArgs
+	// records that WithArgs was used (so a binding-count mismatch fails at
+	// prepare time rather than on first execute); argsErr carries a WithArgs
+	// conversion failure to the first prepare call (the option signature
+	// cannot return an error).
 	args    datum.Row
+	hasArgs bool
 	argsErr error
 }
 
@@ -55,7 +58,7 @@ func WithStrategy(s Strategy) QueryOption {
 // values.
 func WithArgs(args ...any) QueryOption {
 	row, err := toDatumRow(args)
-	return func(c *queryConfig) { c.args, c.argsErr = row, err }
+	return func(c *queryConfig) { c.args, c.hasArgs, c.argsErr = row, true, err }
 }
 
 // toDatumRow converts user-supplied bindings to datum values.
@@ -166,6 +169,11 @@ func (db *Database) ExplainContext(ctx context.Context, query string, opts ...Qu
 func (db *Database) PrepareContext(ctx context.Context, query string, opts ...QueryOption) (*Prepared, error) {
 	cfg := newQueryConfig(opts)
 	p, err := db.prepare(ctx, query, cfg)
+	if err == nil && cfg.hasArgs && len(cfg.args) != p.numParams {
+		// Fail fast: a WithArgs binding-count mismatch can never execute, so
+		// surface it here instead of on the first ExecuteContext.
+		err = fmt.Errorf("query expects %d parameter(s), got %d from WithArgs", p.numParams, len(cfg.args))
+	}
 	if err != nil {
 		db.metrics.RecordPlan(obs.PlanSample{Err: true, Strategy: cfg.strategy.String()})
 		return nil, err
@@ -204,14 +212,25 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 	if cfg.argsErr != nil {
 		return nil, fmt.Errorf("WithArgs: %w", cfg.argsErr)
 	}
-	// Freshen statistics before reading the epoch, so a cached entry always
-	// reflects post-ANALYZE statistics for its epoch.
-	if db.statsDirty.Load() {
-		db.mu.Lock()
+	// Capture the epoch under which statistics are known fresh: load the
+	// epoch, freshen stats if dirty, and retry if a mutation slipped into
+	// that window (a mutation always bumps the epoch, so the re-load detects
+	// it). Plans are cached under this validated epoch — never under an
+	// epoch newer than the statistics they were optimized with, which would
+	// let a stale-stats plan survive until the next mutation.
+	var epoch uint64
+	for {
+		epoch = db.epoch.Load()
 		if db.statsDirty.Load() {
-			db.analyzeLocked()
+			db.mu.Lock()
+			if db.statsDirty.Load() {
+				db.analyzeLocked()
+			}
+			db.mu.Unlock()
 		}
-		db.mu.Unlock()
+		if db.epoch.Load() == epoch {
+			break
+		}
 	}
 	if !db.plans.enabled() || cfg.tracer != nil {
 		p, err := db.prepareCold(ctx, query, cfg)
@@ -219,10 +238,10 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 			return nil, err
 		}
 		p.explain.CacheStatus = "bypass"
-		p.explain.CacheEpoch = db.epoch.Load()
+		p.explain.CacheEpoch = epoch
 		return p, nil
 	}
-	return db.prepareCached(ctx, query, cfg)
+	return db.prepareCached(ctx, query, cfg, epoch)
 }
 
 // prepareCold runs the full parse→bind→optimize→lower pipeline under the

@@ -135,12 +135,14 @@ func (p *Prepared) withConfig(cfg queryConfig, status string, epoch uint64) *Pre
 }
 
 // prepareCached serves a prepare through the plan cache: hit, single-flight
-// wait, or leader cold-prepare on miss.
-func (db *Database) prepareCached(ctx context.Context, query string, cfg queryConfig) (*Prepared, error) {
+// wait, or leader cold-prepare on miss. epoch is the catalog epoch the
+// caller validated statistics against (see prepare); entries are stored and
+// checked under it so a plan can never be cached under an epoch newer than
+// the statistics it was optimized with.
+func (db *Database) prepareCached(ctx context.Context, query string, cfg queryConfig, epoch uint64) (*Prepared, error) {
 	key := cacheKey(query, cfg)
 	sh := &db.plans.shards[cacheShardIndex(key)]
 	for {
-		epoch := db.epoch.Load()
 		sh.mu.Lock()
 		if el, ok := sh.m[key]; ok {
 			e := el.Value.(*cacheEntry)
@@ -164,7 +166,7 @@ func (db *Database) prepareCached(ctx context.Context, query string, cfg queryCo
 				case <-ctx.Done():
 					return nil, ctx.Err()
 				}
-				if e.err == nil && e.epoch == db.epoch.Load() {
+				if e.err == nil && e.epoch == epoch {
 					db.metrics.RecordCacheShared()
 					return e.p.withConfig(cfg, "hit", e.epoch), nil
 				}

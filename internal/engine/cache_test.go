@@ -398,3 +398,59 @@ func TestParamExplainReporting(t *testing.T) {
 		t.Fatalf("second explain cache = %q, want hit", info2.CacheStatus)
 	}
 }
+
+// TestCacheKeyQuoteCollision is the regression test for the normalization
+// injectivity hole: a WHERE clause whose string literal contains escaped
+// quotes must not share a cache key with the two-literal spelling — with the
+// cache on, a collision would serve one query the other's plan.
+func TestCacheKeyQuoteCollision(t *testing.T) {
+	db := cacheTestDB(t)
+	ctx := context.Background()
+	// One literal containing "Dept-02' AND d.region = 'R2" — matches nothing.
+	oneLit := `SELECT d.deptno FROM department d
+		WHERE d.deptname = 'Dept-02'' AND d.region = ''R2'`
+	// Two literals — matches exactly department 2.
+	twoLit := `SELECT d.deptno FROM department d
+		WHERE d.deptname = 'Dept-02' AND d.region = 'R2'`
+	r1, err := db.QueryContext(ctx, oneLit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.QueryContext(ctx, twoLit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 0 {
+		t.Fatalf("one-literal query matched %v, want none", formatRows(r1.Rows))
+	}
+	if len(r2.Rows) != 1 || r2.Rows[0][0].Format() != "2" {
+		t.Fatalf("two-literal query got %v, want dept 2", formatRows(r2.Rows))
+	}
+	// Both must have been prepared cold: distinct keys, no false hit.
+	if m := db.Metrics(); m.CacheHits != 0 || m.CacheMisses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0 hits / 2 misses", m.CacheHits, m.CacheMisses)
+	}
+}
+
+// TestPrepareArgCountFailsFast checks that a WithArgs binding-count mismatch
+// is reported by PrepareContext itself, not deferred to the first execute.
+func TestPrepareArgCountFailsFast(t *testing.T) {
+	db := cacheTestDB(t)
+	ctx := context.Background()
+	if _, err := db.PrepareContext(ctx, paramViewQuery, WithArgs("R2", 100.0, 7)); err == nil ||
+		!strings.Contains(err.Error(), "expects 2 parameter") {
+		t.Fatalf("too many bindings at prepare: err = %v", err)
+	}
+	if _, err := db.PrepareContext(ctx, paramViewQuery, WithArgs("R2")); err == nil ||
+		!strings.Contains(err.Error(), "expects 2 parameter") {
+		t.Fatalf("too few bindings at prepare: err = %v", err)
+	}
+	// No WithArgs at prepare is fine: bindings may arrive per execute.
+	p, err := db.PrepareContext(ctx, paramViewQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExecuteContext(ctx, "R2", 100.0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,10 +5,15 @@ import "strings"
 // Normalize renders src as a canonical token string for plan-cache keys:
 // keywords are already upper-cased by the lexer, identifiers fold to lower
 // case (name resolution is case-insensitive throughout the engine),
-// whitespace and comments collapse to single separators, and string
-// literals keep their quotes so 'foo' never collides with the identifier
-// foo. Queries differing only in formatting or case map to the same key.
-// On a lex error the raw text is returned — it simply keys its own slot.
+// whitespace and comments collapse to single separators. The rendering must
+// be injective — two queries that lex differently must never share a key —
+// so the lexer's unescaping is undone when tokens are rendered: string
+// literals re-escape embedded quotes ('' inside '...'), and identifiers are
+// always emitted double-quoted with embedded double quotes doubled, so
+// "a b" cannot collide with two bare tokens and 'foo' never collides with
+// the identifier foo. Queries differing only in formatting or case map to
+// the same key. On a lex error the raw text is returned — it simply keys
+// its own slot.
 func Normalize(src string) string {
 	toks, err := Tokenize(src)
 	if err != nil {
@@ -25,10 +30,12 @@ func Normalize(src string) string {
 		}
 		switch t.Kind {
 		case TokIdent:
-			sb.WriteString(strings.ToLower(t.Text))
+			sb.WriteByte('"')
+			sb.WriteString(strings.ReplaceAll(strings.ToLower(t.Text), `"`, `""`))
+			sb.WriteByte('"')
 		case TokString:
 			sb.WriteByte('\'')
-			sb.WriteString(t.Text)
+			sb.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
 			sb.WriteByte('\'')
 		default:
 			sb.WriteString(t.Text)

@@ -95,3 +95,47 @@ func TestNormalize(t *testing.T) {
 		t.Fatalf("lex-error fallback = %q", got)
 	}
 }
+
+// TestNormalizeInjective checks that the rendering undoes the lexer's
+// unescaping: lexically distinct queries must never normalize to the same
+// plan-cache key, or one query would silently be served another's plan.
+func TestNormalizeInjective(t *testing.T) {
+	distinct := [][2]string{
+		// Embedded quotes in string literals must be re-escaped: without it,
+		// x = 'p'' AND y = ''q (one literal containing "p' AND y = 'q") keys
+		// identically to the two-literal form.
+		{
+			`SELECT e.name FROM emp e WHERE e.name = 'p'' AND e.city = ''q'`,
+			`SELECT e.name FROM emp e WHERE e.name = 'p' AND e.city = 'q'`,
+		},
+		// A quoted identifier containing a space must not collide with two
+		// bare tokens.
+		{
+			`SELECT e."a b" FROM emp e`,
+			`SELECT e.a b FROM emp e`,
+		},
+		// A string literal must not collide with an identifier of the same
+		// spelling.
+		{
+			`SELECT 'name' FROM emp e`,
+			`SELECT name FROM emp e`,
+		},
+		// A quoted identifier must not collide with the keyword of the same
+		// spelling (keywords render bare and upper-case, identifiers quoted
+		// and lower-case).
+		{
+			`SELECT e.name FROM emp e WHERE e."and" = 1`,
+			`SELECT e.name FROM emp e WHERE e.AND = 1`,
+		},
+	}
+	for _, pair := range distinct {
+		a, b := Normalize(pair[0]), Normalize(pair[1])
+		if a == b {
+			t.Errorf("distinct queries share a cache key %q:\n%s\n%s", a, pair[0], pair[1])
+		}
+	}
+	// Quoted and bare spellings of the same identifier still unify.
+	if a, b := Normalize(`SELECT e."name" FROM emp e`), Normalize(`SELECT e.Name FROM emp e`); a != b {
+		t.Errorf("equivalent identifier spellings key differently:\n%s\n%s", a, b)
+	}
+}
