@@ -18,19 +18,21 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/resource/
 
 cover:
 	$(GO) test -cover ./...
 
 # Full verification gate: formatting, build, vet, tests, the race detector
-# over the packages with intra-query parallelism (executor and engine), and
-# the bench-regression gate against the recorded baseline.
+# over the packages with intra-query parallelism (executor, engine, and the
+# resource governor — including the engine-shutdown goroutine-leak and
+# admission-drain tests), and the bench-regression gate against the
+# recorded baseline.
 check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exec/... ./internal/engine/...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/...
 	$(MAKE) bench-check
 
 # gofmt as a gate: print offending files and fail if any exist.
@@ -43,9 +45,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable perf trajectory: row-key encoders, hash-join build,
-# cold-vs-cached prepares, and Table-1 experiments (ns/op + allocs/op)
-# written to $(BENCH_OUT). Override per PR: make bench-json BENCH_OUT=BENCH_5.json
-BENCH_OUT ?= BENCH_4.json
+# cold-vs-cached prepares, spill-on vs spill-off join/sort pairs, and
+# Table-1 experiments (ns/op + allocs/op) written to $(BENCH_OUT).
+# Override per PR: make bench-json BENCH_OUT=BENCH_6.json
+BENCH_OUT ?= BENCH_5.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 

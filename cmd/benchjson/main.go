@@ -16,7 +16,8 @@
 // Usage:
 //
 //	benchjson [-out BENCH.json] [-experiments A,B,...] [-scale N]
-//	          [-baseline BENCH_1.json] [-threshold 15] [-gate rowkey/,hashjoin_build/,prepare/]
+//	          [-baseline BENCH_1.json] [-threshold 15]
+//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/]
 package main
 
 import (
@@ -61,7 +62,7 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
-	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/", "comma-separated name prefixes the regression gate applies to")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -120,6 +121,13 @@ func main() {
 	// parameterized query over the Table-1 schema.
 	if err := prepareBench(record); err != nil {
 		fmt.Fprintln(os.Stderr, "prepare bench:", err)
+		os.Exit(1)
+	}
+
+	// Spill overhead: the same join and sort with unlimited memory versus a
+	// budget tight enough to force disk spilling.
+	if err := spillBench(record); err != nil {
+		fmt.Fprintln(os.Stderr, "spill bench:", err)
 		os.Exit(1)
 	}
 
@@ -267,6 +275,81 @@ func prepareBench(record func(string, func(b *testing.B))) error {
 			}
 		}
 	})
+	return nil
+}
+
+// spillBench measures what the memory governor costs: the same hash join
+// and sort entirely in memory (`*_mem`) and under a budget small enough
+// that the join build pages partitions out and the sort runs externally
+// (`*_disk`). The gap between the pairs is the price of graceful
+// degradation instead of unbounded growth.
+func spillBench(record func(string, func(b *testing.B))) error {
+	const rows = 8192
+	db := engine.New()
+	if _, err := db.Exec(`
+	CREATE TABLE fact (id INT, k INT, pad VARCHAR);
+	CREATE TABLE dim (k INT, name VARCHAR);`); err != nil {
+		return err
+	}
+	batch := make([]datum.Row, rows)
+	for i := range batch {
+		batch[i] = datum.Row{
+			datum.Int(int64(i)),
+			datum.Int(int64(i % 709)),
+			datum.String(fmt.Sprintf("pad-%06d-xxxxxxxxxxxxxxxx", i)),
+		}
+	}
+	if err := db.InsertRows("fact", batch); err != nil {
+		return err
+	}
+	dim := make([]datum.Row, 709)
+	for i := range dim {
+		dim[i] = datum.Row{datum.Int(int64(i)), datum.String(fmt.Sprintf("name-%03d", i))}
+	}
+	if err := db.InsertRows("dim", dim); err != nil {
+		return err
+	}
+	// ~1.3 MB of fact rows resident; 128 KB forces both operators to spill.
+	const budget = 128 << 10
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"join", `SELECT f.id FROM fact f, dim d WHERE f.k = d.k AND f.id < 4000`},
+		{"sort", `SELECT f.id, f.pad FROM fact f ORDER BY f.pad`},
+	}
+	ctx := context.Background()
+	for _, c := range cases {
+		for _, mode := range []struct {
+			suffix string
+			opts   []engine.QueryOption
+		}{
+			{"mem", nil},
+			{"disk", []engine.QueryOption{engine.WithMemoryLimit(budget)}},
+		} {
+			p, err := db.PrepareContext(ctx, c.query, mode.opts...)
+			if err != nil {
+				return err
+			}
+			// Sanity: the budgeted variant must actually spill, or the pair
+			// is not measuring what its name claims.
+			res, err := p.ExecuteContext(ctx)
+			if err != nil {
+				return err
+			}
+			if mode.suffix == "disk" && res.Plan.Mem.Spills == 0 {
+				return fmt.Errorf("spill/%s_disk: no spills under %d-byte budget", c.name, budget)
+			}
+			record(fmt.Sprintf("spill/%s_%s", c.name, mode.suffix), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.ExecuteContext(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 	return nil
 }
 

@@ -10,8 +10,13 @@
 //	.timing on|off                        print elapsed times
 //	.metrics [reset]                      show (or zero) session metrics
 //	.cache on|off|stats                   toggle or inspect the plan cache
+//	.mem [limit [total]|off]              cap per-query (and total) memory;
+//	                                      capped operators spill to disk
+//	.admission [N [queue]|off]            cap concurrent query executions
 //	.tables                               list tables and views
 //	.help                                 this text
+//
+// Sizes accept optional kb/mb/gb suffixes: .mem 64kb, .mem 4mb 64mb.
 //
 // Usage:
 //
@@ -26,6 +31,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -96,7 +102,30 @@ type shell struct {
 	strategy engine.Strategy
 	timing   bool
 	showPlan bool
-	out      io.Writer
+	// .mem / .admission settings, kept so the commands can echo them back.
+	memLimit   int64
+	memTotal   int64
+	admitMax   int
+	admitQueue int
+	out        io.Writer
+}
+
+// parseSize parses a byte count with an optional kb/mb/gb suffix.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	lower := strings.ToLower(s)
+	for suffix, m := range map[string]int64{"kb": 1 << 10, "mb": 1 << 20, "gb": 1 << 30} {
+		if strings.HasSuffix(lower, suffix) {
+			mult = m
+			lower = strings.TrimSuffix(lower, suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(lower, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
 }
 
 // runScript executes statements; SELECTs print result tables.
@@ -135,6 +164,8 @@ func (sh *shell) dotCommand(line string) {
 		fmt.Fprintln(sh.out, ".timing on|off                     — print elapsed times")
 		fmt.Fprintln(sh.out, ".metrics [reset]                   — show (or zero) session metrics")
 		fmt.Fprintln(sh.out, ".cache on|off|stats                — toggle or inspect the plan cache")
+		fmt.Fprintln(sh.out, ".mem [limit [total]|off]           — cap per-query (and total) memory; spill beyond it")
+		fmt.Fprintln(sh.out, ".admission [N [queue]|off]         — cap concurrent query executions")
 		fmt.Fprintln(sh.out, ".tables                            — list tables and views")
 	case ".strategy":
 		if len(fields) < 2 {
@@ -189,6 +220,64 @@ func (sh *shell) dotCommand(line string) {
 		}
 		fmt.Fprintf(sh.out, "plan cache: %s  entries: %d  hits: %d  misses: %d  shared: %d  evictions: %d\n",
 			state, st.Entries, st.Hits, st.Misses, st.Shared, st.Evictions)
+	case ".mem":
+		if len(fields) > 1 {
+			if fields[1] == "off" {
+				sh.memLimit, sh.memTotal = 0, 0
+			} else {
+				limit, err := parseSize(fields[1])
+				if err != nil {
+					fmt.Fprintln(sh.out, "usage: .mem [limit [total]|off] — sizes like 65536, 64kb, 4mb")
+					return
+				}
+				var total int64
+				if len(fields) > 2 {
+					if total, err = parseSize(fields[2]); err != nil {
+						fmt.Fprintln(sh.out, "usage: .mem [limit [total]|off] — sizes like 65536, 64kb, 4mb")
+						return
+					}
+				}
+				sh.memLimit, sh.memTotal = limit, total
+			}
+			sh.db.SetMemoryLimit(sh.memLimit, sh.memTotal)
+		}
+		st := sh.db.ResourceStats()
+		if sh.memLimit == 0 && sh.memTotal == 0 {
+			fmt.Fprint(sh.out, "memory: unlimited")
+		} else {
+			fmt.Fprintf(sh.out, "memory: per-query=%d total=%d", sh.memLimit, sh.memTotal)
+		}
+		fmt.Fprintf(sh.out, "  in-use=%d  spills=%d  spilled-bytes=%d\n",
+			st.UsedBytes, st.Spills, st.SpilledBytes)
+	case ".admission":
+		if len(fields) > 1 {
+			if fields[1] == "off" {
+				sh.admitMax, sh.admitQueue = 0, 0
+			} else {
+				n, err := parseSize(fields[1])
+				if err != nil || n < 0 {
+					fmt.Fprintln(sh.out, "usage: .admission [N [queue]|off]")
+					return
+				}
+				var q int64
+				if len(fields) > 2 {
+					if q, err = parseSize(fields[2]); err != nil || q < 0 {
+						fmt.Fprintln(sh.out, "usage: .admission [N [queue]|off]")
+						return
+					}
+				}
+				sh.admitMax, sh.admitQueue = int(n), int(q)
+			}
+			sh.db.SetAdmission(sh.admitMax, sh.admitQueue)
+		}
+		st := sh.db.ResourceStats()
+		if sh.admitMax <= 0 {
+			fmt.Fprint(sh.out, "admission: off")
+		} else {
+			fmt.Fprintf(sh.out, "admission: max-concurrent=%d max-queue=%d", sh.admitMax, sh.admitQueue)
+		}
+		fmt.Fprintf(sh.out, "  running=%d waiting=%d admitted=%d waited=%d rejected=%d\n",
+			st.Running, st.Waiting, st.Admitted, st.Waited, st.Rejected)
 	case ".explain":
 		query := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
 		info, err := sh.db.ExplainContext(context.Background(), query,
@@ -293,6 +382,11 @@ func (sh *shell) printResult(res *engine.Result) {
 	if sh.timing {
 		fmt.Fprintf(sh.out, "optimize %v, execute %v (strategy %s, emst-plan=%v)\n",
 			res.Plan.OptimizeTime, res.Plan.ExecTime, res.Plan.Strategy, res.Plan.UsedEMST)
+		if res.Plan.Mem.LimitBytes > 0 || res.Plan.Mem.Spills > 0 {
+			fmt.Fprintf(sh.out, "memory: peak=%d limit=%d spills=%d spilled-bytes=%d\n",
+				res.Plan.Mem.PeakBytes, res.Plan.Mem.LimitBytes,
+				res.Plan.Mem.Spills, res.Plan.Mem.SpilledBytes)
+		}
 	}
 }
 

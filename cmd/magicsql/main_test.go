@@ -74,6 +74,54 @@ func TestShellTimingOutput(t *testing.T) {
 	}
 }
 
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{"65536": 65536, "64kb": 64 << 10, "4MB": 4 << 20, "1gb": 1 << 30}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "kb", "4x", "1.5mb"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestShellMemAndAdmissionCommands(t *testing.T) {
+	sh, buf := newShell()
+	sh.timing = true
+	sh.dotCommand(".mem 2kb")
+	sh.dotCommand(".admission 2 4")
+	script := `
+	CREATE TABLE t (a INT, b VARCHAR, PRIMARY KEY (a));
+	INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, 'z');
+	SELECT DISTINCT b FROM t ORDER BY b;`
+	if err := sh.runScript(script); err != nil {
+		t.Fatal(err)
+	}
+	sh.dotCommand(".mem")
+	sh.dotCommand(".admission")
+	sh.dotCommand(".mem off")
+	sh.dotCommand(".admission off")
+	sh.dotCommand(".mem bogus")
+	out := buf.String()
+	for _, want := range []string{
+		"memory: per-query=2048 total=0",
+		"admission: max-concurrent=2 max-queue=4",
+		"admitted=",
+		"memory: peak=", // the timing line reports the budgeted run
+		"memory: unlimited",
+		"admission: off",
+		"usage: .mem",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestShellErrorPropagates(t *testing.T) {
 	sh, _ := newShell()
 	if err := sh.runScript("SELECT * FROM missing"); err == nil {

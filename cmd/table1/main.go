@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	table1 [-scale N] [-reps N] [-v]
+//	table1 [-scale N] [-reps N] [-mem BYTES] [-v]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the database-wide metrics snapshot after the runs")
 	ablation := flag.Bool("ablation", false, "also run the design-choice ablation study on experiments G and H")
 	sweep := flag.Bool("sweep", false, "also sweep outer width on the experiment-C query (crossover curve)")
+	mem := flag.Int64("mem", 0, "per-query memory budget in bytes (0 = unlimited); capped operators spill to disk")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig().WithScale(*scale)
@@ -38,6 +39,10 @@ func main() {
 		os.Exit(1)
 	}
 	db.SetParallelism(*parallel)
+	if *mem > 0 {
+		db.SetMemoryLimit(*mem, 0)
+		fmt.Printf("per-query memory budget: %d bytes (operators spill beyond it)\n", *mem)
+	}
 
 	rows, err := bench.Table1(db, *reps)
 	if err != nil {
@@ -47,6 +52,11 @@ func main() {
 	fmt.Println()
 	fmt.Println("Table 1: Elapsed Time (Original = 100)")
 	fmt.Print(bench.FormatTable(rows))
+	if *mem > 0 {
+		m := db.Metrics()
+		fmt.Printf("\nmemory governance: peak=%d bytes  spills=%d  spilled-bytes=%d (budget %d)\n",
+			m.MemPeakBytes, m.Spills, m.BytesSpilled, *mem)
+	}
 
 	if *ablation {
 		fmt.Println()

@@ -1,0 +1,88 @@
+package starmagic_test
+
+import (
+	"context"
+	"fmt"
+
+	"starmagic"
+)
+
+// ExampleWithArgs prepares one parameterized query and executes it with two
+// different bindings; the plan is optimized once and the cached plan serves
+// both executions.
+func ExampleWithArgs() {
+	db := starmagic.Open()
+	db.MustExec(`
+		CREATE TABLE department (deptno INT, deptname VARCHAR, PRIMARY KEY (deptno));
+		CREATE TABLE employee (empno INT, workdept INT, salary FLOAT, PRIMARY KEY (empno));
+		INSERT INTO department VALUES (1, 'Planning'), (2, 'Support');
+		INSERT INTO employee VALUES (10, 1, 52000.0), (11, 1, 48000.0), (12, 2, 61000.0);
+	`)
+
+	ctx := context.Background()
+	p, err := db.PrepareContext(ctx,
+		`SELECT e.empno, e.salary FROM employee e, department d
+		 WHERE e.workdept = d.deptno AND d.deptname = ? ORDER BY e.empno`)
+	if err != nil {
+		panic(err)
+	}
+	for _, dept := range []string{"Planning", "Support"} {
+		res, err := p.ExecuteContext(ctx, dept)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d row(s)\n", dept, len(res.Rows))
+		for _, row := range res.Rows {
+			fmt.Printf("  empno=%s salary=%s\n", row[0].Format(), row[1].Format())
+		}
+	}
+	// Output:
+	// Planning: 2 row(s)
+	//   empno=10 salary=52000
+	//   empno=11 salary=48000
+	// Support: 1 row(s)
+	//   empno=12 salary=61000
+}
+
+// ExampleDB_ExplainContext inspects a query's optimization without running
+// it: whether EMST was applied, and how the plan cache served the repeated
+// prepare.
+func ExampleDB_ExplainContext() {
+	db := starmagic.Open()
+	db.MustExec(`
+		CREATE TABLE department (deptno INT, mgrno INT, PRIMARY KEY (deptno));
+		CREATE TABLE employee (empno INT, workdept INT, salary FLOAT, PRIMARY KEY (empno));
+		CREATE INDEX emp_dept ON employee (workdept);
+		CREATE VIEW deptsal AS SELECT workdept, SUM(salary) AS total FROM employee GROUP BY workdept;
+		INSERT INTO department VALUES (1, 10), (2, 12);
+	`)
+	rows := make([]starmagic.Row, 0, 400)
+	for i := 0; i < 400; i++ {
+		rows = append(rows, starmagic.Row{
+			starmagic.Int(int64(100 + i)),
+			starmagic.Int(int64(i%40 + 1)),
+			starmagic.Float(40000 + float64(i)),
+		})
+	}
+	if err := db.InsertRows("employee", rows); err != nil {
+		panic(err)
+	}
+
+	ctx := context.Background()
+	query := `SELECT d.deptno, s.total FROM department d, deptsal s WHERE d.deptno = s.workdept AND d.deptno = 1`
+	first, err := db.ExplainContext(ctx, query)
+	if err != nil {
+		panic(err)
+	}
+	second, err := db.ExplainContext(ctx, query)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("used EMST: %v\n", first.UsedEMST)
+	fmt.Printf("first prepare: cache %s\n", first.CacheStatus)
+	fmt.Printf("second prepare: cache %s\n", second.CacheStatus)
+	// Output:
+	// used EMST: true
+	// first prepare: cache miss
+	// second prepare: cache hit
+}

@@ -1,0 +1,180 @@
+package datum
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The spill codec must round-trip every value exactly: AppendKey normalizes
+// INT 3 / FLOAT 3.0 and collapses typed NULLs, so these tests pin down the
+// distinctions the lossless encoding is required to preserve.
+func TestCodecValueRoundTrip(t *testing.T) {
+	vals := []D{
+		Null(),
+		NullOf(TInt),
+		NullOf(TFloat),
+		NullOf(TString),
+		NullOf(TBool),
+		Int(0),
+		Int(1),
+		Int(-1),
+		Int(math.MaxInt64),
+		Int(math.MinInt64),
+		Float(0),
+		Float(math.Copysign(0, -1)),
+		Float(3),
+		Float(-2.5),
+		Float(math.MaxFloat64),
+		Float(math.SmallestNonzeroFloat64),
+		Float(math.Inf(1)),
+		Float(math.Inf(-1)),
+		String(""),
+		String("a"),
+		String("worker-0042"),
+		String(strings.Repeat("x", 300)), // multi-byte uvarint length
+		String("nul\x00byte and unïcode"),
+		Bool(true),
+		Bool(false),
+	}
+	for _, v := range vals {
+		buf := v.AppendEncoded(nil)
+		got, rest, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("%#v: decode: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%#v: %d trailing bytes", v, len(rest))
+		}
+		if got.T != v.T || got.IsNull() != v.IsNull() {
+			t.Fatalf("%#v: type/null not preserved, got %#v", v, got)
+		}
+		if !v.IsNull() && !DistinctEqual(got, v) {
+			t.Fatalf("%#v: value not preserved, got %#v", v, got)
+		}
+	}
+	// -0.0 must keep its sign bit (DistinctCompare treats it equal to +0.0).
+	neg := Float(math.Copysign(0, -1))
+	got, _, err := DecodeValue(neg.AppendEncoded(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.Signbit(got.F) {
+		t.Fatal("-0.0 lost its sign bit")
+	}
+}
+
+func TestCodecIntFloatStayDistinct(t *testing.T) {
+	// The whole point of the lossless codec over AppendKey.
+	i := Int(3).AppendEncoded(nil)
+	f := Float(3).AppendEncoded(nil)
+	if string(i) == string(f) {
+		t.Fatal("INT 3 and FLOAT 3.0 encode identically")
+	}
+	gi, _, _ := DecodeValue(i)
+	gf, _, _ := DecodeValue(f)
+	if gi.T != TInt || gf.T != TFloat {
+		t.Fatalf("types collapsed: %v, %v", gi.T, gf.T)
+	}
+}
+
+func TestCodecRowRoundTrip(t *testing.T) {
+	rows := []Row{
+		nil,
+		{},
+		{Int(1)},
+		{Int(7), String("dept"), Float(1.5), Bool(true), NullOf(TString)},
+	}
+	var buf []byte
+	for _, r := range rows {
+		buf = AppendEncodedRow(buf, r)
+	}
+	// Rows are self-delimiting: decode them back-to-back from one buffer.
+	for _, want := range rows {
+		var got Row
+		var err error
+		got, buf, err = DecodeRow(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("row length %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].T != want[i].T || got[i].IsNull() != want[i].IsNull() {
+				t.Fatalf("col %d: got %#v, want %#v", i, got[i], want[i])
+			}
+			if !want[i].IsNull() && !DistinctEqual(got[i], want[i]) {
+				t.Fatalf("col %d: got %#v, want %#v", i, got[i], want[i])
+			}
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad type tag":     {0x07},
+		"truncated int":    Int(1).AppendEncoded(nil)[:5],
+		"truncated string": String("hello").AppendEncoded(nil)[:3],
+		"truncated strlen": {byte(TString)},
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeValue(buf); err == nil {
+			t.Errorf("%s: DecodeValue succeeded on %v", name, buf)
+		}
+	}
+	if _, _, err := DecodeRow([]byte{0x02, byte(TBool)}); err == nil {
+		t.Error("DecodeRow succeeded on short row")
+	}
+	if _, _, err := DecodeRow(nil); err == nil {
+		t.Error("DecodeRow succeeded on empty buffer")
+	}
+}
+
+func TestCodecAggStateRoundTrip(t *testing.T) {
+	feed := func(k AggKind, vals ...D) *AggState {
+		s := NewAggState(k)
+		for _, v := range vals {
+			if err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	states := []*AggState{
+		NewAggState(AggCount), // empty accumulator
+		feed(AggCount, Int(1), String("x"), Null()),
+		feed(AggSum, Int(5), Int(-3)),
+		feed(AggSum, Float(1.25), Float(2.5)), // float path: isFloat flag
+		feed(AggAvg, Int(1), Int(2), Int(4)),
+		feed(AggMin, String("b"), String("a")),
+		feed(AggMax, Int(9), Int(12)),
+	}
+	for _, want := range states {
+		buf := want.AppendEncoded(nil)
+		got, rest, err := DecodeAggState(buf)
+		if err != nil {
+			t.Fatalf("kind %v: %v", want.Kind, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("kind %v: %d trailing bytes", want.Kind, len(rest))
+		}
+		wr, gr := want.Result(), got.Result()
+		if wr.T != gr.T || wr.IsNull() != gr.IsNull() {
+			t.Fatalf("kind %v: result %#v, want %#v", want.Kind, gr, wr)
+		}
+		if !wr.IsNull() && !DistinctEqual(wr, gr) {
+			t.Fatalf("kind %v: result %#v, want %#v", want.Kind, gr, wr)
+		}
+		// The decoded accumulator must keep accumulating correctly.
+		if want.Kind == AggSum {
+			if err := got.Add(Int(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"starmagic/internal/opt"
 	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
+	"starmagic/internal/resource"
 	"starmagic/internal/rewrite"
 	"starmagic/internal/semant"
 	"starmagic/internal/sql"
@@ -43,6 +44,11 @@ type queryConfig struct {
 	args    datum.Row
 	hasArgs bool
 	argsErr error
+	// memLimit overrides the database default per-query memory budget when
+	// hasMemLimit is set; noAdmission bypasses admission control.
+	memLimit    int64
+	hasMemLimit bool
+	noAdmission bool
 }
 
 // WithStrategy selects the optimization/execution strategy (default EMST).
@@ -119,6 +125,26 @@ func WithRowLimit(n int64) QueryOption {
 // plan's ExplainInfo (ExplainContext always captures them).
 func WithSnapshots() QueryOption {
 	return func(c *queryConfig) { c.snapshots = true }
+}
+
+// WithMemoryLimit caps this call's resident operator state at n bytes,
+// overriding the database-wide SetMemoryLimit per-query default (0 removes
+// the cap for this call even if a default is set). Under the cap,
+// spill-capable operators — hash-join builds, sorts, DISTINCT and group-by
+// state, set-operation counts, recursive seen-sets — page state to
+// temporary files instead of failing; a query whose working set cannot
+// spill below the cap fails with resource.ErrMemoryExceeded.
+func WithMemoryLimit(n int64) QueryOption {
+	return func(c *queryConfig) { c.memLimit = n; c.hasMemLimit = true }
+}
+
+// WithAdmission controls whether this execution passes through the
+// database's admission queue (default true). WithAdmission(false) exempts
+// the call — useful for administrative or monitoring queries that must not
+// wait behind a saturated queue. It has no effect when SetAdmission has not
+// configured a cap.
+func WithAdmission(enabled bool) QueryOption {
+	return func(c *queryConfig) { c.noAdmission = !enabled }
 }
 
 // WithMaterialized executes through the classic box-at-a-time evaluator
@@ -442,6 +468,19 @@ func (p *Prepared) ExecuteContext(ctx context.Context, args ...any) (*Result, er
 	if len(bound) != p.numParams {
 		return nil, fmt.Errorf("query expects %d parameter(s), got %d", p.numParams, len(bound))
 	}
+	// Admission control gates execution only — the plan is already prepared
+	// at this point, so a queued execution never holds plan-cache state (in
+	// particular it cannot interact with a single-flight cold prepare).
+	var admissionWait time.Duration
+	if p.db.gov.AdmissionEnabled() && !p.cfg.noAdmission {
+		release, waited, err := p.db.gov.Admit(ctx)
+		if err != nil {
+			p.db.metrics.RecordAdmissionRejected()
+			return nil, err
+		}
+		defer release()
+		admissionWait = waited
+	}
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
 	ev := exec.New(p.db.store)
@@ -457,6 +496,19 @@ func (p *Prepared) ExecuteContext(ctx context.Context, args ...any) (*Result, er
 	}
 	if p.strategy == Correlated {
 		ev.NoSubqueryCache = true
+	}
+	// A budget is attached when a per-query cap applies (option or database
+	// default) or when an engine-wide total cap is set — the total cap is
+	// enforced through each query's Budget reservations.
+	memLimit := p.db.memLimit.Load()
+	if p.cfg.hasMemLimit {
+		memLimit = p.cfg.memLimit
+	}
+	var bud *resource.Budget
+	if memLimit > 0 || p.db.gov.TotalLimit() > 0 {
+		bud = resource.NewBudget(p.db.gov, memLimit, "")
+		defer bud.Close()
+		ev.Mem = bud
 	}
 	sp := obs.Start(p.cfg.tracer, "execute")
 	start := time.Now()
@@ -474,12 +526,25 @@ func (p *Prepared) ExecuteContext(ctx context.Context, args ...any) (*Result, er
 	if opStats != nil {
 		reports = p.phys.Report(opStats)
 	}
+	mem := MemInfo{
+		LimitBytes:   bud.Limit(),
+		PeakBytes:    bud.Peak(),
+		SpilledBytes: bud.SpilledBytes(),
+		Spills:       bud.Spills(),
+	}
 	p.db.metrics.RecordExec(obs.ExecSample{
 		Err:       err != nil,
 		Strategy:  p.strategy.String(),
 		ExecNanos: int64(elapsed),
 		Exec:      execStats(ev.Counters),
 		Operators: opSamples(reports),
+		Mem: obs.MemSample{
+			LimitBytes:   mem.LimitBytes,
+			PeakBytes:    mem.PeakBytes,
+			SpilledBytes: mem.SpilledBytes,
+			Spills:       mem.Spills,
+		},
+		AdmissionWaitNanos: admissionWait.Nanoseconds(),
 	})
 	if err != nil {
 		return nil, err
@@ -487,6 +552,8 @@ func (p *Prepared) ExecuteContext(ctx context.Context, args ...any) (*Result, er
 	info := p.info
 	info.ExecTime = elapsed
 	info.Counters = ev.Counters
+	info.Mem = mem
+	info.AdmissionWait = admissionWait
 	if opStats != nil {
 		info.Physical = p.phys.Format(opStats)
 		info.Operators = reports
@@ -501,7 +568,10 @@ func opSamples(reports []plan.OpReport) []obs.OpSample {
 	}
 	out := make([]obs.OpSample, len(reports))
 	for i, r := range reports {
-		out[i] = obs.OpSample{Kind: r.Kind, Rows: r.Rows, Batches: r.Batches, Nanos: r.Nanos}
+		out[i] = obs.OpSample{
+			Kind: r.Kind, Rows: r.Rows, Batches: r.Batches, Nanos: r.Nanos,
+			Spills: r.Spills, SpillBytes: r.SpillBytes,
+		}
 	}
 	return out
 }

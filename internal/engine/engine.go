@@ -22,6 +22,7 @@ import (
 	"starmagic/internal/obs"
 	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
+	"starmagic/internal/resource"
 	"starmagic/internal/semant"
 	"starmagic/internal/sql"
 	"starmagic/internal/storage"
@@ -88,11 +89,23 @@ type Database struct {
 	parallelism int
 	// metrics accumulates plan and execution samples (see Metrics).
 	metrics obs.MetricsSink
+	// gov enforces the engine-wide memory cap and admission control across
+	// all executions (see SetMemoryLimit, SetAdmission).
+	gov *resource.Governor
+	// memLimit is the default per-query memory budget (see SetMemoryLimit);
+	// WithMemoryLimit overrides it per call.
+	memLimit atomic.Int64
 }
 
-// New returns an empty database. The plan cache starts enabled.
+// New returns an empty database. The plan cache starts enabled; no memory or
+// admission limits are set.
 func New() *Database {
-	return &Database{cat: catalog.New(), store: storage.NewStore(), plans: newPlanCache(0)}
+	return &Database{
+		cat:   catalog.New(),
+		store: storage.NewStore(),
+		plans: newPlanCache(0),
+		gov:   resource.NewGovernor(),
+	}
 }
 
 // noteMutation records a data mutation: optimizer statistics are stale and
@@ -121,6 +134,45 @@ func (db *Database) SetParallelism(n int) {
 	db.parallelism = n
 	db.mu.Unlock()
 }
+
+// SetMemoryLimit configures memory governance: perQuery caps each
+// execution's resident operator state (hash tables, sort buffers, distinct
+// and group-by state, recursive seen-sets) and total caps the sum across all
+// concurrent executions. 0 disables the respective cap. Under a cap,
+// spill-capable operators move state to temporary files instead of failing;
+// state that cannot spill surfaces resource.ErrMemoryExceeded (detect with
+// errors.Is) rather than exhausting process memory. WithMemoryLimit
+// overrides the per-query cap for one call.
+func (db *Database) SetMemoryLimit(perQuery, total int64) {
+	if perQuery < 0 {
+		perQuery = 0
+	}
+	db.memLimit.Store(perQuery)
+	db.gov.SetTotalLimit(total)
+}
+
+// SetAdmission configures admission control: at most maxConcurrent query
+// executions run at once, and at most maxQueue more wait (FIFO) for a slot.
+// Executions beyond both caps — and executions whose context is already done
+// when they reach the queue — fail with resource.ErrAdmissionRejected or the
+// context's error instead of piling up. maxConcurrent <= 0 disables
+// admission control. Admission applies to execution only: preparing a plan
+// (and plan-cache interaction, including single-flight misses) never queues.
+func (db *Database) SetAdmission(maxConcurrent, maxQueue int) {
+	db.gov.SetAdmission(maxConcurrent, maxQueue)
+}
+
+// ResourceStats returns a snapshot of the memory governor and admission
+// queue: bytes reserved and spilled, high-water marks, and admission
+// wait/reject counters.
+func (db *Database) ResourceStats() resource.GovernorStats { return db.gov.Stats() }
+
+// Close shuts the database down: queued executions are rejected, new
+// executions fail with resource.ErrClosed, and Close blocks until admitted
+// executions drain. Only executions that went through admission control are
+// tracked, so Close is a no-op unless SetAdmission configured a cap. The
+// database's in-memory catalog and storage remain readable.
+func (db *Database) Close() { db.gov.Close() }
 
 // Exec runs a script of DDL/INSERT statements separated by semicolons and
 // returns the number of rows inserted.
@@ -548,6 +600,26 @@ type PlanInfo struct {
 	// (depth-first). Both are empty for materialized (box-at-a-time) runs.
 	Physical  string
 	Operators []plan.OpReport
+	// Mem is the run's memory-governance footprint; the zero value means
+	// the run executed without a budget.
+	Mem MemInfo
+	// AdmissionWait is the time the run spent queued for an admission slot
+	// (0 when admission control is off or a slot was free).
+	AdmissionWait time.Duration
+}
+
+// MemInfo is one budgeted execution's memory footprint.
+type MemInfo struct {
+	// LimitBytes is the per-query budget the run executed under.
+	LimitBytes int64
+	// PeakBytes is the reservation high-water mark; the governor guarantees
+	// it never exceeds LimitBytes.
+	PeakBytes int64
+	// SpilledBytes and Spills count spill-to-disk traffic: bytes written
+	// and discrete spill events (hash-partition page-outs, sort-run
+	// flushes, row-buffer flushes).
+	SpilledBytes int64
+	Spills       int64
 }
 
 // Query optimizes and executes a SELECT under the default EMST strategy.

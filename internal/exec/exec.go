@@ -17,6 +17,7 @@ import (
 
 	"starmagic/internal/datum"
 	"starmagic/internal/qgm"
+	"starmagic/internal/resource"
 	"starmagic/internal/storage"
 )
 
@@ -74,6 +75,26 @@ type Evaluator struct {
 	// valid; they enter expression evaluation through the paramsQ sentinel
 	// binding every root environment carries (see rootEnv).
 	Params datum.Row
+
+	// Mem, when non-nil, is the query's memory budget. Pipeline-breaker
+	// state — join hash tables, sort buffers, DISTINCT/GROUP-BY tables,
+	// set-operation counts, fixpoint seen-sets, nested-loop inners — is
+	// charged against it through per-operator accounts and spills to disk
+	// when a reservation is denied (see spill.go). Budget mode also changes
+	// how build sides are gathered: the streaming executor skips closed-
+	// subtree prefetch and streams hash-build inputs instead of
+	// materializing them, so peak memory stays bounded. Memoization caches
+	// (box memo, subquery/hash caches) and final result rows are
+	// deliberately exempt; governing them is an open ROADMAP item. Set by
+	// the engine; nil means unbounded in-memory execution.
+	Mem *resource.Budget
+
+	// spillables are the live paged containers of this evaluator, in
+	// creation order. When one container's own evictions cannot satisfy a
+	// reservation, Evaluator.reclaimSpace pages out resident state of the
+	// others (e.g. a finished hash build yields to the operator currently
+	// growing). Maintained by newPagedTable/pagedTable.close.
+	spillables []spillable
 
 	Counters Counters
 
@@ -272,7 +293,11 @@ func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
 		maxIter = 1000
 	}
 	var cur []datum.Row
-	seen := map[string]bool{}
+	// The delta-membership keyset is spillable under a memory budget; the
+	// accumulated set itself must stay resident because the body re-enters
+	// it through the memo every round.
+	seen := ev.newSeenSet("fixpoint", nil)
+	defer seen.close()
 	for iter := 0; ; iter++ {
 		if iter >= maxIter {
 			return nil, fmt.Errorf("exec: recursive view %q did not reach a fixpoint in %d iterations", b.Name, maxIter)
@@ -294,8 +319,11 @@ func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
 		grew := false
 		for _, r := range rows {
 			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], r)
-			if !seen[string(ev.keyBuf)] {
-				seen[string(ev.keyBuf)] = true
+			dup, serr := seen.checkAndAdd(ev.keyBuf)
+			if serr != nil {
+				return nil, serr
+			}
+			if !dup {
 				cur = append(cur, r)
 				grew = true
 			}
@@ -561,7 +589,11 @@ func (ev *Evaluator) evalSelect(b *qgm.Box, env Env) ([]datum.Row, error) {
 	}
 
 	if b.Distinct != qgm.DistinctPreserve {
-		out = ev.dedupe(out)
+		var err error
+		out, err = ev.dedupe(out)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -932,87 +964,118 @@ func (ev *Evaluator) evalGroupBy(b *qgm.Box, env Env) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	type group struct {
-		key      datum.Row
-		states   []*datum.AggState
-		distinct []map[string]bool
-	}
-	groups := map[string]*group{}
-	var order []string
+	gt := ev.newGroupTable("group-by", nil)
+	defer gt.close()
 
 	cur := env.clone()
+	var gkBuf []byte
 	for _, row := range rows {
 		if err := ev.tick(); err != nil {
 			return nil, err
 		}
 		cur[inQ] = row
-		key := make(datum.Row, len(b.GroupBy))
-		for i, ge := range b.GroupBy {
-			v, err := EvalExpr(ge, cur)
-			if err != nil {
-				return nil, err
-			}
-			key[i] = v
-		}
-		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], key)
-		grp, ok := groups[string(ev.keyBuf)]
-		if !ok {
-			ks := string(ev.keyBuf)
-			grp = &group{key: key}
-			for _, a := range b.Aggs {
-				grp.states = append(grp.states, datum.NewAggState(a.Kind))
-				if a.Distinct {
-					grp.distinct = append(grp.distinct, map[string]bool{})
-				} else {
-					grp.distinct = append(grp.distinct, nil)
-				}
-			}
-			groups[ks] = grp
-			order = append(order, ks)
-		}
-		for i, a := range b.Aggs {
-			var v datum.D
-			if a.Arg != nil {
-				v, err = EvalExpr(a.Arg, cur)
-				if err != nil {
-					return nil, err
-				}
-			}
-			if a.Distinct {
-				if v.IsNull() {
-					continue
-				}
-				ev.keyBuf = v.AppendKey(ev.keyBuf[:0])
-				if grp.distinct[i][string(ev.keyBuf)] {
-					continue
-				}
-				grp.distinct[i][string(ev.keyBuf)] = true
-			}
-			if err := grp.states[i].Add(v); err != nil {
-				return nil, err
-			}
+		gkBuf, err = ev.accumulateGroup(gt, b, cur, gkBuf)
+		if err != nil {
+			return nil, err
 		}
 	}
 	delete(cur, inQ)
+	return emitGroups(gt, b)
+}
 
+// accumulateGroup folds one input row (already bound in env) into gt: group
+// key, entry lookup/insert, aggregate update, DISTINCT-argument filtering.
+// Shared by both evaluators so grouped results agree exactly. gkBuf is a
+// reusable scratch copy of the group key (ev.keyBuf gets reused for the
+// distinct-argument keys); the returned slice is passed back in.
+func (ev *Evaluator) accumulateGroup(gt *groupTable, b *qgm.Box, env Env, gkBuf []byte) ([]byte, error) {
+	key := make(datum.Row, len(b.GroupBy))
+	for i, ge := range b.GroupBy {
+		v, err := EvalExpr(ge, env)
+		if err != nil {
+			return gkBuf, err
+		}
+		key[i] = v
+	}
+	ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], key)
+	gkBuf = append(gkBuf[:0], ev.keyBuf...)
+	grp, ok, err := gt.lookup(gkBuf)
+	if err != nil {
+		return gkBuf, err
+	}
+	if !ok {
+		grp = newGroupEntry(key, b.Aggs)
+		if err := gt.insert(gkBuf, grp); err != nil {
+			return gkBuf, err
+		}
+	}
+	var delta int64
+	for i, a := range b.Aggs {
+		var v datum.D
+		if a.Arg != nil {
+			var err error
+			v, err = EvalExpr(a.Arg, env)
+			if err != nil {
+				return gkBuf, err
+			}
+		}
+		if a.Distinct {
+			if v.IsNull() {
+				continue
+			}
+			ev.keyBuf = v.AppendKey(ev.keyBuf[:0])
+			if grp.distinct[i][string(ev.keyBuf)] {
+				continue
+			}
+			grp.distinct[i][string(ev.keyBuf)] = true
+			delta += 24 + int64(len(ev.keyBuf))
+		}
+		if err := grp.states[i].Add(v); err != nil {
+			return gkBuf, err
+		}
+	}
+	if delta > 0 {
+		grp.memSize += delta
+		if err := gt.recharge(gkBuf, delta); err != nil {
+			return gkBuf, err
+		}
+	}
+	return gkBuf, nil
+}
+
+// emitGroups renders gt's groups in first-seen order (insertion sequence),
+// matching the in-memory map+order emission even after partitions spilled
+// and paged back in hash order.
+func emitGroups(gt *groupTable, b *qgm.Box) ([]datum.Row, error) {
 	// Scalar aggregation (no GROUP BY) over empty input yields one row.
-	if len(groups) == 0 && len(b.GroupBy) == 0 {
+	if gt.len() == 0 && len(b.GroupBy) == 0 {
 		row := make(datum.Row, len(b.Output))
 		for i, a := range b.Aggs {
 			row[i] = datum.NewAggState(a.Kind).Result()
 		}
 		return []datum.Row{row}, nil
 	}
-
-	out := make([]datum.Row, 0, len(groups))
-	for _, ks := range order {
-		grp := groups[ks]
+	type seqRow struct {
+		seq uint64
+		row datum.Row
+	}
+	srows := make([]seqRow, 0, gt.len())
+	err := gt.each(func(e *groupEntry) error {
 		row := make(datum.Row, 0, len(b.Output))
-		row = append(row, grp.key...)
-		for _, st := range grp.states {
+		row = append(row, e.key...)
+		for _, st := range e.states {
 			row = append(row, st.Result())
 		}
-		out = append(out, row)
+		srows = append(srows, seqRow{seq: e.seq, row: row})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(srows, func(i, j int) bool { return srows[i].seq < srows[j].seq })
+	out := make([]datum.Row, len(srows))
+	for i, sr := range srows {
+		out[i] = sr.row
 	}
 	return out, nil
 }
@@ -1030,7 +1093,11 @@ func (ev *Evaluator) evalUnion(b *qgm.Box, env Env) ([]datum.Row, error) {
 		out = append(out, rows...)
 	}
 	if b.Distinct != qgm.DistinctPreserve {
-		out = ev.dedupe(out)
+		var err error
+		out, err = ev.dedupe(out)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -1047,42 +1114,64 @@ func (ev *Evaluator) evalIntersectExcept(b *qgm.Box, env Env) ([]datum.Row, erro
 	if err != nil {
 		return nil, err
 	}
-	counts := map[string]int{}
+	counts := ev.newCountTable("setop", nil)
+	defer counts.close()
 	for _, row := range right {
 		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
-		counts[string(ev.keyBuf)]++
+		if err := counts.inc(ev.keyBuf); err != nil {
+			return nil, err
+		}
 	}
 	distinct := b.Distinct != qgm.DistinctPreserve
 	var out []datum.Row
-	seen := map[string]bool{}
+	seen := ev.newSeenSet("setop-seen", nil)
+	defer seen.close()
 	for _, row := range left {
 		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
-		key := string(ev.keyBuf)
-		inRight := counts[key] > 0
+		c, err := counts.count(ev.keyBuf)
+		if err != nil {
+			return nil, err
+		}
+		inRight := c > 0
 		switch b.Kind {
 		case qgm.KindIntersect:
 			if !inRight {
 				continue
 			}
 			if distinct {
-				if seen[key] {
+				dup, err := seen.checkAndAdd(ev.keyBuf)
+				if err != nil {
+					return nil, err
+				}
+				if dup {
 					continue
 				}
-				seen[key] = true
 			} else {
-				counts[key]-- // INTERSECT ALL: min of multiplicities
+				// INTERSECT ALL: min of multiplicities.
+				if err := counts.dec(ev.keyBuf); err != nil {
+					return nil, err
+				}
 			}
 			out = append(out, row)
 		case qgm.KindExcept:
 			if distinct {
-				if inRight || seen[key] {
+				if inRight {
 					continue
 				}
-				seen[key] = true
+				dup, err := seen.checkAndAdd(ev.keyBuf)
+				if err != nil {
+					return nil, err
+				}
+				if dup {
+					continue
+				}
 				out = append(out, row)
 			} else {
 				if inRight {
-					counts[key]-- // EXCEPT ALL: subtract multiplicities
+					// EXCEPT ALL: subtract multiplicities.
+					if err := counts.dec(ev.keyBuf); err != nil {
+						return nil, err
+					}
 					continue
 				}
 				out = append(out, row)
@@ -1092,18 +1181,22 @@ func (ev *Evaluator) evalIntersectExcept(b *qgm.Box, env Env) ([]datum.Row, erro
 	return out, nil
 }
 
-func (ev *Evaluator) dedupe(rows []datum.Row) []datum.Row {
-	seen := make(map[string]bool, len(rows))
+func (ev *Evaluator) dedupe(rows []datum.Row) ([]datum.Row, error) {
+	seen := ev.newSeenSet("dedupe", nil)
+	defer seen.close()
 	out := rows[:0:0]
 	for _, row := range rows {
 		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
-		if seen[string(ev.keyBuf)] {
+		dup, err := seen.checkAndAdd(ev.keyBuf)
+		if err != nil {
+			return nil, err
+		}
+		if dup {
 			continue
 		}
-		seen[string(ev.keyBuf)] = true
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // freeRefs computes (and caches) the free column references of a box

@@ -38,6 +38,9 @@ func (ev *Evaluator) child() *Evaluator {
 	c.MaxRecursion = ev.MaxRecursion
 	c.Parallelism = 1
 	c.Params = ev.Params
+	// Children charge the same per-query budget; reservation is atomic, so
+	// concurrent workers compose safely (their private Accounts do not).
+	c.Mem = ev.Mem
 	// Children poll the same context (with private tick counters), so a
 	// cancelled query aborts its prefetch workers too.
 	c.ctx, c.ctxDone = ev.ctx, ev.ctxDone

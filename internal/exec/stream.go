@@ -91,6 +91,16 @@ type planRun struct {
 	stats []plan.OpStats
 }
 
+// spillNote returns the spill-event callback for node n, attributing spill
+// counts and bytes to its OpStats (surfaced in EXPLAIN and obs OpSamples).
+func (r *planRun) spillNote(n *plan.Node) func(int64) {
+	st := &r.stats[n.ID]
+	return func(b int64) {
+		st.Spills++
+		st.SpillBytes += b
+	}
+}
+
 // build constructs the operator for a node, wrapped with instrumentation.
 func (r *planRun) build(n *plan.Node) operator {
 	var op operator
@@ -337,6 +347,13 @@ type stageState struct {
 	built     bool
 	ht        map[string][]datum.Row
 
+	// Budget-mode variants: sht replaces ht (spillable partitioned hash
+	// table), buf replaces childRows (spillable nested-loop inner, replayed
+	// through cur once per outer binding).
+	sht *spillJoin
+	buf *rowBuffer
+	cur *rowCursor
+
 	rows []datum.Row // current candidate rows for the outer binding
 	idx  int
 }
@@ -389,16 +406,20 @@ func (p *selectPipeOp) open() error {
 	// Under parallelism, prefetch the closed subtrees the stages will
 	// materialize anyway (hash build sides and nested-loop inners) — never
 	// the streamed driving stage, which must stay pull-driven for early
-	// exit.
-	var pre []*qgm.Box
-	for i := range p.n.Stages {
-		st := &p.n.Stages[i]
-		if st.Access == plan.AccessHash || st.Access == plan.AccessScan {
-			pre = append(pre, st.Quant.Ranges)
+	// exit. Skipped under a memory budget: prefetch materializes whole
+	// subtrees into the (ungoverned) memo, defeating the bound; budget mode
+	// streams build sides into governed spillable state instead.
+	if ev.Mem == nil {
+		var pre []*qgm.Box
+		for i := range p.n.Stages {
+			st := &p.n.Stages[i]
+			if st.Access == plan.AccessHash || st.Access == plan.AccessScan {
+				pre = append(pre, st.Quant.Ranges)
+			}
 		}
-	}
-	if err := ev.prefetchBoxes(pre); err != nil {
-		return err
+		if err := ev.prefetchBoxes(pre); err != nil {
+			return err
+		}
 	}
 
 	p.stages = make([]stageState, len(p.n.Stages))
@@ -431,12 +452,114 @@ func (p *selectPipeOp) open() error {
 	return nil
 }
 
+// buildSpillStage streams a hash stage's build side into a spillable
+// partitioned hash table, charging the stage's rows to the query budget
+// instead of materializing them unaccounted. Counter accounting matches the
+// materializing build: the child subtree charges its own counters as it
+// streams, and the build itself charges one HashBuilds.
+func (p *selectPipeOp) buildSpillStage(ss *stageState) error {
+	ev := p.r.ev
+	ev.Counters.HashBuilds++
+	sht := ev.newSpillJoin(p.r.spillNote(p.n))
+	child := p.r.build(ss.st.Child)
+	if err := child.open(); err != nil {
+		child.close()
+		sht.close()
+		return err
+	}
+	q := ss.st.Quant
+	buf := make([]byte, 0, 64)
+	err := func() error {
+		for {
+			batch, err := child.next()
+			if err != nil {
+				return err
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			for _, row := range batch {
+				p.env[q] = row
+				buf = buf[:0]
+				null := false
+				for _, e := range ss.st.KeyMine {
+					v, err := EvalExpr(e, p.env)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() {
+						null = true
+						break
+					}
+					buf = v.AppendKey(buf)
+				}
+				if null {
+					continue // equality never matches NULL
+				}
+				if err := sht.add(buf, row); err != nil {
+					return err
+				}
+			}
+		}
+	}()
+	delete(p.env, q)
+	if cerr := child.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		sht.close()
+		return err
+	}
+	ss.sht = sht
+	return nil
+}
+
+// buildSpillScan streams a nested-loop inner into a spillable replayable
+// row buffer.
+func (p *selectPipeOp) buildSpillScan(ss *stageState) error {
+	rb := p.r.ev.newRowBuffer("nl-inner", p.r.spillNote(p.n))
+	child := p.r.build(ss.st.Child)
+	if err := child.open(); err != nil {
+		child.close()
+		rb.close()
+		return err
+	}
+	err := func() error {
+		for {
+			batch, err := child.next()
+			if err != nil {
+				return err
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			for _, row := range batch {
+				if err := rb.add(row); err != nil {
+					return err
+				}
+			}
+		}
+	}()
+	if cerr := child.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		rb.close()
+		return err
+	}
+	ss.buf = rb
+	return nil
+}
+
 // downgrade switches a stage whose index probe found no usable index to a
 // hash join (build side big enough) or a nested loop with the key
 // equalities as filters. The choice depends only on the store, so plans
 // stay deterministic.
 func (p *selectPipeOp) downgrade(ss *stageState) error {
 	ev := p.r.ev
+	if ev.Mem != nil {
+		return p.downgradeSpill(ss)
+	}
 	rows, err := p.r.materialize(ss.st.Child)
 	if err != nil {
 		return err
@@ -455,12 +578,105 @@ func (p *selectPipeOp) downgrade(ss *stageState) error {
 	ss.access = plan.AccessScan
 	ss.childRows = rows
 	ss.built = true
+	ss.filters = p.downgradeFilters(ss)
+	return nil
+}
+
+// downgradeFilters reconstructs the key equalities as residual filters for
+// a nested-loop downgrade.
+func (p *selectPipeOp) downgradeFilters(ss *stageState) []qgm.Expr {
 	filters := make([]qgm.Expr, 0, len(ss.st.Residual)+len(ss.st.KeyMine))
 	filters = append(filters, ss.st.Residual...)
 	for j := range ss.st.KeyMine {
 		filters = append(filters, &qgm.Cmp{Op: datum.EQ, L: ss.st.KeyMine[j], R: ss.st.KeyOther[j]})
 	}
-	ss.filters = filters
+	return filters
+}
+
+// downgradeSpill is downgrade under a memory budget: the child streams into
+// a governed row buffer to learn its cardinality (never into the ungoverned
+// memo), then either replays into a spillable hash table or stays a nested
+// loop over the buffer.
+func (p *selectPipeOp) downgradeSpill(ss *stageState) error {
+	ev := p.r.ev
+	if err := p.buildSpillScan(ss); err != nil {
+		return err
+	}
+	if ss.buf.count <= 4 {
+		ss.access = plan.AccessScan
+		cur, err := ss.buf.cursor()
+		if err != nil {
+			return err
+		}
+		rows, err := cur.nextBatch(8)
+		if err != nil {
+			return err
+		}
+		ss.buf.close()
+		ss.buf = nil
+		ss.childRows = rows
+		ss.built = true
+		ss.filters = p.downgradeFilters(ss)
+		return nil
+	}
+	ss.access = plan.AccessHash
+	ev.Counters.HashBuilds++
+	// Free the buffer's reservation before the build: the replay streams
+	// from disk, so the hash table gets the whole remaining budget instead
+	// of competing with the buffer's resident suffix.
+	if err := ss.buf.freeze(); err != nil {
+		return err
+	}
+	sht := ev.newSpillJoin(p.r.spillNote(p.n))
+	cur, err := ss.buf.cursor()
+	if err != nil {
+		sht.close()
+		return err
+	}
+	q := ss.st.Quant
+	buf := make([]byte, 0, 64)
+	err = func() error {
+		for {
+			batch, err := cur.nextBatch(streamBatch)
+			if err != nil {
+				return err
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			for _, row := range batch {
+				p.env[q] = row
+				buf = buf[:0]
+				null := false
+				for _, e := range ss.st.KeyMine {
+					v, err := EvalExpr(e, p.env)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() {
+						null = true
+						break
+					}
+					buf = v.AppendKey(buf)
+				}
+				if null {
+					continue // equality never matches NULL
+				}
+				if err := sht.add(buf, row); err != nil {
+					return err
+				}
+			}
+		}
+	}()
+	delete(p.env, q)
+	ss.buf.close()
+	ss.buf = nil
+	if err != nil {
+		sht.close()
+		return err
+	}
+	ss.sht = sht
+	ss.built = true
 	return nil
 }
 
@@ -493,15 +709,21 @@ func (p *selectPipeOp) resetStage(i int) error {
 		return p.resetStage(i)
 	case plan.AccessHash:
 		if !ss.built {
-			rows, err := p.r.materialize(ss.st.Child)
-			if err != nil {
-				return err
-			}
-			ss.childRows = rows
-			ev.Counters.HashBuilds++
-			ss.ht, err = ev.buildHashTable(ss.st.Quant, ss.st.KeyMine, rows, p.env)
-			if err != nil {
-				return err
+			if ev.Mem != nil {
+				if err := p.buildSpillStage(ss); err != nil {
+					return err
+				}
+			} else {
+				rows, err := p.r.materialize(ss.st.Child)
+				if err != nil {
+					return err
+				}
+				ss.childRows = rows
+				ev.Counters.HashBuilds++
+				ss.ht, err = ev.buildHashTable(ss.st.Quant, ss.st.KeyMine, rows, p.env)
+				if err != nil {
+					return err
+				}
 			}
 			ss.built = true
 		}
@@ -518,17 +740,40 @@ func (p *selectPipeOp) resetStage(i int) error {
 			ev.keyBuf = v.AppendKey(ev.keyBuf)
 		}
 		ev.Counters.HashProbes++
-		ss.rows = ss.ht[string(ev.keyBuf)]
-	case plan.AccessScan:
-		if !ss.built {
-			rows, err := p.r.materialize(ss.st.Child)
+		if ss.sht != nil {
+			rows, err := ss.sht.probe(ev.keyBuf)
 			if err != nil {
 				return err
 			}
-			ss.childRows = rows
+			ss.rows = rows
+		} else {
+			ss.rows = ss.ht[string(ev.keyBuf)]
+		}
+	case plan.AccessScan:
+		if !ss.built {
+			if ev.Mem != nil {
+				if err := p.buildSpillScan(ss); err != nil {
+					return err
+				}
+			} else {
+				rows, err := p.r.materialize(ss.st.Child)
+				if err != nil {
+					return err
+				}
+				ss.childRows = rows
+			}
 			ss.built = true
 		}
-		ss.rows = ss.childRows
+		if ss.buf != nil {
+			cur, err := ss.buf.cursor()
+			if err != nil {
+				return err
+			}
+			ss.cur = cur
+			ss.rows = nil
+		} else {
+			ss.rows = ss.childRows
+		}
 	case plan.AccessCorr:
 		rows, err := ev.EvalBox(ss.st.Quant.Ranges, p.env)
 		if err != nil {
@@ -553,6 +798,17 @@ func (p *selectPipeOp) advanceStage(i int) (bool, error) {
 		if ss.idx >= len(ss.rows) {
 			if ss.access == plan.AccessStream {
 				batch, err := ss.child.next()
+				if err != nil {
+					return false, err
+				}
+				if len(batch) > 0 {
+					ss.rows = batch
+					ss.idx = 0
+					continue
+				}
+			}
+			if ss.cur != nil {
+				batch, err := ss.cur.nextBatch(streamBatch)
 				if err != nil {
 					return false, err
 				}
@@ -795,10 +1051,17 @@ func (p *selectPipeOp) next() ([]datum.Row, error) {
 func (p *selectPipeOp) close() error {
 	var err error
 	for i := range p.stages {
-		if c := p.stages[i].child; c != nil {
-			if e := c.close(); e != nil && err == nil {
+		ss := &p.stages[i]
+		if ss.child != nil {
+			if e := ss.child.close(); e != nil && err == nil {
 				err = e
 			}
+		}
+		if ss.sht != nil {
+			ss.sht.close()
+		}
+		if ss.buf != nil {
+			ss.buf.close()
 		}
 	}
 	p.stages = nil
@@ -828,14 +1091,10 @@ func (g *groupByOp) open() error {
 		return err
 	}
 
-	type group struct {
-		key      datum.Row
-		states   []*datum.AggState
-		distinct []map[string]bool
-	}
-	groups := map[string]*group{}
-	var order []string
+	gt := ev.newGroupTable("group-by", g.r.spillNote(g.n))
+	defer gt.close()
 	env := ev.rootEnv()
+	var gkBuf []byte
 
 	err := func() error {
 		for {
@@ -851,52 +1110,9 @@ func (g *groupByOp) open() error {
 					return err
 				}
 				env[inQ] = row
-				key := make(datum.Row, len(b.GroupBy))
-				for i, ge := range b.GroupBy {
-					v, err := EvalExpr(ge, env)
-					if err != nil {
-						return err
-					}
-					key[i] = v
-				}
-				ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], key)
-				grp, ok := groups[string(ev.keyBuf)]
-				if !ok {
-					ks := string(ev.keyBuf)
-					grp = &group{key: key}
-					for _, a := range b.Aggs {
-						grp.states = append(grp.states, datum.NewAggState(a.Kind))
-						if a.Distinct {
-							grp.distinct = append(grp.distinct, map[string]bool{})
-						} else {
-							grp.distinct = append(grp.distinct, nil)
-						}
-					}
-					groups[ks] = grp
-					order = append(order, ks)
-				}
-				for i, a := range b.Aggs {
-					var v datum.D
-					if a.Arg != nil {
-						var err error
-						v, err = EvalExpr(a.Arg, env)
-						if err != nil {
-							return err
-						}
-					}
-					if a.Distinct {
-						if v.IsNull() {
-							continue
-						}
-						ev.keyBuf = v.AppendKey(ev.keyBuf[:0])
-						if grp.distinct[i][string(ev.keyBuf)] {
-							continue
-						}
-						grp.distinct[i][string(ev.keyBuf)] = true
-					}
-					if err := grp.states[i].Add(v); err != nil {
-						return err
-					}
+				gkBuf, err = ev.accumulateGroup(gt, b, env, gkBuf)
+				if err != nil {
+					return err
 				}
 			}
 		}
@@ -907,27 +1123,8 @@ func (g *groupByOp) open() error {
 	if err != nil {
 		return err
 	}
-
-	// Scalar aggregation (no GROUP BY) over empty input yields one row.
-	if len(groups) == 0 && len(b.GroupBy) == 0 {
-		row := make(datum.Row, len(b.Output))
-		for i, a := range b.Aggs {
-			row[i] = datum.NewAggState(a.Kind).Result()
-		}
-		g.out = []datum.Row{row}
-		return nil
-	}
-	g.out = make([]datum.Row, 0, len(groups))
-	for _, ks := range order {
-		grp := groups[ks]
-		row := make(datum.Row, 0, len(b.Output))
-		row = append(row, grp.key...)
-		for _, st := range grp.states {
-			row = append(row, st.Result())
-		}
-		g.out = append(g.out, row)
-	}
-	return nil
+	g.out, err = emitGroups(gt, b)
+	return err
 }
 
 func (g *groupByOp) next() ([]datum.Row, error) {
@@ -1025,8 +1222,8 @@ type setOpOp struct {
 	r      *planRun
 	n      *plan.Node
 	left   operator
-	counts map[string]int
-	seen   map[string]bool
+	counts *countTable
+	seen   *seenSet
 	out    []datum.Row
 }
 
@@ -1035,16 +1232,51 @@ func (s *setOpOp) open() error {
 	if s.n.BoxRoot {
 		ev.Counters.BoxEvals++
 	}
-	right, err := s.r.materialize(s.n.Children[1])
-	if err != nil {
-		return err
+	s.counts = ev.newCountTable("setop", s.r.spillNote(s.n))
+	if ev.Mem != nil {
+		// Budget mode streams the right input straight into the governed
+		// count table instead of materializing it into the memo.
+		right := s.r.build(s.n.Children[1])
+		if err := right.open(); err != nil {
+			right.close()
+			return err
+		}
+		err := func() error {
+			for {
+				batch, err := right.next()
+				if err != nil {
+					return err
+				}
+				if len(batch) == 0 {
+					return nil
+				}
+				for _, row := range batch {
+					ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+					if err := s.counts.inc(ev.keyBuf); err != nil {
+						return err
+					}
+				}
+			}
+		}()
+		if cerr := right.close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		right, err := s.r.materialize(s.n.Children[1])
+		if err != nil {
+			return err
+		}
+		for _, row := range right {
+			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
+			if err := s.counts.inc(ev.keyBuf); err != nil {
+				return err
+			}
+		}
 	}
-	s.counts = make(map[string]int, len(right))
-	for _, row := range right {
-		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
-		s.counts[string(ev.keyBuf)]++
-	}
-	s.seen = map[string]bool{}
+	s.seen = ev.newSeenSet("setop-seen", s.r.spillNote(s.n))
 	s.left = s.r.build(s.n.Children[0])
 	return s.left.open()
 }
@@ -1066,32 +1298,50 @@ func (s *setOpOp) next() ([]datum.Row, error) {
 				return nil, err
 			}
 			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
-			key := string(ev.keyBuf)
-			inRight := s.counts[key] > 0
+			c, err := s.counts.count(ev.keyBuf)
+			if err != nil {
+				return nil, err
+			}
+			inRight := c > 0
 			switch s.n.Box.Kind {
 			case qgm.KindIntersect:
 				if !inRight {
 					continue
 				}
 				if distinct {
-					if s.seen[key] {
+					dup, err := s.seen.checkAndAdd(ev.keyBuf)
+					if err != nil {
+						return nil, err
+					}
+					if dup {
 						continue
 					}
-					s.seen[key] = true
 				} else {
-					s.counts[key]-- // INTERSECT ALL: min of multiplicities
+					// INTERSECT ALL: min of multiplicities.
+					if err := s.counts.dec(ev.keyBuf); err != nil {
+						return nil, err
+					}
 				}
 				s.out = append(s.out, row)
 			case qgm.KindExcept:
 				if distinct {
-					if inRight || s.seen[key] {
+					if inRight {
 						continue
 					}
-					s.seen[key] = true
+					dup, err := s.seen.checkAndAdd(ev.keyBuf)
+					if err != nil {
+						return nil, err
+					}
+					if dup {
+						continue
+					}
 					s.out = append(s.out, row)
 				} else {
 					if inRight {
-						s.counts[key]-- // EXCEPT ALL: subtract multiplicities
+						// EXCEPT ALL: subtract multiplicities.
+						if err := s.counts.dec(ev.keyBuf); err != nil {
+							return nil, err
+						}
 						continue
 					}
 					s.out = append(s.out, row)
@@ -1115,6 +1365,12 @@ func (s *setOpOp) close() error {
 	if s.left != nil {
 		err = s.left.close()
 	}
+	if s.counts != nil {
+		s.counts.close()
+	}
+	if s.seen != nil {
+		s.seen.close()
+	}
 	s.counts, s.seen, s.out = nil, nil, nil
 	return err
 }
@@ -1125,7 +1381,7 @@ type distinctOp struct {
 	r     *planRun
 	n     *plan.Node
 	child operator
-	seen  map[string]bool
+	seen  *seenSet
 	out   []datum.Row
 }
 
@@ -1133,7 +1389,7 @@ func (d *distinctOp) open() error {
 	if d.n.BoxRoot {
 		d.r.ev.Counters.BoxEvals++
 	}
-	d.seen = map[string]bool{}
+	d.seen = d.r.ev.newSeenSet("distinct", d.r.spillNote(d.n))
 	return d.child.open()
 }
 
@@ -1150,10 +1406,13 @@ func (d *distinctOp) next() ([]datum.Row, error) {
 		d.out = d.out[:0]
 		for _, row := range batch {
 			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
-			if d.seen[string(ev.keyBuf)] {
+			dup, err := d.seen.checkAndAdd(ev.keyBuf)
+			if err != nil {
+				return nil, err
+			}
+			if dup {
 				continue
 			}
-			d.seen[string(ev.keyBuf)] = true
 			d.out = append(d.out, row)
 		}
 		if len(d.out) == 0 {
@@ -1170,21 +1429,39 @@ func (d *distinctOp) next() ([]datum.Row, error) {
 
 func (d *distinctOp) close() error {
 	err := d.child.close()
+	if d.seen != nil {
+		d.seen.close()
+	}
 	d.seen, d.out = nil, nil
 	return err
 }
 
 // sortOp is a pipeline breaker implementing top-level ORDER BY with the
-// same stable comparator as the materializing evaluator.
+// same stable comparator as the materializing evaluator. Under a memory
+// budget it runs as an external merge sort (extSorter): when Lower's EstMem
+// estimate already exceeds the budget, run flushing is eager (bounded-size
+// runs) rather than waiting for the first denial.
 type sortOp struct {
-	r     *planRun
-	n     *plan.Node
-	child operator
-	rows  []datum.Row
-	pos   int
+	r      *planRun
+	n      *plan.Node
+	child  operator
+	rows   []datum.Row
+	pos    int
+	sorter *extSorter
 }
 
 func (s *sortOp) open() error {
+	ev := s.r.ev
+	if ev.Mem != nil {
+		s.sorter = ev.newExtSorter(s.n.OrderBy, s.r.spillNote(s.n))
+		if lim := ev.Mem.Limit(); lim > 0 && s.n.EstMem > float64(lim) {
+			eager := lim / 4
+			if q := ev.Mem.Quantum(); eager < q {
+				eager = q
+			}
+			s.sorter.eager = eager
+		}
+	}
 	if err := s.child.open(); err != nil {
 		s.child.close()
 		return err
@@ -1198,6 +1475,14 @@ func (s *sortOp) open() error {
 			if len(batch) == 0 {
 				return nil
 			}
+			if s.sorter != nil {
+				for _, row := range batch {
+					if err := s.sorter.add(row); err != nil {
+						return err
+					}
+				}
+				continue
+			}
 			s.rows = append(s.rows, batch...)
 		}
 	}()
@@ -1206,6 +1491,9 @@ func (s *sortOp) open() error {
 	}
 	if err != nil {
 		return err
+	}
+	if s.sorter != nil {
+		return s.sorter.finish()
 	}
 	specs := s.n.OrderBy
 	sort.SliceStable(s.rows, func(i, j int) bool {
@@ -1224,6 +1512,9 @@ func (s *sortOp) open() error {
 }
 
 func (s *sortOp) next() ([]datum.Row, error) {
+	if s.sorter != nil {
+		return s.sorter.next(streamBatch)
+	}
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
@@ -1237,6 +1528,10 @@ func (s *sortOp) next() ([]datum.Row, error) {
 }
 
 func (s *sortOp) close() error {
+	if s.sorter != nil {
+		s.sorter.close()
+		s.sorter = nil
+	}
 	s.rows = nil
 	return nil
 }

@@ -63,6 +63,25 @@ type ExecSample struct {
 	// Operators holds per-physical-operator counters when the run used the
 	// streaming executor (empty for materialized box-at-a-time runs).
 	Operators []OpSample
+	// Mem is the memory-governance footprint of the run; the zero value
+	// means the run executed without a budget.
+	Mem MemSample
+	// AdmissionWaitNanos is the time this run spent queued for an admission
+	// slot before executing (0 when admission control is off or a slot was
+	// free).
+	AdmissionWaitNanos int64
+}
+
+// MemSample is one budgeted execution's memory footprint.
+type MemSample struct {
+	// LimitBytes is the per-query memory budget the run executed under.
+	LimitBytes int64 `json:"limit_bytes"`
+	// PeakBytes is the budget's reservation high-water mark.
+	PeakBytes int64 `json:"peak_bytes"`
+	// SpilledBytes and Spills count spill-to-disk traffic: bytes written and
+	// discrete spill events (hash-partition page-outs, sort-run flushes).
+	SpilledBytes int64 `json:"spilled_bytes"`
+	Spills       int64 `json:"spills"`
 }
 
 // OpSample is one physical operator's execution counters (the dependency-
@@ -76,6 +95,10 @@ type OpSample struct {
 	Batches int64 `json:"batches"`
 	// Nanos is inclusive wall-clock (children included).
 	Nanos int64 `json:"nanos"`
+	// Spills/SpillBytes count spill-to-disk events attributed to this
+	// operator under a memory budget, and the bytes they wrote.
+	Spills     int64 `json:"spills,omitempty"`
+	SpillBytes int64 `json:"spill_bytes,omitempty"`
 }
 
 // Metrics is a point-in-time snapshot of engine activity since Open (or the
@@ -118,6 +141,19 @@ type Metrics struct {
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheShared    int64 `json:"cache_shared"`
 	CacheEvictions int64 `json:"cache_evictions"`
+	// Memory-governance counters. BytesSpilled/Spills accumulate spill-to-
+	// disk traffic across budgeted executions; MemPeakBytes is the largest
+	// single-query reservation high-water mark observed.
+	BytesSpilled int64 `json:"bytes_spilled"`
+	Spills       int64 `json:"spills"`
+	MemPeakBytes int64 `json:"mem_peak_bytes"`
+	// Admission-control counters. AdmissionWaits counts executions that
+	// queued for a slot, AdmissionWaitNanos their total queued time, and
+	// AdmissionRejected executions bounced by a full queue (or a done
+	// deadline) before running.
+	AdmissionWaits     int64 `json:"admission_waits"`
+	AdmissionWaitNanos int64 `json:"admission_wait_nanos"`
+	AdmissionRejected  int64 `json:"admission_rejected"`
 }
 
 // MetricsSink accumulates samples; Snapshot returns an independent Metrics
@@ -182,6 +218,23 @@ func (s *MetricsSink) RecordExec(e ExecSample) {
 		s.m.OpRows[op.Kind] += op.Rows
 		s.m.OpNanos[op.Kind] += op.Nanos
 	}
+	s.m.BytesSpilled += e.Mem.SpilledBytes
+	s.m.Spills += e.Mem.Spills
+	if e.Mem.PeakBytes > s.m.MemPeakBytes {
+		s.m.MemPeakBytes = e.Mem.PeakBytes
+	}
+	if e.AdmissionWaitNanos > 0 {
+		s.m.AdmissionWaits++
+		s.m.AdmissionWaitNanos += e.AdmissionWaitNanos
+	}
+}
+
+// RecordAdmissionRejected counts an execution bounced by admission control
+// before it could run (full queue or expired deadline).
+func (s *MetricsSink) RecordAdmissionRejected() {
+	s.mu.Lock()
+	s.m.AdmissionRejected++
+	s.mu.Unlock()
 }
 
 // RecordCacheHit counts a prepare served from the plan cache.

@@ -40,6 +40,7 @@ func Lower(g *qgm.Graph) *Plan {
 		s.OrderBy = g.OrderBy
 		s.Detail = orderDetail(g.OrderBy)
 		s.EstRows = root.EstRows
+		s.EstMem = root.EstMem
 		s.Children = []*Node{root}
 		root = s
 	}
@@ -55,6 +56,7 @@ func Lower(g *qgm.Graph) *Plan {
 		t.Hidden = g.HiddenCols
 		t.Detail = fmt.Sprintf("%d hidden cols", g.HiddenCols)
 		t.EstRows = root.EstRows
+		t.EstMem = root.EstMem
 		t.Children = []*Node{root}
 		root = t
 	}
@@ -127,7 +129,18 @@ func (lw *lowerer) bridge(b *qgm.Box, reason string) *Node {
 	n := lw.p.newNode(OpBoxEval, b, "materialize "+boxName(b))
 	n.Detail = reason
 	n.EstRows = lw.est.Card(b)
+	n.EstMem = n.EstRows * estWidth(b)
 	return n
+}
+
+// estWidth is a coarse per-row byte estimate (datum struct size per output
+// column plus a slice header) used for EstMem.
+func estWidth(b *qgm.Box) float64 {
+	cols := 4
+	if b != nil && len(b.Output) > 0 {
+		cols = len(b.Output)
+	}
+	return float64(24 + 48*cols)
 }
 
 func (lw *lowerer) lowerBox(b *qgm.Box) *Node {
@@ -138,6 +151,7 @@ func (lw *lowerer) lowerBox(b *qgm.Box) *Node {
 		n := lw.p.newNode(OpFixpoint, b, "fixpoint "+boxName(b))
 		n.Detail = "semi-naive iteration"
 		n.EstRows = lw.est.Card(b)
+		n.EstMem = n.EstRows * estWidth(b)
 		return n
 	case lw.hasFree(b):
 		return lw.bridge(b, "correlated")
@@ -174,6 +188,7 @@ func (lw *lowerer) lowerBox(b *qgm.Box) *Node {
 		return lw.bridge(b, "extension kind")
 	}
 	n.EstRows = lw.est.Card(b)
+	n.EstMem = n.EstRows * estWidth(b)
 
 	// Duplicate elimination of select and union boxes is a distinct wrapper
 	// (intersect/except handle their distinct variants inline — EXCEPT
@@ -181,6 +196,7 @@ func (lw *lowerer) lowerBox(b *qgm.Box) *Node {
 	if b.Distinct != qgm.DistinctPreserve && (b.Kind == qgm.KindSelect || b.Kind == qgm.KindUnion) {
 		d := lw.p.newNode(OpDistinct, b, "distinct")
 		d.EstRows = n.EstRows
+		d.EstMem = n.EstMem
 		d.Children = []*Node{n}
 		d.BoxRoot = true
 		return d

@@ -185,6 +185,13 @@ type Node struct {
 	// EstRows is the optimizer's cardinality estimate for this operator's
 	// output.
 	EstRows float64
+	// EstMem is a coarse estimate, in bytes, of the operator's resident
+	// output (EstRows × estimated row width). The executor compares it
+	// against the query's memory budget to pre-pick spill-capable variants
+	// — e.g. a sort whose input estimate already exceeds the budget flushes
+	// bounded runs eagerly instead of waiting for the first denied
+	// reservation.
+	EstMem float64
 	// Children are the operator inputs in execution order. For OpSelect they
 	// are the stage children followed by streamed subquery children.
 	Children []*Node
@@ -229,6 +236,11 @@ type OpStats struct {
 	// Nanos is inclusive wall-clock (children's time included), as in
 	// EXPLAIN ANALYZE conventions.
 	Nanos int64
+	// Spills counts spill-to-disk events attributed to this operator under
+	// a memory budget (hash-partition page-outs, sort-run flushes, row-
+	// buffer flushes); SpillBytes is the bytes written by those events.
+	Spills     int64
+	SpillBytes int64
 }
 
 // newNode allocates a node registered in the plan.
@@ -269,6 +281,9 @@ func (p *Plan) Format(stats []OpStats) string {
 			if st.Nanos > 0 {
 				line += fmt.Sprintf(" time=%v", time.Duration(st.Nanos).Round(time.Microsecond))
 			}
+			if st.Spills > 0 {
+				line += fmt.Sprintf(" spills=%d spill_bytes=%d", st.Spills, st.SpillBytes)
+			}
 		}
 		sb.WriteString(line)
 		sb.WriteByte('\n')
@@ -295,6 +310,10 @@ type OpReport struct {
 	Rows    int64
 	Batches int64
 	Nanos   int64
+	// Spills/SpillBytes mirror OpStats: spill-to-disk events attributed to
+	// this operator under a memory budget.
+	Spills     int64
+	SpillBytes int64
 }
 
 // Report flattens the tree (with optional per-run stats) into OpReports.
@@ -310,6 +329,8 @@ func (p *Plan) Report(stats []OpStats) []OpReport {
 			r.Rows = stats[n.ID].Rows
 			r.Batches = stats[n.ID].Batches
 			r.Nanos = stats[n.ID].Nanos
+			r.Spills = stats[n.ID].Spills
+			r.SpillBytes = stats[n.ID].SpillBytes
 		}
 		out = append(out, r)
 		for _, c := range n.Children {

@@ -8,7 +8,7 @@ import "strings"
 // whitespace and comments collapse to single separators. The rendering must
 // be injective — two queries that lex differently must never share a key —
 // so the lexer's unescaping is undone when tokens are rendered: string
-// literals re-escape embedded quotes ('' inside '...'), and identifiers are
+// literals re-escape embedded quotes (a doubled ' inside '...'), and identifiers are
 // always emitted double-quoted with embedded double quotes doubled, so
 // "a b" cannot collide with two bare tokens and 'foo' never collides with
 // the identifier foo. Queries differing only in formatting or case map to

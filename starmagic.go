@@ -53,6 +53,7 @@ import (
 	"starmagic/internal/engine"
 	"starmagic/internal/exec"
 	"starmagic/internal/obs"
+	"starmagic/internal/resource"
 )
 
 // DB is an in-memory starmagic database instance. It is safe for concurrent
@@ -171,6 +172,21 @@ func WithParallelism(n int) QueryOption { return engine.WithParallelism(n) }
 // exceeding it aborts the query with an error.
 func WithRowLimit(n int64) QueryOption { return engine.WithRowLimit(n) }
 
+// WithMemoryLimit caps this call's resident operator state at n bytes,
+// overriding the database-wide SetMemoryLimit per-query default (0 removes
+// the cap for this call). Under a cap, memory-hungry operators — hash-join
+// builds, sorts, DISTINCT and group-by state — spill to temporary files
+// instead of failing; a query whose working set cannot spill below the cap
+// fails with ErrMemoryExceeded.
+func WithMemoryLimit(n int64) QueryOption { return engine.WithMemoryLimit(n) }
+
+// WithAdmission controls whether this execution passes through the
+// database's admission queue (default true); WithAdmission(false) exempts
+// the call, which is useful for administrative or monitoring queries that
+// must not wait behind a saturated queue. It has no effect unless
+// SetAdmission has configured a cap.
+func WithAdmission(enabled bool) QueryOption { return engine.WithAdmission(enabled) }
+
 // Query optimizes and executes a SELECT with the default EMST strategy.
 func (db *DB) Query(query string) (*Result, error) { return db.eng.Query(query) }
 
@@ -231,6 +247,51 @@ type PlanCacheStats = engine.PlanCacheStats
 
 // PlanCacheStats reports cache size and hit/miss/eviction counters.
 func (db *DB) PlanCacheStats() PlanCacheStats { return db.eng.PlanCacheStats() }
+
+// Resource-governor errors, re-exported so callers can errors.Is against
+// them without importing internal packages.
+var (
+	// ErrMemoryExceeded marks a query whose working set could not fit (or
+	// spill below) its memory budget.
+	ErrMemoryExceeded = resource.ErrMemoryExceeded
+	// ErrAdmissionRejected marks an execution bounced because the admission
+	// wait queue was full.
+	ErrAdmissionRejected = resource.ErrAdmissionRejected
+	// ErrClosed marks an execution attempted after Close.
+	ErrClosed = resource.ErrClosed
+)
+
+// MemInfo is the per-query memory account reported in PlanInfo.Mem: the
+// effective budget, the peak bytes the governor reserved for the query
+// (never above the budget), and how much operator state spilled to disk.
+type MemInfo = engine.MemInfo
+
+// GovernorStats is a point-in-time snapshot of the memory governor and the
+// admission queue.
+type GovernorStats = resource.GovernorStats
+
+// SetMemoryLimit configures memory governance for every subsequent query:
+// perQuery caps each query's resident operator state and total caps the sum
+// across concurrent queries (0 disables either cap). Capped queries spill
+// oversized operator state to temporary files; WithMemoryLimit overrides
+// the per-query default for one call.
+func (db *DB) SetMemoryLimit(perQuery, total int64) { db.eng.SetMemoryLimit(perQuery, total) }
+
+// SetAdmission configures admission control: at most maxConcurrent query
+// executions run at once and at most maxQueue more wait in FIFO order;
+// beyond that executions fail fast with ErrAdmissionRejected. Waiting
+// honors context cancellation. maxConcurrent <= 0 disables admission
+// control.
+func (db *DB) SetAdmission(maxConcurrent, maxQueue int) { db.eng.SetAdmission(maxConcurrent, maxQueue) }
+
+// ResourceStats returns a snapshot of the memory governor and admission
+// queue: bytes in use, spill totals, and admitted/waiting/rejected counts.
+func (db *DB) ResourceStats() GovernorStats { return db.eng.ResourceStats() }
+
+// Close shuts the database down for new work: queued executions are
+// rejected with ErrClosed and Close blocks until running executions drain.
+// It only has queues to drain when SetAdmission configured a cap.
+func (db *DB) Close() { db.eng.Close() }
 
 // Metrics is a snapshot of database-wide activity: plan/query volume, EMST
 // cost-comparison outcomes, cumulative executor counters, and rule fires.
