@@ -32,7 +32,7 @@ check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/... ./internal/vec/...
 	$(MAKE) bench-check
 
 # gofmt as a gate: print offending files and fail if any exist.
@@ -45,10 +45,11 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable perf trajectory: row-key encoders, hash-join build,
-# cold-vs-cached prepares, spill-on vs spill-off join/sort pairs, and
-# Table-1 experiments (ns/op + allocs/op) written to $(BENCH_OUT).
-# Override per PR: make bench-json BENCH_OUT=BENCH_6.json
-BENCH_OUT ?= BENCH_5.json
+# cold-vs-cached prepares, spill-on vs spill-off join/sort pairs,
+# vectorized-vs-row executor pairs (ns/row), and Table-1 experiments
+# (ns/op + allocs/op) written to $(BENCH_OUT).
+# Override per PR: make bench-json BENCH_OUT=BENCH_7.json
+BENCH_OUT ?= BENCH_6.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 

@@ -17,7 +17,7 @@
 //
 //	benchjson [-out BENCH.json] [-experiments A,B,...] [-scale N]
 //	          [-baseline BENCH_1.json] [-threshold 15]
-//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/]
+//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/,vec/]
 package main
 
 import (
@@ -62,7 +62,7 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
-	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/", "comma-separated name prefixes the regression gate applies to")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -128,6 +128,25 @@ func main() {
 	// budget tight enough to force disk spilling.
 	if err := spillBench(record); err != nil {
 		fmt.Fprintln(os.Stderr, "spill bench:", err)
+		os.Exit(1)
+	}
+
+	// Vectorized-vs-row executor pairs, normalized to ns per input row.
+	recordPerRow := func(name string, rows int, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		rep.Results = append(rep.Results, result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N) / float64(rows),
+			BytesPerOp:  r.AllocedBytesPerOp() / int64(rows),
+			AllocsPerOp: r.AllocsPerOp() / int64(rows),
+			Iterations:  r.N,
+		})
+		fmt.Printf("%-28s %12.2f ns/row %10d B/row %8d allocs/row\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N)/float64(rows),
+			r.AllocedBytesPerOp()/int64(rows), r.AllocsPerOp()/int64(rows))
+	}
+	if err := vecBench(recordPerRow); err != nil {
+		fmt.Fprintln(os.Stderr, "vec bench:", err)
 		os.Exit(1)
 	}
 
@@ -344,6 +363,89 @@ func spillBench(record func(string, func(b *testing.B))) error {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := p.ExecuteContext(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// vecBench measures the vectorized select operator against the row pipeline
+// on the same prepared plans, toggled with SetVectorized: a zero-match scan
+// filter (pure predicate cost), a selective mixed int/string filter, and a
+// hash join driven by a 64k-row stream probing a grouped-view build. Results
+// are normalized to ns per input row so they compare across PRs even if the
+// table size changes. Each vec run asserts the ROOT select actually executed
+// vectorized — a silent fallback would benchmark the row path twice.
+//
+// The hash-join shape is picked so the probe loop dominates and the big
+// table drives: the view's string-range filter keeps the actual build tiny
+// (1024 groups) while its default selectivity estimate keeps the view's
+// cardinality estimate high, and the parameterized range filters on t (all
+// rows pass) shrink t's estimated stream. The join is pinned to the
+// Original strategy — magic rewriting would restructure the view around
+// the fooled estimates and benchmark a different plan entirely.
+func vecBench(record func(string, int, func(b *testing.B))) error {
+	const rows = 65536
+	db := engine.New()
+	if _, err := db.Exec(`
+	CREATE TABLE vt (a INT, k INT, name VARCHAR);
+	CREATE VIEW vtot (ka, total) AS
+	  SELECT a, SUM(k) FROM vt WHERE name < 'v-0008' GROUPBY a;`); err != nil {
+		return err
+	}
+	batch := make([]datum.Row, rows)
+	for i := range batch {
+		batch[i] = datum.Row{
+			datum.Int(int64(i)),
+			datum.Int(int64(i % 4096)),
+			datum.String(fmt.Sprintf("v-%04d", i%512)),
+		}
+	}
+	if err := db.InsertRows("vt", batch); err != nil {
+		return err
+	}
+	cases := []struct {
+		name  string
+		query string
+		args  []any
+	}{
+		{"scan", `SELECT t.a FROM vt t WHERE t.a < 0`, nil},
+		{"filter", `SELECT t.a FROM vt t
+		            WHERE t.k >= 100 AND t.k < 200 AND t.name <> 'v-0000'`, nil},
+		{"hashjoin", `SELECT t.a, v.total FROM vt t, vtot v
+		              WHERE t.a = v.ka AND t.a >= ? AND t.k >= ?`, []any{0, 0}},
+	}
+	ctx := context.Background()
+	defer db.SetVectorized(true)
+	for _, c := range cases {
+		for _, mode := range []struct {
+			prefix string
+			vec    bool
+		}{
+			{"vec", true},
+			{"row", false},
+		} {
+			db.SetVectorized(mode.vec)
+			p, err := db.PrepareContext(ctx, c.query, engine.WithStrategy(engine.Original))
+			if err != nil {
+				return err
+			}
+			res, err := p.ExecuteContext(ctx, c.args...)
+			if err != nil {
+				return err
+			}
+			root := res.Plan.Operators[0]
+			if root.Vectorized != mode.vec {
+				return fmt.Errorf("%s/%s: root %s vectorized=%v, want %v — plan shape regressed:\n%s",
+					mode.prefix, c.name, root.Kind, root.Vectorized, mode.vec, res.Plan.Physical)
+			}
+			record(fmt.Sprintf("%s/%s_ns_row", mode.prefix, c.name), rows, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.ExecuteContext(ctx, c.args...); err != nil {
 						b.Fatal(err)
 					}
 				}

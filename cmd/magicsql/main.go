@@ -314,6 +314,8 @@ func (sh *shell) printMetrics(m obs.Metrics) {
 	fmt.Fprintf(sh.out, "exec: base-rows=%d box-evals=%d hash-builds=%d hash-probes=%d index-lookups=%d output-rows=%d\n",
 		m.Exec.BaseRows, m.Exec.BoxEvals, m.Exec.HashBuilds, m.Exec.HashProbes,
 		m.Exec.IndexLookups, m.Exec.OutputRows)
+	fmt.Fprintf(sh.out, "intern: strings=%d bytes=%d hits=%d misses=%d\n",
+		m.Intern.Strings, m.Intern.Bytes, m.Intern.Hits, m.Intern.Misses)
 	if len(m.OpRows) > 0 {
 		keys := make([]string, 0, len(m.OpRows))
 		for k := range m.OpRows {

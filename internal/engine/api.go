@@ -497,6 +497,7 @@ func (p *Prepared) ExecuteContext(ctx context.Context, args ...any) (*Result, er
 	if p.strategy == Correlated {
 		ev.NoSubqueryCache = true
 	}
+	ev.NoVec = p.db.noVec.Load()
 	// A budget is attached when a per-query cap applies (option or database
 	// default) or when an engine-wide total cap is set — the total cap is
 	// enforced through each query's Budget reservations.
@@ -571,6 +572,7 @@ func opSamples(reports []plan.OpReport) []obs.OpSample {
 		out[i] = obs.OpSample{
 			Kind: r.Kind, Rows: r.Rows, Batches: r.Batches, Nanos: r.Nanos,
 			Spills: r.Spills, SpillBytes: r.SpillBytes,
+			Vectorized: r.Vectorized, RowsPerBatch: r.RowsPerBatch,
 		}
 	}
 	return out
@@ -582,9 +584,16 @@ func opSamples(reports []plan.OpReport) []obs.OpSample {
 func (p *Prepared) Explain() *ExplainInfo { return p.explain }
 
 // Metrics returns a snapshot of database-wide activity: plan and query
-// volume, EMST cost-comparison outcomes, cumulative executor counters, and
-// rewrite-rule fire counts.
-func (db *Database) Metrics() obs.Metrics { return db.metrics.Snapshot() }
+// volume, EMST cost-comparison outcomes, cumulative executor counters,
+// rewrite-rule fire counts, and the engine-wide string-intern table.
+func (db *Database) Metrics() obs.Metrics {
+	m := db.metrics.Snapshot()
+	is := db.store.Intern().Stats()
+	m.Intern = obs.InternStats{
+		Strings: is.Strings, Bytes: is.Bytes, Hits: is.Hits, Misses: is.Misses,
+	}
+	return m
+}
 
 // ResetMetrics zeroes the database-wide metrics.
 func (db *Database) ResetMetrics() { db.metrics.Reset() }

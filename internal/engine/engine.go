@@ -95,6 +95,9 @@ type Database struct {
 	// memLimit is the default per-query memory budget (see SetMemoryLimit);
 	// WithMemoryLimit overrides it per call.
 	memLimit atomic.Int64
+	// noVec disables the vectorized select operator (see SetVectorized).
+	// The zero value means vectorized execution is on.
+	noVec atomic.Bool
 }
 
 // New returns an empty database. The plan cache starts enabled; no memory or
@@ -160,6 +163,16 @@ func (db *Database) SetMemoryLimit(perQuery, total int64) {
 // (and plan-cache interaction, including single-flight misses) never queues.
 func (db *Database) SetAdmission(maxConcurrent, maxQueue int) {
 	db.gov.SetAdmission(maxConcurrent, maxQueue)
+}
+
+// SetVectorized toggles the vectorized select operator for subsequent
+// executions. It is on by default: eligible select plans (see the
+// [vectorizable] marker in EXPLAIN) run over typed column batches with
+// interned string keys instead of row-at-a-time streaming. Turning it off
+// forces every plan onto the row pipeline; results are identical either
+// way, so the switch exists for A/B benchmarking and as an escape hatch.
+func (db *Database) SetVectorized(on bool) {
+	db.noVec.Store(!on)
 }
 
 // ResourceStats returns a snapshot of the memory governor and admission

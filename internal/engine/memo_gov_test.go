@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestGovernedMemoization checks that the evaluator's memoization caches —
+// closed-box memo, correlated subquery caches, recursive fixpoint sets —
+// run under the memory budget: queries whose caches outgrow the budget
+// still succeed (insertion is skipped, work is recomputed), results match
+// the unlimited run exactly, the budget's high-water mark stays under the
+// cap, and the governor drains fully afterwards.
+func TestGovernedMemoization(t *testing.T) {
+	db := spillDB(t)
+	ctx := context.Background()
+	queries := []string{
+		// The shared view subtree materializes ~1.5k rows — far beyond the
+		// budget — and is referenced twice, so an ungoverned memo would hold
+		// it resident while a governed one must skip or evict.
+		`SELECT b1.empno FROM bigEarners b1, bigEarners b2
+		 WHERE b1.empno = b2.empno AND b1.salary > 900`,
+		// Correlated scalar subquery: one cache entry per distinct
+		// correlation value of a 1.5k-row outer.
+		`SELECT e.empno FROM employee e
+		 WHERE e.salary > (SELECT AVG(salary) FROM employee e2 WHERE e2.workdept = e.workdept)
+		 AND e.empno < 1100`,
+		// Recursive fixpoint: the accumulated set must stay resident, and a
+		// few-KB budget comfortably holds this closure.
+		`SELECT r.src, e.empname FROM reach r, employee e WHERE r.dst = e.empno`,
+	}
+	for _, limit := range []int64{8 << 10, 64 << 10} {
+		for _, query := range queries {
+			ref, err := db.QueryContext(ctx, query)
+			if err != nil {
+				t.Fatalf("%q unlimited: %v", query, err)
+			}
+			want := strings.Join(rowsAsStrings(ref), ";")
+			for _, mode := range []string{"streaming", "materialized"} {
+				opts := []QueryOption{WithMemoryLimit(limit)}
+				if mode == "materialized" {
+					opts = append(opts, WithMaterialized())
+				}
+				res, err := db.QueryContext(ctx, query, opts...)
+				if err != nil {
+					t.Fatalf("%q %s under %d: %v", query, mode, limit, err)
+				}
+				if got := strings.Join(rowsAsStrings(res), ";"); got != want {
+					t.Fatalf("%q %s under %d disagrees with unlimited\ngot  %s\nwant %s",
+						query, mode, limit, got, want)
+				}
+				if peak := res.Plan.Mem.PeakBytes; peak > limit {
+					t.Fatalf("%q %s: peak %d exceeds budget %d", query, mode, peak, limit)
+				}
+			}
+		}
+	}
+	if used := db.ResourceStats().UsedBytes; used != 0 {
+		t.Fatalf("governor leaks %d bytes after governed-memoization workload", used)
+	}
+}

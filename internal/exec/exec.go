@@ -19,6 +19,7 @@ import (
 	"starmagic/internal/qgm"
 	"starmagic/internal/resource"
 	"starmagic/internal/storage"
+	"starmagic/internal/vec"
 )
 
 // Counters records work done during evaluation; benchmarks and tests use
@@ -30,6 +31,7 @@ type Counters struct {
 	HashBuilds    int64 // transient join hash tables built
 	HashProbes    int64 // probes into transient join hash tables
 	IndexLookups  int64 // base-table index probes
+	GraceJoins    int64 // hash stages that switched to partition-wise grace probing
 	OutputRows    int64 // rows produced by box evaluations
 }
 
@@ -41,6 +43,7 @@ func (c *Counters) Add(other Counters) {
 	c.HashBuilds += other.HashBuilds
 	c.HashProbes += other.HashProbes
 	c.IndexLookups += other.IndexLookups
+	c.GraceJoins += other.GraceJoins
 	c.OutputRows += other.OutputRows
 }
 
@@ -56,6 +59,12 @@ type Evaluator struct {
 
 	// MaxRows aborts runaway evaluations (0 = unlimited).
 	MaxRows int64
+
+	// NoVec disables the vectorized select operator, forcing every plan
+	// onto the row-at-a-time pipeline. The engine sets it from
+	// Database.SetVectorized; the paired-benchmark harness and the
+	// vectorized-vs-row oracle tests rely on it.
+	NoVec bool
 
 	// MaxRecursion bounds fixpoint iterations for recursive views
 	// (0 = default 1000).
@@ -84,10 +93,16 @@ type Evaluator struct {
 	// how build sides are gathered: the streaming executor skips closed-
 	// subtree prefetch and streams hash-build inputs instead of
 	// materializing them, so peak memory stays bounded. Memoization caches
-	// (box memo, subquery/hash caches) and final result rows are
-	// deliberately exempt; governing them is an open ROADMAP item. Set by
-	// the engine; nil means unbounded in-memory execution.
+	// (box memo, subquery/hash caches, fixpoint sets) are governed too: see
+	// cachegov.go — denied inserts skip caching and recompute, cached
+	// entries are evicted under pressure, and only resident fixpoint sets
+	// can fail the query. Final result rows remain exempt. Set by the
+	// engine; nil means unbounded in-memory execution.
 	Mem *resource.Budget
+
+	// cgov charges memoization state to Mem; nil until the first governed
+	// cache insert (see cg).
+	cgov *cacheGov
 
 	// spillables are the live paged containers of this evaluator, in
 	// creation order. When one container's own evictions cannot satisfy a
@@ -264,7 +279,7 @@ func (ev *Evaluator) EvalBox(b *qgm.Box, env Env) ([]datum.Row, error) {
 		return nil, err
 	}
 	if closed && !ev.NoSubqueryCache {
-		ev.memo[b] = rows
+		ev.memoInsert(b, rows)
 	}
 	return rows, nil
 }
@@ -307,7 +322,9 @@ func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
 		if err := ev.ctxErr(); err != nil {
 			return nil, err
 		}
-		ev.memo[b] = cur
+		if err := ev.memoResident(b, cur); err != nil {
+			return nil, err
+		}
 		ev.invalidateSCC(b, scc)
 		rows, err := ev.evalBoxNow(b, env)
 		if err != nil {
@@ -338,7 +355,9 @@ func (ev *Evaluator) evalRecursive(b *qgm.Box, env Env) ([]datum.Row, error) {
 			return nil, errRowBudget(int64(len(cur)))
 		}
 	}
-	ev.memo[b] = cur
+	if err := ev.memoResident(b, cur); err != nil {
+		return nil, err
+	}
 	return cur, nil
 }
 
@@ -398,13 +417,12 @@ func (ev *Evaluator) invalidateSCC(b *qgm.Box, scc []*qgm.Box) {
 		inSCC[x] = true
 	}
 	for _, x := range scc {
-		delete(ev.memo, x)
+		ev.memoDelete(x)
 	}
 	clearQuants := func(box *qgm.Box) {
 		for _, q := range box.Quantifiers {
 			if inSCC[q.Ranges] {
-				delete(ev.hashCache, q)
-				delete(ev.subCache, q)
+				ev.cacheDeleteQuant(q)
 			}
 		}
 	}
@@ -752,12 +770,7 @@ func (ev *Evaluator) joinStage(b *qgm.Box, plan *selectPlan, q *qgm.Quantifier, 
 				return err
 			}
 			if cacheable {
-				byKey := ev.hashCache[q]
-				if byKey == nil {
-					byKey = map[string]map[string][]datum.Row{}
-					ev.hashCache[q] = byKey
-				}
-				byKey[keySig] = ht
+				ev.hashInsert(q, keySig, ht)
 			}
 		}
 		delete(cur, q)
@@ -929,7 +942,7 @@ func (ev *Evaluator) evalSubquery(q *qgm.Quantifier, cur Env) ([]datum.Row, erro
 	if err != nil {
 		return nil, err
 	}
-	cache[key] = rows
+	ev.subInsert(q, cache, key, rows)
 	return rows, nil
 }
 
@@ -997,6 +1010,12 @@ func (ev *Evaluator) accumulateGroup(gt *groupTable, b *qgm.Box, env Env, gkBuf 
 		}
 		key[i] = v
 	}
+	return ev.accumulateGroupKeyed(gt, b, env, key, gkBuf)
+}
+
+// accumulateGroupKeyed is accumulateGroup after the group key row has been
+// evaluated: byte-encode it, find or create the entry, update aggregates.
+func (ev *Evaluator) accumulateGroupKeyed(gt *groupTable, b *qgm.Box, env Env, key datum.Row, gkBuf []byte) ([]byte, error) {
 	ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], key)
 	gkBuf = append(gkBuf[:0], ev.keyBuf...)
 	grp, ok, err := gt.lookup(gkBuf)
@@ -1009,6 +1028,55 @@ func (ev *Evaluator) accumulateGroup(gt *groupTable, b *qgm.Box, env Env, gkBuf 
 			return gkBuf, err
 		}
 	}
+	return gkBuf, ev.updateGroup(gt, b, grp, gkBuf, env)
+}
+
+// accumulateGroupFast is accumulateGroup with a fixed-width key cache in
+// front of the byte-keyed table: keyable group keys (at most vec.MaxKeyCols
+// encodable columns) hit a map[vec.RowKey]*groupEntry and skip byte-key
+// encoding after a group's first row. Only valid without a memory budget —
+// it caches entry pointers, which stay stable only in the map-backed table.
+// Non-keyable keys fall through to the byte path; equal keys always
+// classify the same way, so the two maps never split a group.
+func (ev *Evaluator) accumulateGroupFast(gt *groupTable, b *qgm.Box, env Env, keyer *vec.RowKeyer, fast map[vec.RowKey]*groupEntry, gkBuf []byte) ([]byte, error) {
+	key := make(datum.Row, len(b.GroupBy))
+	for i, ge := range b.GroupBy {
+		v, err := EvalExpr(ge, env)
+		if err != nil {
+			return gkBuf, err
+		}
+		key[i] = v
+	}
+	rk, ok := keyer.Key(key)
+	if !ok {
+		return ev.accumulateGroupKeyed(gt, b, env, key, gkBuf)
+	}
+	grp := fast[rk]
+	if grp == nil {
+		ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], key)
+		gkBuf = append(gkBuf[:0], ev.keyBuf...)
+		var present bool
+		var err error
+		grp, present, err = gt.lookup(gkBuf)
+		if err != nil {
+			return gkBuf, err
+		}
+		if !present {
+			grp = newGroupEntry(key, b.Aggs)
+			if err := gt.insert(gkBuf, grp); err != nil {
+				return gkBuf, err
+			}
+		}
+		fast[rk] = grp
+	}
+	return gkBuf, ev.updateGroup(gt, b, grp, gkBuf, env)
+}
+
+// updateGroup folds the current row's aggregate arguments into grp:
+// DISTINCT-argument filtering, state updates, and distinct-set growth
+// accounting against the spill table (gkBuf is the entry's byte key for
+// recharging; unused for in-memory tables).
+func (ev *Evaluator) updateGroup(gt *groupTable, b *qgm.Box, grp *groupEntry, gkBuf []byte, env Env) error {
 	var delta int64
 	for i, a := range b.Aggs {
 		var v datum.D
@@ -1016,7 +1084,7 @@ func (ev *Evaluator) accumulateGroup(gt *groupTable, b *qgm.Box, env Env, gkBuf 
 			var err error
 			v, err = EvalExpr(a.Arg, env)
 			if err != nil {
-				return gkBuf, err
+				return err
 			}
 		}
 		if a.Distinct {
@@ -1031,16 +1099,16 @@ func (ev *Evaluator) accumulateGroup(gt *groupTable, b *qgm.Box, env Env, gkBuf 
 			delta += 24 + int64(len(ev.keyBuf))
 		}
 		if err := grp.states[i].Add(v); err != nil {
-			return gkBuf, err
+			return err
 		}
 	}
 	if delta > 0 {
 		grp.memSize += delta
 		if err := gt.recharge(gkBuf, delta); err != nil {
-			return gkBuf, err
+			return err
 		}
 	}
-	return gkBuf, nil
+	return nil
 }
 
 // emitGroups renders gt's groups in first-seen order (insertion sequence),
@@ -1271,4 +1339,5 @@ func (ev *Evaluator) ResetCaches() {
 	ev.subCache = map[*qgm.Quantifier]map[string][]datum.Row{}
 	ev.free = map[*qgm.Box][]corrRef{}
 	ev.hashCache = map[*qgm.Quantifier]map[string]map[string][]datum.Row{}
+	ev.clearCacheCharges()
 }

@@ -125,9 +125,12 @@ func (ev *Evaluator) prefetchBoxes(boxes []*qgm.Box) error {
 		// content either way, since evaluation is deterministic).
 		for bx, rows := range c.memo {
 			if _, ok := ev.memo[bx]; !ok {
-				ev.memo[bx] = rows
+				ev.memoInsert(bx, rows)
 			}
 		}
+		// The parent now owns (and has re-charged) the adopted entries;
+		// release the worker's reservations.
+		c.clearCacheCharges()
 	}
 	if ev.MaxRows > 0 && ev.Counters.OutputRows > ev.MaxRows {
 		return errRowBudget(ev.Counters.OutputRows)

@@ -370,6 +370,29 @@ func (pt *pagedTable[V]) ensureResident(p *tablePart[V]) error {
 	return nil
 }
 
+// spilled reports whether any partition currently lives on disk.
+func (pt *pagedTable[V]) spilled() bool {
+	for i := range pt.parts {
+		if pt.parts[i].onDisk {
+			return true
+		}
+	}
+	return false
+}
+
+// residentPart pages partition i in and returns its entry map. The map stays
+// resident as long as the caller charges nothing against the budget; any
+// charge may evict it (pageOut nils the partition's map, so the returned
+// reference keeps working but its reservation is gone — callers must not
+// rely on that).
+func (pt *pagedTable[V]) residentPart(i int) (map[string]V, error) {
+	p := &pt.parts[i]
+	if err := pt.ensureResident(p); err != nil {
+		return nil, err
+	}
+	return p.mem, nil
+}
+
 // each visits every entry, paging partitions in one at a time. Order is
 // unspecified; callers needing an order carry a sequence number in V.
 func (pt *pagedTable[V]) each(f func(key string, v V) error) error {
@@ -589,6 +612,15 @@ func (sj *spillJoin) probe(key []byte) ([]datum.Row, error) {
 }
 
 func (sj *spillJoin) close() { sj.pt.close() }
+
+// spilled reports whether the build left any partition on disk (the trigger
+// for a partition-wise grace probe, see grace.go).
+func (sj *spillJoin) spilled() bool { return sj.pt.spilled() }
+
+// partition pages build partition i in and returns its buckets.
+func (sj *spillJoin) partition(i int) (map[string]*rowBucket, error) {
+	return sj.pt.residentPart(i)
+}
 
 // groupEntry is one group's aggregate state. memSize caches the charged
 // resident size; callers adjust it (and recharge) when distinct-sets grow.

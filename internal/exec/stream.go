@@ -21,6 +21,7 @@ import (
 	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
 	"starmagic/internal/storage"
+	"starmagic/internal/vec"
 )
 
 // streamBatch is the row-batch granularity of the iterator protocol: big
@@ -108,7 +109,11 @@ func (r *planRun) build(n *plan.Node) operator {
 	case plan.OpScan:
 		op = &scanOp{r: r, n: n}
 	case plan.OpSelect:
-		op = &selectPipeOp{r: r, n: n}
+		if v := r.tryVecSelect(n); v != nil {
+			op = v
+		} else {
+			op = &selectPipeOp{r: r, n: n}
+		}
 	case plan.OpGroupBy:
 		op = &groupByOp{r: r, n: n}
 	case plan.OpUnion:
@@ -201,7 +206,7 @@ func (r *planRun) materialize(n *plan.Node) ([]datum.Row, error) {
 	// Streamed subtrees are closed by construction (lowering bridges
 	// correlated boxes), so the result is safe to memoize.
 	if n.Box != nil && !ev.NoSubqueryCache {
-		ev.memo[n.Box] = rows
+		ev.memoInsert(n.Box, rows)
 	}
 	return rows, nil
 }
@@ -380,6 +385,9 @@ type selectPipeOp struct {
 	// oneShot handles a stage-less box (no ForEach quantifiers): exactly one
 	// candidate binding is finished.
 	oneShot bool
+	// grace, when set, replaces the odometer: the pipeline switched to a
+	// partition-wise grace join (see grace.go) and next() emits its merge.
+	grace *graceJoin
 }
 
 func (p *selectPipeOp) open() error {
@@ -389,6 +397,7 @@ func (p *selectPipeOp) open() error {
 	}
 	p.env = ev.rootEnv()
 	p.done = false
+	p.grace = nil
 	p.oneShot = len(p.n.Stages) == 0
 
 	// Constant predicates: any non-TRUE empties the box.
@@ -713,6 +722,14 @@ func (p *selectPipeOp) resetStage(i int) error {
 				if err := p.buildSpillStage(ss); err != nil {
 					return err
 				}
+				ss.built = true
+				if p.graceShape(i) && ss.sht.spilled() {
+					// The build spilled: per-probe lookups would fault
+					// partitions in and out once per outer row. Switch to
+					// the partition-wise grace join; next() notices p.grace
+					// and emits its merge.
+					return p.graceRun(ss)
+				}
 			} else {
 				rows, err := p.r.materialize(ss.st.Child)
 				if err != nil {
@@ -724,8 +741,8 @@ func (p *selectPipeOp) resetStage(i int) error {
 				if err != nil {
 					return err
 				}
+				ss.built = true
 			}
-			ss.built = true
 		}
 		ev.keyBuf = ev.keyBuf[:0]
 		for _, e := range ss.st.KeyOther {
@@ -970,6 +987,9 @@ func (p *selectPipeOp) next() ([]datum.Row, error) {
 	if p.done {
 		return nil, nil
 	}
+	if p.grace != nil {
+		return p.graceNext()
+	}
 	if p.oneShot {
 		p.done = true
 		pass, err := p.finishRow()
@@ -1015,6 +1035,11 @@ func (p *selectPipeOp) next() ([]datum.Row, error) {
 			i++
 			if err := p.resetStage(i); err != nil {
 				return nil, err
+			}
+			if p.grace != nil {
+				// The stage's spilled build switched the pipeline to grace
+				// mode; no binding has completed yet, so nothing is lost.
+				return p.graceNext()
 			}
 			continue
 		}
@@ -1064,6 +1089,10 @@ func (p *selectPipeOp) close() error {
 			ss.buf.close()
 		}
 	}
+	if p.grace != nil {
+		p.grace.close()
+		p.grace = nil
+	}
 	p.stages = nil
 	p.env = nil
 	return err
@@ -1095,6 +1124,14 @@ func (g *groupByOp) open() error {
 	defer gt.close()
 	env := ev.rootEnv()
 	var gkBuf []byte
+	// Without a budget the table is map-backed and entry pointers are
+	// stable, so a fixed-width RowKey cache can front the byte-keyed map.
+	var keyer *vec.RowKeyer
+	var fast map[vec.RowKey]*groupEntry
+	if ev.Mem == nil && !ev.NoVec {
+		keyer = vec.NewRowKeyer()
+		fast = map[vec.RowKey]*groupEntry{}
+	}
 
 	err := func() error {
 		for {
@@ -1110,7 +1147,11 @@ func (g *groupByOp) open() error {
 					return err
 				}
 				env[inQ] = row
-				gkBuf, err = ev.accumulateGroup(gt, b, env, gkBuf)
+				if keyer != nil {
+					gkBuf, err = ev.accumulateGroupFast(gt, b, env, keyer, fast, gkBuf)
+				} else {
+					gkBuf, err = ev.accumulateGroup(gt, b, env, gkBuf)
+				}
 				if err != nil {
 					return err
 				}
@@ -1382,14 +1423,24 @@ type distinctOp struct {
 	n     *plan.Node
 	child operator
 	seen  *seenSet
+	keyer *vec.RowKeyer
+	fast  map[vec.RowKey]struct{}
 	out   []datum.Row
 }
 
 func (d *distinctOp) open() error {
+	ev := d.r.ev
 	if d.n.BoxRoot {
-		d.r.ev.Counters.BoxEvals++
+		ev.Counters.BoxEvals++
 	}
-	d.seen = d.r.ev.newSeenSet("distinct", d.r.spillNote(d.n))
+	d.seen = ev.newSeenSet("distinct", d.r.spillNote(d.n))
+	// Keyable rows dedupe through a fixed-width RowKey set instead of
+	// byte-encoded keys; wide or non-encodable rows keep the byte path.
+	// Equal rows always classify the same way, so the two sets agree.
+	if ev.Mem == nil && !ev.NoVec {
+		d.keyer = vec.NewRowKeyer()
+		d.fast = map[vec.RowKey]struct{}{}
+	}
 	return d.child.open()
 }
 
@@ -1405,6 +1456,16 @@ func (d *distinctOp) next() ([]datum.Row, error) {
 		}
 		d.out = d.out[:0]
 		for _, row := range batch {
+			if d.keyer != nil {
+				if rk, ok := d.keyer.Key(row); ok {
+					if _, dup := d.fast[rk]; dup {
+						continue
+					}
+					d.fast[rk] = struct{}{}
+					d.out = append(d.out, row)
+					continue
+				}
+			}
 			ev.keyBuf = datum.AppendKey(ev.keyBuf[:0], row)
 			dup, err := d.seen.checkAndAdd(ev.keyBuf)
 			if err != nil {

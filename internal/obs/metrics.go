@@ -99,6 +99,24 @@ type OpSample struct {
 	// operator under a memory budget, and the bytes they wrote.
 	Spills     int64 `json:"spills,omitempty"`
 	SpillBytes int64 `json:"spill_bytes,omitempty"`
+	// Vectorized marks operators that ran over typed column batches;
+	// RowsPerBatch is the operator's mean output batch width (Rows/Batches).
+	Vectorized   bool    `json:"vectorized,omitempty"`
+	RowsPerBatch float64 `json:"rows_per_batch,omitempty"`
+}
+
+// InternStats is the engine-wide string-intern table snapshot (the
+// dependency-free mirror of internal/vec's InternStats — the engine copies
+// field by field).
+type InternStats struct {
+	// Strings is the number of distinct interned strings; Bytes approximates
+	// their resident footprint.
+	Strings int64 `json:"strings"`
+	Bytes   int64 `json:"bytes"`
+	// Hits and Misses count intern/lookup calls that did and did not find
+	// the string already present. Hits/(Hits+Misses) is the hit rate.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 // Metrics is a point-in-time snapshot of engine activity since Open (or the
@@ -154,6 +172,9 @@ type Metrics struct {
 	AdmissionWaits     int64 `json:"admission_waits"`
 	AdmissionWaitNanos int64 `json:"admission_wait_nanos"`
 	AdmissionRejected  int64 `json:"admission_rejected"`
+	// Intern is the engine-wide string-intern table at snapshot time (filled
+	// by the engine from storage, not accumulated through the sink).
+	Intern InternStats `json:"intern"`
 }
 
 // MetricsSink accumulates samples; Snapshot returns an independent Metrics

@@ -392,7 +392,88 @@ func (lw *lowerer) lowerSelect(b *qgm.Box) *Node {
 	}
 
 	n.Detail = strings.Join(detail, ", ")
+	n.Vec = vectorizableSelect(n)
 	return n
+}
+
+// vectorizableSelect is the lowering-time vectorizability decision for a
+// select pipeline: the driving stage streams a base-table scan whose
+// residual filters are kernel-compilable, every later stage is a hash join
+// keyed on at most vec.MaxKeyCols plain column/constant expressions, and
+// nothing forces row-at-a-time finishing (scalar subqueries, semi/anti
+// checks, post-predicates). The executor re-verifies at build time against
+// runtime types and the memory mode; this flag is the shared structural
+// judgment surfaced in EXPLAIN.
+func vectorizableSelect(n *Node) bool {
+	if len(n.Scalars) > 0 || len(n.Subqs) > 0 || len(n.PostPreds) > 0 || len(n.Stages) == 0 {
+		return false
+	}
+	for i := range n.Stages {
+		st := &n.Stages[i]
+		if i == 0 {
+			if st.Access != AccessStream || st.Child.Kind != OpScan {
+				return false
+			}
+			for _, e := range st.Residual {
+				if !vecFilterable(e, st.Quant) {
+					return false
+				}
+			}
+			continue
+		}
+		if st.Access != AccessHash || len(st.KeyMine) == 0 || len(st.KeyMine) > maxVecKeys {
+			return false
+		}
+		for _, e := range st.KeyMine {
+			if cr, ok := e.(*qgm.ColRef); !ok || cr.Q != st.Quant {
+				return false
+			}
+		}
+		for _, e := range st.KeyOther {
+			switch e.(type) {
+			case *qgm.ColRef, *qgm.Const, *qgm.Param:
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxVecKeys mirrors vec.MaxKeyCols without importing the executor's vec
+// package into the plan layer.
+const maxVecKeys = 4
+
+// vecFilterable reports whether a driving-stage filter can compile to
+// column kernels: comparisons, three-valued logic, IS [NOT] NULL, and
+// numeric arithmetic over the stage's own columns, constants, and
+// parameters. Functions, LIKE, CASE, concatenation, and references to other
+// quantifiers force the row pipeline.
+func vecFilterable(e qgm.Expr, q *qgm.Quantifier) bool {
+	switch x := e.(type) {
+	case *qgm.Const, *qgm.Param:
+		return true
+	case *qgm.ColRef:
+		return x.Q == q
+	case *qgm.Cmp:
+		return vecFilterable(x.L, q) && vecFilterable(x.R, q)
+	case *qgm.Logic:
+		for _, a := range x.Args {
+			if !vecFilterable(a, q) {
+				return false
+			}
+		}
+		return true
+	case *qgm.Not:
+		return vecFilterable(x.X, q)
+	case *qgm.IsNull:
+		return vecFilterable(x.X, q)
+	case *qgm.Arith:
+		return vecFilterable(x.L, q) && vecFilterable(x.R, q)
+	case *qgm.Neg:
+		return vecFilterable(x.X, q)
+	}
+	return false
 }
 
 // refsOnly reports whether e references quantifier q and nothing else.

@@ -216,6 +216,16 @@ type Node struct {
 	// row budget at box roots, once per box, matching the classic
 	// evaluator's accounting.
 	BoxRoot bool
+
+	// Vec marks an operator the lowering judged vectorizable: a select
+	// pipeline whose driving stage streams a base-table scan, whose later
+	// stages are all hash joins on at most vec.MaxKeyCols column/constant
+	// keys, and whose driving-stage filters compile to column kernels. The
+	// executor makes the final call at build time (it re-verifies against
+	// runtime types and the memory mode) and records the outcome in
+	// OpStats.Vectorized; a planned-but-not-executed vectorization falls
+	// back to the row pipeline with identical semantics.
+	Vec bool
 }
 
 // Plan is a lowered query: the operator tree plus the flat node list the
@@ -241,6 +251,10 @@ type OpStats struct {
 	// buffer flushes); SpillBytes is the bytes written by those events.
 	Spills     int64
 	SpillBytes int64
+	// Vectorized reports that the operator actually executed on the
+	// columnar fast path this run (set by the executor at open; false when
+	// a planned vectorization fell back to the row pipeline).
+	Vectorized bool
 }
 
 // newNode allocates a node registered in the plan.
@@ -278,12 +292,20 @@ func (p *Plan) Format(stats []OpStats) string {
 		if stats != nil && n.ID < len(stats) {
 			st := stats[n.ID]
 			line += fmt.Sprintf("  rows=%d batches=%d", st.Rows, st.Batches)
+			if st.Batches > 0 {
+				line += fmt.Sprintf(" rows_per_batch=%.1f", float64(st.Rows)/float64(st.Batches))
+			}
+			if n.Vec || st.Vectorized {
+				line += fmt.Sprintf(" vectorized=%v", st.Vectorized)
+			}
 			if st.Nanos > 0 {
 				line += fmt.Sprintf(" time=%v", time.Duration(st.Nanos).Round(time.Microsecond))
 			}
 			if st.Spills > 0 {
 				line += fmt.Sprintf(" spills=%d spill_bytes=%d", st.Spills, st.SpillBytes)
 			}
+		} else if n.Vec {
+			line += " [vectorizable]"
 		}
 		sb.WriteString(line)
 		sb.WriteByte('\n')
@@ -314,6 +336,11 @@ type OpReport struct {
 	// this operator under a memory budget.
 	Spills     int64
 	SpillBytes int64
+	// Vectorized reports the columnar fast path actually ran for this
+	// operator; RowsPerBatch is the operator's mean output batch size (0
+	// when it produced no batches).
+	Vectorized   bool
+	RowsPerBatch float64
 }
 
 // Report flattens the tree (with optional per-run stats) into OpReports.
@@ -331,6 +358,10 @@ func (p *Plan) Report(stats []OpStats) []OpReport {
 			r.Nanos = stats[n.ID].Nanos
 			r.Spills = stats[n.ID].Spills
 			r.SpillBytes = stats[n.ID].SpillBytes
+			r.Vectorized = stats[n.ID].Vectorized
+			if r.Batches > 0 {
+				r.RowsPerBatch = float64(r.Rows) / float64(r.Batches)
+			}
 		}
 		out = append(out, r)
 		for _, c := range n.Children {

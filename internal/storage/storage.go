@@ -16,6 +16,7 @@ import (
 
 	"starmagic/internal/catalog"
 	"starmagic/internal/datum"
+	"starmagic/internal/vec"
 )
 
 // HashIndex maps equality keys over a column set to row positions. Keys are
@@ -25,22 +26,39 @@ type HashIndex struct {
 	buckets map[string][]int
 }
 
-// Relation holds the rows of one base table plus its indexes.
+// Relation holds the rows of one base table plus its indexes and a
+// columnar shadow: one typed vec.Col per column, maintained on the same
+// write path as the row store, with string values interned at ingest.
+// The shadow is what the vectorized executor scans; the row slice stays
+// authoritative for row-at-a-time binding and projection.
 type Relation struct {
 	Meta *catalog.Table
 
 	mu      sync.RWMutex
 	rows    []datum.Row
+	cols    []vec.Col
+	tab     *vec.Intern
 	indexes []*HashIndex
 	keyBuf  []byte // reused under mu write lock when indexing inserts
 }
 
 // NewRelation creates an empty relation for the table, building one hash
-// index per index declared in the table metadata.
+// index per index declared in the table metadata. Stores created through
+// Store.Create share the store's intern table; a directly constructed
+// relation gets a private one.
 func NewRelation(meta *catalog.Table) *Relation {
-	r := &Relation{Meta: meta}
+	r := &Relation{Meta: meta, tab: vec.NewIntern()}
 	r.indexes = newIndexes(meta)
+	r.cols = newCols(meta)
 	return r
+}
+
+func newCols(meta *catalog.Table) []vec.Col {
+	cols := make([]vec.Col, len(meta.Columns))
+	for i, c := range meta.Columns {
+		cols[i] = vec.NewCol(c.Type)
+	}
+	return cols
 }
 
 func newIndexes(meta *catalog.Table) []*HashIndex {
@@ -84,6 +102,9 @@ func (r *Relation) insertLocked(row datum.Row) error {
 	}
 	pos := len(r.rows)
 	r.rows = append(r.rows, stored)
+	for i, d := range stored {
+		r.cols[i].Append(d, r.tab)
+	}
 	for _, idx := range r.indexes {
 		r.keyBuf = datum.AppendKeyOf(r.keyBuf[:0], stored, idx.Cols)
 		k := string(r.keyBuf)
@@ -101,17 +122,36 @@ func (r *Relation) Rows() []datum.Row {
 	return r.rows
 }
 
+// Snapshot returns a zero-copy columnar view of the relation together with
+// the matching row snapshot. Both share the append-only backing arrays under
+// the same contract as Rows: entries [0, N) never change after becoming
+// visible, so the vectorized executor scans the column slices directly with
+// no per-scan copy. The columnar and row views describe exactly the same N
+// rows.
+func (r *Relation) Snapshot() (vec.Table, []datum.Row) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := vec.Table{N: len(r.rows), Cols: make([]vec.Col, len(r.cols))}
+	copy(t.Cols, r.cols)
+	return t, r.rows
+}
+
+// Intern returns the intern table the relation's string columns resolve
+// through.
+func (r *Relation) Intern() *vec.Intern { return r.tab }
+
 // Rebuild replaces the relation's contents, revalidating and reindexing
 // every row (DELETE and UPDATE go through here).
 func (r *Relation) Rebuild(rows []datum.Row) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	old, oldIdx := r.rows, r.indexes
+	old, oldIdx, oldCols := r.rows, r.indexes, r.cols
 	r.rows = nil
 	r.indexes = newIndexes(r.Meta)
+	r.cols = newCols(r.Meta)
 	for _, row := range rows {
 		if err := r.insertLocked(row); err != nil {
-			r.rows, r.indexes = old, oldIdx // restore on failure
+			r.rows, r.indexes, r.cols = old, oldIdx, oldCols // restore on failure
 			return err
 		}
 	}
@@ -211,18 +251,30 @@ func (r *Relation) findIndexLocked(cols []int) *HashIndex {
 	return nil
 }
 
-// Store maps table names to relations. Safe for concurrent use.
+// Store maps table names to relations. Safe for concurrent use. All
+// relations of one store share one intern table, so equal strings in
+// different tables carry the same id — which is what lets the executor
+// join and compare string columns across tables on ids alone. The table
+// has store (catalog) lifetime: it survives catalog epoch bumps, only ever
+// grows, and ids stay stable once assigned.
 type Store struct {
 	mu   sync.RWMutex
 	rels map[string]*Relation
+	tab  *vec.Intern
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{rels: make(map[string]*Relation)} }
+func NewStore() *Store {
+	return &Store{rels: make(map[string]*Relation), tab: vec.NewIntern()}
+}
 
-// Create allocates storage for a table.
+// Intern returns the store-wide string intern table.
+func (s *Store) Intern() *vec.Intern { return s.tab }
+
+// Create allocates storage for a table, sharing the store's intern table.
 func (s *Store) Create(meta *catalog.Table) *Relation {
 	r := NewRelation(meta)
+	r.tab = s.tab
 	s.mu.Lock()
 	s.rels[lower(meta.Name)] = r
 	s.mu.Unlock()
