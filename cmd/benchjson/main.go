@@ -25,15 +25,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"starmagic"
 	"starmagic/internal/bench"
 	"starmagic/internal/datum"
 	"starmagic/internal/engine"
+	"starmagic/internal/wire"
 )
 
 type result struct {
@@ -62,7 +65,7 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
-	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/", "comma-separated name prefixes the regression gate applies to")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -147,6 +150,13 @@ func main() {
 	}
 	if err := vecBench(recordPerRow); err != nil {
 		fmt.Fprintln(os.Stderr, "vec bench:", err)
+		os.Exit(1)
+	}
+
+	// Wire protocol: a full-table COM_QUERY round-trip (handshake excluded,
+	// ns per streamed row) and a plan-cache-served COM_STMT_EXECUTE.
+	if err := wireBench(record, recordPerRow); err != nil {
+		fmt.Fprintln(os.Stderr, "wire bench:", err)
 		os.Exit(1)
 	}
 
@@ -452,6 +462,67 @@ func vecBench(record func(string, int, func(b *testing.B))) error {
 			})
 		}
 	}
+	return nil
+}
+
+// wireBench measures the MySQL wire path over an in-memory transport
+// (net.Pipe, so no kernel TCP noise): `query_ns_row` is a full-table
+// COM_QUERY — text rows streamed off the cursor, normalized to ns per row —
+// and `stmt_execute_cached` is one binary COM_STMT_EXECUTE round-trip of a
+// point query whose plan the sharded cache serves.
+func wireBench(record func(string, func(b *testing.B)), recordPerRow func(string, int, func(b *testing.B))) error {
+	const rows = 8192
+	db := starmagic.Open()
+	if _, err := db.Exec(`CREATE TABLE wt (id INT, grp INT, name VARCHAR, PRIMARY KEY (id))`); err != nil {
+		return err
+	}
+	batch := make([]datum.Row, rows)
+	for i := range batch {
+		batch[i] = datum.Row{
+			datum.Int(int64(i)),
+			datum.Int(int64(i % 97)),
+			datum.String(fmt.Sprintf("name-%05d", i%1000)),
+		}
+	}
+	if err := db.InsertRows("wt", batch); err != nil {
+		return err
+	}
+	srv := wire.NewServer(db, wire.Config{})
+	clientSide, serverSide := net.Pipe()
+	go srv.ServeConn(serverSide)
+	defer func() { _ = clientSide.Close() }()
+	c, err := wire.NewClient(clientSide, "bench", "")
+	if err != nil {
+		return err
+	}
+	recordPerRow("wire/query_ns_row", rows, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs, err := c.Query(`SELECT t.id, t.name FROM wt t`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != rows {
+				b.Fatalf("streamed %d rows, want %d", len(rs.Rows), rows)
+			}
+		}
+	})
+	st, err := c.Prepare(`SELECT t.name FROM wt t WHERE t.id = ?`)
+	if err != nil {
+		return err
+	}
+	record("wire/stmt_execute_cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs, err := c.Execute(st, int64(i%rows))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 1 {
+				b.Fatalf("point query returned %d rows", len(rs.Rows))
+			}
+		}
+	})
 	return nil
 }
 

@@ -1,0 +1,88 @@
+// Command magicserver serves a starmagic database over the MySQL
+// client/server protocol, so any stock MySQL client can connect:
+//
+//	magicserver -addr :3306 -init schema.sql -user root -password secret
+//	mysql -h 127.0.0.1 -P 3306 -u root -psecret
+//
+// The server is a thin shell over internal/wire: one in-memory database,
+// optionally seeded from an -init SQL script, with the engine's resource
+// controls (memory governor, admission queue, parallelism) exposed as
+// flags. SIGINT/SIGTERM shut it down gracefully: the listener closes,
+// in-flight query contexts are cancelled, and connection goroutines drain.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"starmagic"
+	"starmagic/internal/wire"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:3306", "listen address")
+		initFile      = flag.String("init", "", "SQL script to run at startup (DDL/INSERT)")
+		user          = flag.String("user", "", "required username (empty accepts any)")
+		password      = flag.String("password", "", "required password (empty accepts none)")
+		memPerQuery   = flag.Int64("mem-per-query", 0, "per-query memory budget in bytes (0 = unlimited)")
+		memTotal      = flag.Int64("mem-total", 0, "total memory budget across queries in bytes (0 = unlimited)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unlimited)")
+		maxQueue      = flag.Int("max-queue", 64, "max queries waiting for an execution slot")
+		parallelism   = flag.Int("parallelism", 0, "intra-query parallelism (0/1 serial, -1 = GOMAXPROCS)")
+		maxConns      = flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+		metricsDump   = flag.Bool("metrics", false, "dump engine and wire metrics as JSON on shutdown")
+	)
+	flag.Parse()
+
+	db := starmagic.Open()
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			log.Fatalf("magicserver: %v", err)
+		}
+		n, err := db.Exec(string(script))
+		if err != nil {
+			log.Fatalf("magicserver: init script: %v", err)
+		}
+		db.Analyze()
+		log.Printf("magicserver: init script loaded %d rows", n)
+	}
+	db.SetMemoryLimit(*memPerQuery, *memTotal)
+	db.SetAdmission(*maxConcurrent, *maxQueue)
+	db.SetParallelism(*parallelism)
+
+	srv := wire.NewServer(db, wire.Config{
+		User:     *user,
+		Password: *password,
+		MaxConns: *maxConns,
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("magicserver: %s, shutting down", s)
+		srv.Close()
+	}()
+
+	log.Printf("magicserver: serving MySQL protocol on %s", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("magicserver: %v", err)
+	}
+	db.Close()
+	if *metricsDump {
+		out, _ := json.MarshalIndent(map[string]any{
+			"wire":   srv.Metrics(),
+			"engine": db.Metrics(),
+			"cache":  db.PlanCacheStats(),
+		}, "", "  ")
+		fmt.Println(string(out))
+	}
+	log.Printf("magicserver: stopped")
+}

@@ -166,6 +166,24 @@ func (c *Catalog) AddView(v *View) error {
 	return nil
 }
 
+// DropTable removes a base table. Views whose bodies reference the table are
+// left registered — like DROP VIEW's tolerance for forward references, they
+// fail at their next use instead.
+func (c *Catalog) DropTable(name string) error {
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("table %q does not exist", name)
+	}
+	delete(c.tables, k)
+	for i, n := range c.order {
+		if n == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // DropView removes a view.
 func (c *Catalog) DropView(name string) error {
 	k := key(name)

@@ -18,7 +18,6 @@ import (
 	"starmagic/internal/opt"
 	"starmagic/internal/plan"
 	"starmagic/internal/qgm"
-	"starmagic/internal/resource"
 	"starmagic/internal/rewrite"
 	"starmagic/internal/semant"
 	"starmagic/internal/sql"
@@ -198,7 +197,7 @@ func (db *Database) PrepareContext(ctx context.Context, query string, opts ...Qu
 	if err == nil && cfg.hasArgs && len(cfg.args) != p.numParams {
 		// Fail fast: a WithArgs binding-count mismatch can never execute, so
 		// surface it here instead of on the first ExecuteContext.
-		err = fmt.Errorf("query expects %d parameter(s), got %d from WithArgs", p.numParams, len(cfg.args))
+		err = fmt.Errorf("WithArgs: %w", &ParamCountError{Want: p.numParams, Got: len(cfg.args)})
 	}
 	if err != nil {
 		db.metrics.RecordPlan(obs.PlanSample{Err: true, Strategy: cfg.strategy.String()})
@@ -454,112 +453,22 @@ func (db *Database) prepareCorrelated(ctx context.Context, g *qgm.Graph, cfg que
 // `?` placeholders for this run only, overriding WithArgs values captured
 // at prepare time; the cached plan itself is binding-invariant.
 func (p *Prepared) ExecuteContext(ctx context.Context, args ...any) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	bound := p.cfg.args
-	if len(args) > 0 {
-		b, err := toDatumRow(args)
-		if err != nil {
-			return nil, err
-		}
-		bound = b
-	}
-	if len(bound) != p.numParams {
-		return nil, fmt.Errorf("query expects %d parameter(s), got %d", p.numParams, len(bound))
-	}
-	// Admission control gates execution only — the plan is already prepared
-	// at this point, so a queued execution never holds plan-cache state (in
-	// particular it cannot interact with a single-flight cold prepare).
-	var admissionWait time.Duration
-	if p.db.gov.AdmissionEnabled() && !p.cfg.noAdmission {
-		release, waited, err := p.db.gov.Admit(ctx)
-		if err != nil {
-			p.db.metrics.RecordAdmissionRejected()
-			return nil, err
-		}
-		defer release()
-		admissionWait = waited
-	}
-	p.db.mu.RLock()
-	defer p.db.mu.RUnlock()
-	ev := exec.New(p.db.store)
-	ev.Params = bound
-	ev.SetContext(ctx)
-	if p.cfg.hasParallelism {
-		ev.Parallelism = p.cfg.parallelism
-	} else {
-		ev.Parallelism = p.db.parallelism
-	}
-	if p.cfg.rowLimit > 0 {
-		ev.MaxRows = p.cfg.rowLimit
-	}
-	if p.strategy == Correlated {
-		ev.NoSubqueryCache = true
-	}
-	ev.NoVec = p.db.noVec.Load()
-	// A budget is attached when a per-query cap applies (option or database
-	// default) or when an engine-wide total cap is set — the total cap is
-	// enforced through each query's Budget reservations.
-	memLimit := p.db.memLimit.Load()
-	if p.cfg.hasMemLimit {
-		memLimit = p.cfg.memLimit
-	}
-	var bud *resource.Budget
-	if memLimit > 0 || p.db.gov.TotalLimit() > 0 {
-		bud = resource.NewBudget(p.db.gov, memLimit, "")
-		defer bud.Close()
-		ev.Mem = bud
-	}
-	sp := obs.Start(p.cfg.tracer, "execute")
-	start := time.Now()
-	var rows []datum.Row
-	var opStats []plan.OpStats
-	var err error
-	if p.phys != nil && !p.cfg.materialized {
-		rows, opStats, err = ev.EvalPlan(p.phys)
-	} else {
-		rows, err = ev.EvalGraph(p.graph)
-	}
-	elapsed := time.Since(start)
-	sp.End()
-	var reports []plan.OpReport
-	if opStats != nil {
-		reports = p.phys.Report(opStats)
-	}
-	mem := MemInfo{
-		LimitBytes:   bud.Limit(),
-		PeakBytes:    bud.Peak(),
-		SpilledBytes: bud.SpilledBytes(),
-		Spills:       bud.Spills(),
-	}
-	p.db.metrics.RecordExec(obs.ExecSample{
-		Err:       err != nil,
-		Strategy:  p.strategy.String(),
-		ExecNanos: int64(elapsed),
-		Exec:      execStats(ev.Counters),
-		Operators: opSamples(reports),
-		Mem: obs.MemSample{
-			LimitBytes:   mem.LimitBytes,
-			PeakBytes:    mem.PeakBytes,
-			SpilledBytes: mem.SpilledBytes,
-			Spills:       mem.Spills,
-		},
-		AdmissionWaitNanos: admissionWait.Nanoseconds(),
-	})
+	r, err := p.ExecuteRows(ctx, args...)
 	if err != nil {
 		return nil, err
 	}
-	info := p.info
-	info.ExecTime = elapsed
-	info.Counters = ev.Counters
-	info.Mem = mem
-	info.AdmissionWait = admissionWait
-	if opStats != nil {
-		info.Physical = p.phys.Format(opStats)
-		info.Operators = reports
+	var rows []datum.Row
+	for r.Next() {
+		rows = append(rows, r.Row())
 	}
-	return &Result{Columns: p.columns, Rows: rows, Plan: info}, nil
+	if err := r.Err(); err != nil {
+		_ = r.Close()
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: p.columns, Rows: rows, Plan: *r.Plan()}, nil
 }
 
 // opSamples copies operator reports into the dependency-free obs form.

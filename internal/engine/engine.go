@@ -9,6 +9,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -223,7 +224,8 @@ func (db *Database) execStmt(st sql.Statement) (int64, error) {
 			return 0, err
 		}
 		if _, err := semant.NewBuilder(db.cat).Build(s.Query); err != nil {
-			if strings.Contains(err.Error(), "table or view") && strings.Contains(err.Error(), "not found") {
+			var nf *semant.NotFoundError
+			if errors.As(err, &nf) && nf.Kind == "table" {
 				db.epoch.Add(1)
 				return 0, nil // deferred: resolved at first use
 			}
@@ -239,6 +241,14 @@ func (db *Database) execStmt(st sql.Statement) (int64, error) {
 			return 0, err
 		}
 		db.epoch.Add(1)
+		return 0, nil
+	case *sql.DropTable:
+		if err := db.cat.DropTable(s.Name); err != nil {
+			return 0, err
+		}
+		db.store.Drop(s.Name)
+		db.noteMutation()
+		db.store.MaybeCompactIntern()
 		return 0, nil
 	case *sql.Delete:
 		return db.deleteRows(s)
@@ -415,6 +425,7 @@ func (db *Database) deleteRows(s *sql.Delete) (int64, error) {
 		return 0, err
 	}
 	db.noteMutation()
+	db.store.MaybeCompactIntern()
 	return n, nil
 }
 
@@ -480,6 +491,7 @@ func (db *Database) updateRows(s *sql.Update) (int64, error) {
 		return 0, err
 	}
 	db.noteMutation()
+	db.store.MaybeCompactIntern()
 	return n, nil
 }
 
@@ -679,6 +691,13 @@ func (p *Prepared) Execute(args ...any) (*Result, error) {
 
 // Graph exposes the optimized graph (qgmviz and tests inspect it).
 func (p *Prepared) Graph() *qgm.Graph { return p.graph }
+
+// Columns returns the result column names, known at prepare time — a wire
+// server needs them to describe a statement before its first execution.
+func (p *Prepared) Columns() []string { return p.columns }
+
+// NumParams returns the number of `?` placeholders each execution must bind.
+func (p *Prepared) NumParams() int { return p.numParams }
 
 // Explain returns a human-readable account of the optimization: the QGM
 // graph after each rewrite phase, per-phase timings, rule-fire counts, the

@@ -1,0 +1,16 @@
+package engine
+
+import "fmt"
+
+// ParamCountError reports a mismatch between a query's `?` placeholders and
+// the values bound for an execution (WithArgs at prepare time or args on
+// Execute/ExecuteContext/RowsContext). It is typed so API consumers and the
+// wire server can map it onto a precise error class instead of matching the
+// message.
+type ParamCountError struct {
+	Want, Got int
+}
+
+func (e *ParamCountError) Error() string {
+	return fmt.Sprintf("query expects %d parameter(s), got %d", e.Want, e.Got)
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"starmagic/internal/datum"
+)
+
+// TestInternCompaction asserts the intern-table growth bound: on a
+// long-lived server, DELETE and DROP TABLE must reclaim intern ids, not
+// leave the store-wide table growing forever.
+func TestInternCompaction(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`
+	CREATE TABLE words (id INT, w VARCHAR);
+	CREATE TABLE keep (id INT, w VARCHAR);`); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	rows := make([]datum.Row, n)
+	for i := range rows {
+		rows[i] = datum.Row{datum.Int(int64(i)), datum.String(fmt.Sprintf("word-%06d", i))}
+	}
+	if err := db.InsertRows("words", rows); err != nil {
+		t.Fatal(err)
+	}
+	// A handful of strings shared with the doomed table, plus table-private
+	// ones: both must survive compaction with correct values.
+	if _, err := db.Exec(`
+	INSERT INTO keep VALUES (1, 'word-000007');
+	INSERT INTO keep VALUES (2, 'word-000042');
+	INSERT INTO keep VALUES (3, 'private');
+	INSERT INTO keep VALUES (4, NULL);`); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Store().Intern().Stats().Strings
+	if before < n {
+		t.Fatalf("expected at least %d interned strings, have %d", n, before)
+	}
+
+	// DELETE most of the big table: > half the table is now dead, so the
+	// rebuild threshold must fire.
+	if _, err := db.Exec(`DELETE FROM words WHERE id >= 100`); err != nil {
+		t.Fatal(err)
+	}
+	afterDelete := db.Store().Intern().Stats().Strings
+	if afterDelete >= before/2 {
+		t.Fatalf("DELETE did not reclaim intern ids: %d strings before, %d after", before, afterDelete)
+	}
+
+	// Queries must still see correct string values through the remapped ids,
+	// on scans and on a cross-table string join.
+	res, err := db.Query(`SELECT t.w FROM words t WHERE t.id = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "word-000007" {
+		t.Fatalf("post-compaction scan: %v", res.Rows)
+	}
+	res, err = db.Query(`SELECT k.id FROM keep k, words t WHERE k.w = t.w ORDER BY k.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 1 || res.Rows[1][0].I != 2 {
+		t.Fatalf("post-compaction join: %v", res.Rows)
+	}
+
+	// DROP TABLE kills the remaining references; only keep's strings stay.
+	if _, err := db.Exec(`DROP TABLE words`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT t.w FROM words t`); err == nil {
+		t.Fatal("query against dropped table succeeded")
+	}
+	// The table is small again, so compaction may or may not have fired
+	// after DROP (the 1024-string floor); force the point with fresh bulk.
+	bulk := make([]datum.Row, 3000)
+	for i := range bulk {
+		bulk[i] = datum.Row{datum.Int(int64(i)), datum.String(fmt.Sprintf("bulk-%06d", i))}
+	}
+	if _, err := db.Exec(`CREATE TABLE tmp (id INT, w VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRows("tmp", bulk); err != nil {
+		t.Fatal(err)
+	}
+	grown := db.Store().Intern().Stats().Strings
+	if _, err := db.Exec(`DROP TABLE tmp`); err != nil {
+		t.Fatal(err)
+	}
+	afterDrop := db.Store().Intern().Stats().Strings
+	if afterDrop >= grown/2 {
+		t.Fatalf("DROP TABLE did not reclaim intern ids: %d strings before, %d after", grown, afterDrop)
+	}
+	res, err = db.Query(`SELECT k.w FROM keep k WHERE k.id = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "private" {
+		t.Fatalf("survivor string wrong after two compactions: %v", res.Rows)
+	}
+}

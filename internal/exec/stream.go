@@ -38,41 +38,104 @@ type operator interface {
 }
 
 // EvalPlan executes a physical plan and returns the result rows plus
-// per-operator statistics indexed by plan node ID. Counters accounting
-// matches the box-at-a-time evaluator's shape (BoxEvals and OutputRows once
-// per box, BaseRows for rows actually read — which streaming makes smaller
-// under early exit), and MaxRows/context cancellation are enforced at batch
-// granularity.
+// per-operator statistics indexed by plan node ID. It is the materializing
+// form of OpenPlan: the whole result is drained into one slice. Counters
+// accounting matches the box-at-a-time evaluator's shape (BoxEvals and
+// OutputRows once per box, BaseRows for rows actually read — which streaming
+// makes smaller under early exit), and MaxRows/context cancellation are
+// enforced at batch granularity.
 func (ev *Evaluator) EvalPlan(p *plan.Plan) ([]datum.Row, []plan.OpStats, error) {
-	if err := ev.ctxErr(); err != nil {
+	it, err := ev.OpenPlan(p)
+	if err != nil {
+		if it != nil {
+			return nil, it.Stats(), err
+		}
 		return nil, nil, err
 	}
-	run := &planRun{ev: ev, stats: make([]plan.OpStats, len(p.Nodes))}
-	root := run.build(p.Root)
 	var out []datum.Row
-	err := func() error {
-		if err := root.open(); err != nil {
-			return err
+	for {
+		batch, err := it.Next()
+		if err != nil {
+			_ = it.Close()
+			return nil, it.Stats(), err
 		}
-		for {
-			batch, err := root.next()
-			if err != nil {
-				return err
-			}
-			if len(batch) == 0 {
-				return nil
-			}
-			out = append(out, batch...)
+		if len(batch) == 0 {
+			break
 		}
-	}()
-	if cerr := root.close(); err == nil {
-		err = cerr
+		out = append(out, batch...)
 	}
-	if err != nil {
-		return nil, run.stats, err
+	if err := it.Close(); err != nil {
+		return nil, it.Stats(), err
 	}
-	return out, run.stats, nil
+	return out, it.Stats(), nil
 }
+
+// PlanIter is one streaming execution of a physical plan: a pull cursor over
+// the root operator's batches. It is the executor's half of the engine's Rows
+// API — batches flow from here into result cursors and wire-protocol packets
+// without the full result ever materializing.
+//
+// A PlanIter must be Closed exactly once (Close is idempotent); closing
+// before the stream is drained stops the whole operator spine early, which is
+// what client-side early exit (a dropped connection, a cursor closed after
+// the first page) relies on to not pay for rows never read.
+type PlanIter struct {
+	run    *planRun
+	root   operator
+	done   bool
+	closed bool
+}
+
+// OpenPlan builds the plan's operator tree and opens it. On an open failure
+// the partially opened tree is closed and the returned iterator is nil except
+// for its statistics, which the caller may still inspect via a non-nil it.
+func (ev *Evaluator) OpenPlan(p *plan.Plan) (*PlanIter, error) {
+	if err := ev.ctxErr(); err != nil {
+		return nil, err
+	}
+	run := &planRun{ev: ev, stats: make([]plan.OpStats, len(p.Nodes))}
+	it := &PlanIter{run: run, root: run.build(p.Root)}
+	if err := it.root.open(); err != nil {
+		_ = it.Close()
+		return it, err
+	}
+	return it, nil
+}
+
+// Next returns the next batch of result rows, or an empty batch at end of
+// stream. The returned slice is only valid until the following Next call; the
+// rows it holds are stable. After an error or end of stream every further
+// call returns the same terminal state.
+func (it *PlanIter) Next() ([]datum.Row, error) {
+	if it.done || it.closed {
+		return nil, nil
+	}
+	batch, err := it.root.next()
+	if err != nil {
+		it.done = true
+		return nil, err
+	}
+	if len(batch) == 0 {
+		it.done = true
+	}
+	return batch, nil
+}
+
+// Close releases the operator tree (hash tables, spill files, bridged box
+// state). It is idempotent and safe to call mid-stream.
+func (it *PlanIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.done = true
+	return it.root.close()
+}
+
+// Stats returns the per-node operator statistics accumulated so far, indexed
+// by plan node ID. The slice is live until Close; callers wanting a final
+// snapshot read it after Close.
+func (it *PlanIter) Stats() []plan.OpStats { return it.run.stats }
 
 // addOutput accounts rows produced by a box-root operator and enforces the
 // row budget, mirroring evalBoxNow's accounting.

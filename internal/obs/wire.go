@@ -1,0 +1,79 @@
+package obs
+
+import "sync"
+
+// WireMetrics is a point-in-time snapshot of a wire server's activity:
+// connection lifecycle, per-command volume, and result traffic. The wire
+// server accumulates these through a WireSink, the protocol-layer sibling of
+// MetricsSink (engine-side activity keeps flowing through the engine's own
+// sink; a wire query therefore shows up in both).
+type WireMetrics struct {
+	// ConnectionsOpened/ConnectionsClosed count accepted and finished
+	// connections; ConnectionsFailed counts handshakes that never completed
+	// (bad auth, protocol garbage, immediate disconnect).
+	ConnectionsOpened int64 `json:"connections_opened"`
+	ConnectionsClosed int64 `json:"connections_closed"`
+	ConnectionsFailed int64 `json:"connections_failed"`
+	// Queries counts COM_QUERY commands, StmtPrepares/StmtExecs the prepared-
+	// statement commands, and Pings COM_PING round-trips.
+	Queries      int64 `json:"queries"`
+	StmtPrepares int64 `json:"stmt_prepares"`
+	StmtExecs    int64 `json:"stmt_execs"`
+	Pings        int64 `json:"pings"`
+	// RowsSent counts result rows written to clients; ErrorsSent counts ERR
+	// packets (one per failed command).
+	RowsSent   int64 `json:"rows_sent"`
+	ErrorsSent int64 `json:"errors_sent"`
+}
+
+// WireSink accumulates wire-server samples; Snapshot returns an independent
+// copy. Safe for concurrent use by many connection goroutines.
+type WireSink struct {
+	mu sync.Mutex
+	m  WireMetrics
+}
+
+// ConnSample summarizes one finished connection.
+type ConnSample struct {
+	// Failed marks a connection that never completed its handshake.
+	Failed bool
+	// Queries, StmtPrepares, StmtExecs, Pings, RowsSent, and ErrorsSent
+	// carry the connection's command and traffic counts.
+	Queries      int64
+	StmtPrepares int64
+	StmtExecs    int64
+	Pings        int64
+	RowsSent     int64
+	ErrorsSent   int64
+}
+
+// RecordConnOpen notes an accepted connection.
+func (s *WireSink) RecordConnOpen() {
+	s.mu.Lock()
+	s.m.ConnectionsOpened++
+	s.mu.Unlock()
+}
+
+// RecordConnClose folds a finished connection's sample into the sink.
+func (s *WireSink) RecordConnClose(c ConnSample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.Failed {
+		s.m.ConnectionsFailed++
+	} else {
+		s.m.ConnectionsClosed++
+	}
+	s.m.Queries += c.Queries
+	s.m.StmtPrepares += c.StmtPrepares
+	s.m.StmtExecs += c.StmtExecs
+	s.m.Pings += c.Pings
+	s.m.RowsSent += c.RowsSent
+	s.m.ErrorsSent += c.ErrorsSent
+}
+
+// Snapshot returns a copy of the accumulated wire metrics.
+func (s *WireSink) Snapshot() WireMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}

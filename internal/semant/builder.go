@@ -130,14 +130,14 @@ func (s *scope) resolveColumn(qual, name string) (*qgm.Quantifier, int, error) {
 				}
 				found, ord = q, i
 			} else if qual != "" && strings.EqualFold(q.Name, qual) {
-				return nil, 0, fmt.Errorf("column %q not found in %q", name, qual)
+				return nil, 0, &NotFoundError{Kind: "column", Name: name, Qualifier: qual}
 			}
 		}
 		if found != nil {
 			return found, ord, nil
 		}
 	}
-	return nil, 0, fmt.Errorf("column %q not found", displayCol(qual, name))
+	return nil, 0, &NotFoundError{Kind: "column", Name: displayCol(qual, name)}
 }
 
 func displayCol(qual, name string) string {
@@ -391,7 +391,7 @@ func (bc *buildCtx) resolveTable(name string) (*qgm.Box, error) {
 		bc.views[key] = b
 		return b, nil
 	}
-	return nil, fmt.Errorf("table or view %q not found", name)
+	return nil, &NotFoundError{Kind: "table", Name: name}
 }
 
 // checkStratified rejects non-stratified recursion: on any cycle path from

@@ -1,0 +1,27 @@
+package semant
+
+import "fmt"
+
+// NotFoundError is a name-resolution failure: the query references a table,
+// view, or column the catalog does not know. It is exported (and re-exported
+// from the root package) so API consumers and the wire server can map it onto
+// a precise error class — MySQL's ER_NO_SUCH_TABLE/ER_BAD_FIELD_ERROR —
+// instead of string-matching the message.
+type NotFoundError struct {
+	// Kind is "table" (covers views too) or "column".
+	Kind string
+	// Name is the unresolved identifier; Qualifier is the table qualifier of
+	// a column reference, when one was written.
+	Name      string
+	Qualifier string
+}
+
+func (e *NotFoundError) Error() string {
+	switch {
+	case e.Kind == "column" && e.Qualifier != "":
+		return fmt.Sprintf("column %q not found in %q", e.Name, e.Qualifier)
+	case e.Kind == "column":
+		return fmt.Sprintf("column %q not found", e.Name)
+	}
+	return fmt.Sprintf("table or view %q not found", e.Name)
+}

@@ -70,6 +70,11 @@ type DropView struct {
 	Name string
 }
 
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
 // SelectStatement wraps a query expression used as a statement.
 type SelectStatement struct {
 	Query QueryExpr
@@ -82,6 +87,7 @@ func (*Insert) stmt()          {}
 func (*Delete) stmt()          {}
 func (*Update) stmt()          {}
 func (*DropView) stmt()        {}
+func (*DropTable) stmt()       {}
 func (*SelectStatement) stmt() {}
 
 // QueryExpr is a query: a single SELECT block or a set operation over query

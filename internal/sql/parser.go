@@ -168,6 +168,9 @@ func (p *Parser) parseStatement() Statement {
 		return p.parseInsert()
 	case p.isKeyword("DROP"):
 		p.advance()
+		if p.accept("TABLE") {
+			return &DropTable{Name: p.expectIdent()}
+		}
 		p.expect("VIEW")
 		return &DropView{Name: p.expectIdent()}
 	case p.isKeyword("DELETE"):

@@ -289,6 +289,95 @@ func (s *Store) Relation(name string) (*Relation, bool) {
 	return r, ok
 }
 
+// Drop releases a table's storage. Dropping an unknown table is a no-op.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	delete(s.rels, lower(name))
+	s.mu.Unlock()
+}
+
+// compactMinStrings is the intern-table size below which compaction is never
+// attempted: rebuild bookkeeping on a small table costs more than the bytes
+// it could reclaim.
+const compactMinStrings = 1024
+
+// MaybeCompactIntern rebuilds the store-wide string intern table when most
+// of it is garbage — strings whose every referencing row was deleted or
+// whose table was dropped. The intern table is append-only (ids must stay
+// stable while any reader can hold them), so on a long-lived server DELETE
+// and DROP TABLE would otherwise grow it without bound; rebuild-on-threshold
+// bounds it at 2× the live set.
+//
+// Compaction walks every relation's string columns to find live ids, and
+// fires only when the table holds at least compactMinStrings entries and
+// more than half are dead. It re-interns the live strings into a fresh table
+// (dense new ids) and rewrites every relation's ID columns onto fresh
+// backing arrays, leaving previously taken snapshots consistent with the old
+// table they captured.
+//
+// The caller must exclude concurrent writers AND readers (the engine runs it
+// under its database-wide write lock, on the DELETE/DROP TABLE paths):
+// readers resolve ids through the store's current table, so swapping it
+// under a running scan would mix id spaces. It reports whether a rebuild
+// happened.
+func (s *Store) MaybeCompactIntern() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	strs := s.tab.Strs()
+	total := len(strs)
+	if total < compactMinStrings {
+		return false
+	}
+	live := make([]bool, total)
+	nLive := 0
+	for _, r := range s.rels {
+		r.mu.RLock()
+		for ci := range r.cols {
+			c := &r.cols[ci]
+			if c.T != datum.TString {
+				continue
+			}
+			for i, id := range c.IDs {
+				if !c.Nulls[i] && !live[id] {
+					live[id] = true
+					nLive++
+				}
+			}
+		}
+		r.mu.RUnlock()
+	}
+	if 2*nLive > total {
+		return false
+	}
+	ntab := vec.NewIntern()
+	remap := make([]uint32, total)
+	for id, ok := range live {
+		if ok {
+			remap[id] = ntab.Intern(strs[id])
+		}
+	}
+	for _, r := range s.rels {
+		r.mu.Lock()
+		for ci := range r.cols {
+			c := &r.cols[ci]
+			if c.T != datum.TString || len(c.IDs) == 0 {
+				continue
+			}
+			nids := make([]uint32, len(c.IDs))
+			for i, id := range c.IDs {
+				if !c.Nulls[i] {
+					nids[i] = remap[id]
+				}
+			}
+			c.IDs = nids
+		}
+		r.tab = ntab
+		r.mu.Unlock()
+	}
+	s.tab = ntab
+	return true
+}
+
 func lower(s string) string {
 	b := []byte(s)
 	for i, c := range b {

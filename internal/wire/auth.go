@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// serverVersion is the version string the handshake reports. Clients parse
+// it for feature detection, so it mimics a MySQL version with a suffix.
+const serverVersion = "8.0.0-starmagic"
+
+// newSalt returns a 20-byte auth challenge of non-NUL bytes (the handshake
+// transmits the two halves NUL-terminated).
+func newSalt() ([]byte, error) {
+	salt := make([]byte, 20)
+	if _, err := rand.Read(salt); err != nil {
+		return nil, err
+	}
+	for i, b := range salt {
+		// Map into the printable range; keeps every byte non-NUL.
+		salt[i] = b%94 + 33
+	}
+	return salt, nil
+}
+
+// buildHandshakeV10 assembles the server greeting: protocol version 10,
+// server version, connection id, the split 8+12 byte auth challenge, the
+// capability flags, and the auth plugin name.
+func buildHandshakeV10(connID uint32, salt []byte) []byte {
+	b := make([]byte, 0, 128)
+	b = append(b, 10) // protocol version
+	b = append(b, serverVersion...)
+	b = append(b, 0)
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], connID)
+	b = append(b, id[:]...)
+	caps := uint32(serverCapabilities)
+	b = append(b, salt[:8]...) // auth-plugin-data-part-1
+	b = append(b, 0)           // filler
+	b = append(b, byte(caps), byte(caps>>8))
+	b = append(b, charsetUTF8MB4)
+	b = append(b, byte(statusAutocommit), byte(statusAutocommit>>8))
+	b = append(b, byte(caps>>16), byte(caps>>24))
+	b = append(b, byte(len(salt)+1)) // auth plugin data length (incl. NUL)
+	b = append(b, make([]byte, 10)...)
+	b = append(b, salt[8:]...) // auth-plugin-data-part-2
+	b = append(b, 0)
+	b = append(b, authPluginName...)
+	b = append(b, 0)
+	return b
+}
+
+// handshakeResponse is the parsed client reply (HandshakeResponse41).
+type handshakeResponse struct {
+	capabilities uint32
+	user         string
+	authResponse []byte
+	database     string
+	plugin       string
+}
+
+// parseHandshakeResponse parses a HandshakeResponse41 payload. Pre-4.1
+// clients (missing CLIENT_PROTOCOL_41) are rejected.
+func parseHandshakeResponse(b []byte) (*handshakeResponse, error) {
+	if len(b) < 32 {
+		return nil, fmt.Errorf("wire: handshake response too short (%d bytes)", len(b))
+	}
+	r := &handshakeResponse{capabilities: binary.LittleEndian.Uint32(b[0:4])}
+	if r.capabilities&capProtocol41 == 0 {
+		return nil, fmt.Errorf("wire: client does not speak protocol 4.1")
+	}
+	rest := b[32:] // skip max-packet-size(4), charset(1), filler(23)
+	user, rest, ok := nulTerminated(rest)
+	if !ok {
+		return nil, fmt.Errorf("wire: handshake response missing username terminator")
+	}
+	r.user = string(user)
+	switch {
+	case r.capabilities&capPluginAuthLenencClientData != 0:
+		auth, n, _ := readLenencStr(rest)
+		if n == 0 {
+			return nil, fmt.Errorf("wire: malformed lenenc auth response")
+		}
+		r.authResponse = auth
+		rest = rest[n:]
+	case r.capabilities&capSecureConnection != 0:
+		if len(rest) < 1 || len(rest) < 1+int(rest[0]) {
+			return nil, fmt.Errorf("wire: malformed auth response length")
+		}
+		r.authResponse = rest[1 : 1+int(rest[0])]
+		rest = rest[1+int(rest[0]):]
+	default:
+		auth, after, ok := nulTerminated(rest)
+		if !ok {
+			auth, after = rest, nil
+		}
+		r.authResponse = auth
+		rest = after
+	}
+	if r.capabilities&capConnectWithDB != 0 {
+		if db, after, ok := nulTerminated(rest); ok {
+			r.database = string(db)
+			rest = after
+		}
+	}
+	if r.capabilities&capPluginAuth != 0 {
+		if plugin, _, ok := nulTerminated(rest); ok {
+			r.plugin = string(plugin)
+		}
+	}
+	return r, nil
+}
+
+// nativePassword computes the mysql_native_password response:
+// SHA1(password) XOR SHA1(salt + SHA1(SHA1(password))). An empty password
+// produces an empty response.
+func nativePassword(password string, salt []byte) []byte {
+	if password == "" {
+		return nil
+	}
+	h1 := sha1.Sum([]byte(password))
+	h2 := sha1.Sum(h1[:])
+	mix := sha1.New()
+	mix.Write(salt)
+	mix.Write(h2[:])
+	scramble := mix.Sum(nil)
+	for i := range scramble {
+		scramble[i] ^= h1[i]
+	}
+	return scramble
+}
+
+// checkNativePassword verifies a client's auth response against the
+// configured password and the connection's salt.
+func checkNativePassword(response []byte, password string, salt []byte) bool {
+	want := nativePassword(password, salt)
+	if len(want) == 0 {
+		return len(response) == 0
+	}
+	return bytes.Equal(response, want)
+}

@@ -1,0 +1,461 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+)
+
+// Client is a minimal MySQL-protocol client: enough of the text and binary
+// protocols to drive the server from tests and benchmarks, and a reference
+// for what any stock client exchanges with it. It is not safe for
+// concurrent use (neither is a MySQL connection).
+type Client struct {
+	pc *packetConn
+}
+
+// ClientError is an ERR packet decoded client-side.
+type ClientError struct {
+	Code     uint16
+	SQLState string
+	Message  string
+}
+
+func (e *ClientError) Error() string {
+	return fmt.Sprintf("server error %d (%s): %s", e.Code, e.SQLState, e.Message)
+}
+
+// Resultset is a fully read query result. NULL values are represented by
+// Valid=false cells.
+type Resultset struct {
+	Columns []string
+	Rows    [][]Cell
+}
+
+// Cell is one result value: the text rendering and a NULL flag.
+type Cell struct {
+	Valid bool
+	Value string
+}
+
+// NewClient performs the client side of the handshake over an established
+// transport and returns a ready client.
+func NewClient(nc net.Conn, user, password string) (*Client, error) {
+	c := &Client{pc: newPacketConn(nc)}
+	greeting, err := c.pc.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	if len(greeting) > 0 && greeting[0] == 0xff {
+		// A server may refuse before the handshake (too many connections).
+		return nil, decodeErr(greeting)
+	}
+	salt, err := parseGreeting(greeting)
+	if err != nil {
+		return nil, err
+	}
+	resp := buildHandshakeResponse(user, nativePassword(password, salt))
+	if err := c.pc.writePacket(resp); err != nil {
+		return nil, err
+	}
+	if err := c.pc.flush(); err != nil {
+		return nil, err
+	}
+	payload, err := c.pc.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 && payload[0] == 0xff {
+		return nil, decodeErr(payload)
+	}
+	return c, nil
+}
+
+// parseGreeting extracts the 20-byte auth salt from a HandshakeV10 payload.
+func parseGreeting(b []byte) ([]byte, error) {
+	if len(b) < 1 || b[0] != 10 {
+		return nil, fmt.Errorf("wire client: unexpected protocol version")
+	}
+	_, rest, ok := nulTerminated(b[1:]) // server version
+	if !ok || len(rest) < 4+8+1+2+1+2+2+1+10 {
+		return nil, fmt.Errorf("wire client: malformed greeting")
+	}
+	rest = rest[4:] // connection id
+	salt := append([]byte(nil), rest[:8]...)
+	rest = rest[8+1+2+1+2+2+1+10:] // salt1, filler, caps, charset, status, caps, saltlen, reserved
+	part2, _, ok := nulTerminated(rest)
+	if !ok {
+		return nil, fmt.Errorf("wire client: malformed greeting salt")
+	}
+	return append(salt, part2...), nil
+}
+
+// buildHandshakeResponse assembles a HandshakeResponse41.
+func buildHandshakeResponse(user string, auth []byte) []byte {
+	const caps = capProtocol41 | capSecureConnection | capPluginAuth | capLongPassword
+	b := make([]byte, 0, 64)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], caps)
+	b = append(b, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], 1<<24)
+	b = append(b, u32[:]...) // max packet size
+	b = append(b, charsetUTF8MB4)
+	b = append(b, make([]byte, 23)...)
+	b = append(b, user...)
+	b = append(b, 0)
+	b = append(b, byte(len(auth)))
+	b = append(b, auth...)
+	b = append(b, authPluginName...)
+	b = append(b, 0)
+	return b
+}
+
+func decodeErr(payload []byte) error {
+	e := &ClientError{}
+	if len(payload) >= 3 {
+		e.Code = binary.LittleEndian.Uint16(payload[1:3])
+	}
+	rest := payload[3:]
+	if len(rest) > 0 && rest[0] == '#' {
+		if len(rest) >= 6 {
+			e.SQLState = string(rest[1:6])
+			rest = rest[6:]
+		}
+	}
+	e.Message = string(rest)
+	return e
+}
+
+func isEOF(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == 0xfe && len(payload) < 9
+}
+
+// Ping round-trips COM_PING.
+func (c *Client) Ping() error {
+	if err := c.command(comPing, nil); err != nil {
+		return err
+	}
+	return c.readOK()
+}
+
+// Exec runs a statement expected to answer OK (DDL, DML, SET) and returns
+// the affected-row count.
+func (c *Client) Exec(query string) (uint64, error) {
+	if err := c.command(comQuery, []byte(query)); err != nil {
+		return 0, err
+	}
+	payload, err := c.pc.readPacket()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case len(payload) > 0 && payload[0] == 0x00:
+		affected, _, _ := readLenencInt(payload[1:])
+		return affected, nil
+	case len(payload) > 0 && payload[0] == 0xff:
+		return 0, decodeErr(payload)
+	default:
+		return 0, fmt.Errorf("wire client: unexpected response 0x%02x to Exec", payload[0])
+	}
+}
+
+// Query runs a text-protocol query and reads the whole result set.
+func (c *Client) Query(query string) (*Resultset, error) {
+	if err := c.command(comQuery, []byte(query)); err != nil {
+		return nil, err
+	}
+	return c.readResultset(false)
+}
+
+// Stmt is a client-side prepared-statement handle.
+type Stmt struct {
+	ID        uint32
+	NumParams int
+	Columns   []string
+}
+
+// Prepare round-trips COM_STMT_PREPARE.
+func (c *Client) Prepare(query string) (*Stmt, error) {
+	if err := c.command(comStmtPrepare, []byte(query)); err != nil {
+		return nil, err
+	}
+	payload, err := c.pc.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 && payload[0] == 0xff {
+		return nil, decodeErr(payload)
+	}
+	if len(payload) < 12 || payload[0] != 0x00 {
+		return nil, fmt.Errorf("wire client: malformed COM_STMT_PREPARE_OK")
+	}
+	st := &Stmt{
+		ID:        binary.LittleEndian.Uint32(payload[1:5]),
+		NumParams: int(binary.LittleEndian.Uint16(payload[7:9])),
+	}
+	numCols := int(binary.LittleEndian.Uint16(payload[5:7]))
+	for i := 0; i < st.NumParams; i++ {
+		if _, err := c.pc.readPacket(); err != nil { // param definition
+			return nil, err
+		}
+	}
+	if st.NumParams > 0 {
+		if _, err := c.pc.readPacket(); err != nil { // EOF
+			return nil, err
+		}
+	}
+	for i := 0; i < numCols; i++ {
+		def, err := c.pc.readPacket()
+		if err != nil {
+			return nil, err
+		}
+		name, err := columnDefName(def)
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, name)
+	}
+	if numCols > 0 {
+		if _, err := c.pc.readPacket(); err != nil { // EOF
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Execute round-trips COM_STMT_EXECUTE with binary-bound args (nil, bool,
+// int/int64, float64, string, or []byte) and reads the binary result set.
+func (c *Client) Execute(st *Stmt, args ...any) (*Resultset, error) {
+	if len(args) != st.NumParams {
+		return nil, fmt.Errorf("wire client: %d args for %d parameters", len(args), st.NumParams)
+	}
+	b := make([]byte, 0, 64)
+	b = append(b, comStmtExecute)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], st.ID)
+	b = append(b, u32[:]...)
+	b = append(b, 0)          // flags: CURSOR_TYPE_NO_CURSOR
+	b = append(b, 1, 0, 0, 0) // iteration count
+	if st.NumParams > 0 {
+		maskStart := len(b)
+		b = append(b, make([]byte, (st.NumParams+7)/8)...)
+		b = append(b, 1) // new-params-bound
+		types := make([]byte, 0, 2*st.NumParams)
+		var values []byte
+		for i, a := range args {
+			t, v, null := encodeBinaryArg(a)
+			types = append(types, t, 0)
+			if null {
+				b[maskStart+i/8] |= 1 << (i % 8)
+				continue
+			}
+			values = append(values, v...)
+		}
+		b = append(b, types...)
+		b = append(b, values...)
+	}
+	c.pc.resetSeq()
+	if err := c.pc.writePacket(b); err != nil {
+		return nil, err
+	}
+	if err := c.pc.flush(); err != nil {
+		return nil, err
+	}
+	return c.readResultset(true)
+}
+
+// StmtClose sends COM_STMT_CLOSE (fire-and-forget per protocol).
+func (c *Client) StmtClose(st *Stmt) error {
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], st.ID)
+	if err := c.command(comStmtClose, u32[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Quit sends COM_QUIT.
+func (c *Client) Quit() error { return c.command(comQuit, nil) }
+
+// encodeBinaryArg picks the wire type and binary encoding for one argument.
+func encodeBinaryArg(a any) (t byte, v []byte, null bool) {
+	switch x := a.(type) {
+	case nil:
+		return typeNull, nil, true
+	case bool:
+		if x {
+			return typeTiny, []byte{1}, false
+		}
+		return typeTiny, []byte{0}, false
+	case int:
+		return encodeBinaryArg(int64(x))
+	case int32:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(x))
+		return typeLong, b[:], false
+	case int64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		return typeLongLong, b[:], false
+	case float32:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
+		return typeFloat, b[:], false
+	case float64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		return typeDouble, b[:], false
+	case string:
+		return typeVarString, lenencStr(nil, x), false
+	case []byte:
+		return typeBlob, lenencStr(nil, string(x)), false
+	default:
+		return typeVarString, lenencStr(nil, fmt.Sprint(x)), false
+	}
+}
+
+// command sends a command packet: the command byte plus an optional payload.
+func (c *Client) command(cmd byte, payload []byte) error {
+	c.pc.resetSeq()
+	b := make([]byte, 0, 1+len(payload))
+	b = append(b, cmd)
+	b = append(b, payload...)
+	if err := c.pc.writePacket(b); err != nil {
+		return err
+	}
+	return c.pc.flush()
+}
+
+func (c *Client) readOK() error {
+	payload, err := c.pc.readPacket()
+	if err != nil {
+		return err
+	}
+	if len(payload) > 0 && payload[0] == 0xff {
+		return decodeErr(payload)
+	}
+	if len(payload) == 0 || payload[0] != 0x00 {
+		return fmt.Errorf("wire client: expected OK packet")
+	}
+	return nil
+}
+
+// readResultset reads a complete result set (or OK for row-less responses).
+func (c *Client) readResultset(bin bool) (*Resultset, error) {
+	payload, err := c.pc.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(payload) > 0 && payload[0] == 0xff:
+		return nil, decodeErr(payload)
+	case len(payload) > 0 && payload[0] == 0x00:
+		return &Resultset{}, nil
+	}
+	nCols, n, _ := readLenencInt(payload)
+	if n == 0 {
+		return nil, fmt.Errorf("wire client: malformed result header")
+	}
+	rs := &Resultset{}
+	for i := 0; i < int(nCols); i++ {
+		def, err := c.pc.readPacket()
+		if err != nil {
+			return nil, err
+		}
+		name, err := columnDefName(def)
+		if err != nil {
+			return nil, err
+		}
+		rs.Columns = append(rs.Columns, name)
+	}
+	if _, err := c.pc.readPacket(); err != nil { // EOF after columns
+		return nil, err
+	}
+	for {
+		payload, err := c.pc.readPacket()
+		if err != nil {
+			return nil, err
+		}
+		if isEOF(payload) {
+			return rs, nil
+		}
+		if len(payload) > 0 && payload[0] == 0xff {
+			return rs, decodeErr(payload)
+		}
+		var row []Cell
+		if bin {
+			row, err = decodeBinaryRowPacket(payload, int(nCols))
+		} else {
+			row, err = decodeTextRowPacket(payload, int(nCols))
+		}
+		if err != nil {
+			return nil, err
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+}
+
+// columnDefName extracts the column name from a ColumnDefinition41 payload.
+func columnDefName(b []byte) (string, error) {
+	// Skip catalog, schema, table, org_table; the fifth lenenc string is name.
+	for i := 0; i < 4; i++ {
+		_, n, _ := readLenencStr(b)
+		if n == 0 {
+			return "", fmt.Errorf("wire client: malformed column definition")
+		}
+		b = b[n:]
+	}
+	name, n, _ := readLenencStr(b)
+	if n == 0 {
+		return "", fmt.Errorf("wire client: malformed column definition name")
+	}
+	return string(name), nil
+}
+
+func decodeTextRowPacket(b []byte, nCols int) ([]Cell, error) {
+	row := make([]Cell, 0, nCols)
+	for len(row) < nCols {
+		v, n, null := readLenencStr(b)
+		if null {
+			row = append(row, Cell{})
+			b = b[n:]
+			continue
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("wire client: malformed text row")
+		}
+		row = append(row, Cell{Valid: true, Value: string(v)})
+		b = b[n:]
+	}
+	return row, nil
+}
+
+func decodeBinaryRowPacket(b []byte, nCols int) ([]Cell, error) {
+	if len(b) < 1 || b[0] != 0x00 {
+		return nil, fmt.Errorf("wire client: malformed binary row header")
+	}
+	maskLen := (nCols + 9) / 8
+	if len(b) < 1+maskLen {
+		return nil, fmt.Errorf("wire client: malformed binary row bitmap")
+	}
+	mask := b[1 : 1+maskLen]
+	b = b[1+maskLen:]
+	row := make([]Cell, 0, nCols)
+	for i := 0; i < nCols; i++ {
+		bit := i + 2
+		if mask[bit/8]&(1<<(bit%8)) != 0 {
+			row = append(row, Cell{})
+			continue
+		}
+		// The server declares every column VAR_STRING, so every value is a
+		// lenenc string.
+		v, n, _ := readLenencStr(b)
+		if n == 0 {
+			return nil, fmt.Errorf("wire client: malformed binary row value")
+		}
+		row = append(row, Cell{Valid: true, Value: string(v)})
+		b = b[n:]
+	}
+	return row, nil
+}

@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+
+	"starmagic/internal/obs"
+)
+
+// conn is one client connection: the packet framer, the per-connection
+// prepared-statement registry, and the metrics sample folded into the
+// server's WireSink at close.
+type conn struct {
+	srv *Server
+	ctx context.Context
+	pc  *packetConn
+	id  uint32
+
+	stmts   map[uint32]*stmt
+	stmtSeq uint32
+
+	scratch []byte
+	sample  obs.ConnSample
+}
+
+// serve runs the connection to completion: handshake, then the command loop
+// until COM_QUIT, client disconnect, or server shutdown.
+func (c *conn) serve(nc net.Conn) {
+	c.srv.metrics.RecordConnOpen()
+	defer func() {
+		c.srv.metrics.RecordConnClose(c.sample)
+		_ = nc.Close()
+	}()
+	c.pc = newPacketConn(nc)
+	c.stmts = make(map[uint32]*stmt)
+	if err := c.handshake(); err != nil {
+		c.sample.Failed = true
+		return
+	}
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		default:
+		}
+		c.pc.resetSeq()
+		payload, err := c.pc.readPacket()
+		if err != nil {
+			return // client went away
+		}
+		if len(payload) == 0 {
+			continue
+		}
+		quit, err := c.dispatch(payload[0], payload[1:])
+		if quit || err != nil {
+			return // transport failure; protocol errors were sent as ERR
+		}
+	}
+}
+
+// dispatch handles one command packet. A panic below the engine boundary is
+// contained to the connection: it unwinds through the open cursor's deferred
+// Close (releasing locks and budget), answers with an ERR packet, and keeps
+// the server alive.
+func (c *conn) dispatch(cmd byte, body []byte) (quit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = c.writeErr(mysqlError{errUnknown, "HY000",
+				fmt.Sprintf("query aborted: %v", r)})
+		}
+	}()
+	switch cmd {
+	case comQuit:
+		return true, nil
+	case comPing:
+		c.sample.Pings++
+		return false, c.ok()
+	case comInitDB:
+		// Single-database server: any USE succeeds.
+		return false, c.ok()
+	case comQuery:
+		c.sample.Queries++
+		return false, c.handleQuery(string(body))
+	case comStmtPrepare:
+		return false, c.handleStmtPrepare(string(body))
+	case comStmtExecute:
+		return false, c.handleStmtExecute(body)
+	case comStmtClose:
+		c.handleStmtClose(body)
+		return false, nil
+	case comStmtReset:
+		return false, c.handleStmtReset(body)
+	default:
+		return false, c.writeErr(mysqlError{errUnknown, "HY000",
+			fmt.Sprintf("command 0x%02x is not supported", cmd)})
+	}
+}
+
+// ok writes and flushes an OK packet with no affected rows.
+func (c *conn) ok() error {
+	if err := c.writeOK(0); err != nil {
+		return err
+	}
+	return c.pc.flush()
+}
+
+// handshake performs the HandshakeV10 exchange and authenticates the client
+// with mysql_native_password.
+func (c *conn) handshake() error {
+	salt, err := newSalt()
+	if err != nil {
+		return err
+	}
+	if err := c.pc.writePacket(buildHandshakeV10(c.id, salt)); err != nil {
+		return err
+	}
+	if err := c.pc.flush(); err != nil {
+		return err
+	}
+	payload, err := c.pc.readPacket()
+	if err != nil {
+		return err
+	}
+	resp, err := parseHandshakeResponse(payload)
+	if err != nil {
+		_ = c.writeErr(mysqlError{errMalformedPacket, "HY000", err.Error()})
+		return err
+	}
+	authOK := checkNativePassword(resp.authResponse, c.srv.password, salt)
+	if authOK && c.srv.user != "" && resp.user != c.srv.user {
+		authOK = false
+	}
+	if !authOK {
+		err := mysqlError{errAccessDenied, "28000",
+			fmt.Sprintf("Access denied for user '%s'", resp.user)}
+		_ = c.writeErr(err)
+		return err
+	}
+	if err := c.writeOK(0); err != nil {
+		return err
+	}
+	return c.pc.flush()
+}
+
+// handleQuery dispatches one COM_QUERY. SELECT-shaped statements stream
+// through QueryRows; DDL/DML run through Exec and answer OK with the
+// affected-row count; session statements clients send on connect (SET, USE)
+// are accepted as no-ops, and `SELECT @@var` introspection gets canned
+// answers so stock clients' connect-time probes succeed.
+func (c *conn) handleQuery(query string) error {
+	q := strings.TrimSpace(query)
+	q = strings.TrimSuffix(q, ";")
+	switch kw := firstKeyword(q); kw {
+	case "SELECT", "WITH", "(", "VALUES":
+		if kw == "SELECT" && strings.HasPrefix(strings.ToLower(strings.TrimSpace(q[6:])), "@@") {
+			return c.systemVarQuery(q)
+		}
+		rows, err := c.srv.db.QueryRows(c.ctx, q)
+		if err != nil {
+			return c.writeErr(err)
+		}
+		return c.writeResultSet(rows, false)
+	case "SET", "USE", "BEGIN", "COMMIT", "ROLLBACK", "START":
+		// Session/transaction chatter: single-database, autocommit-only
+		// server, so these are accepted and ignored.
+		return c.ok()
+	default:
+		n, err := c.srv.db.Exec(q)
+		if err != nil {
+			return c.writeErr(err)
+		}
+		if err := c.writeOK(uint64(n)); err != nil {
+			return err
+		}
+		return c.pc.flush()
+	}
+}
+
+// systemVarQuery answers `SELECT @@var[, @@var...]` probes (the mysql CLI
+// sends `select @@version_comment limit 1` before anything else) with one
+// canned row.
+func (c *conn) systemVarQuery(q string) error {
+	body := strings.TrimSpace(q[6:])
+	if i := strings.LastIndex(strings.ToLower(body), " limit "); i >= 0 {
+		body = strings.TrimSpace(body[:i])
+	}
+	var names, values []string
+	for _, item := range strings.Split(body, ",") {
+		item = strings.TrimSpace(item)
+		name := strings.TrimPrefix(item, "@@")
+		if i := strings.IndexAny(name, " \t"); i >= 0 { // strip alias
+			name = name[:i]
+		}
+		names = append(names, "@@"+name)
+		values = append(values, systemVars[strings.ToLower(strings.TrimPrefix(name, "session."))])
+	}
+	if err := c.pc.writePacket(lenencInt(c.scratch[:0], uint64(len(names)))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := c.writeColumnDef(n); err != nil {
+			return err
+		}
+	}
+	if err := c.writeEOF(); err != nil {
+		return err
+	}
+	row := c.scratch[:0]
+	for _, v := range values {
+		row = lenencStr(row, v)
+	}
+	c.scratch = row
+	if err := c.pc.writePacket(row); err != nil {
+		return err
+	}
+	c.sample.RowsSent++
+	if err := c.writeEOF(); err != nil {
+		return err
+	}
+	return c.pc.flush()
+}
+
+// systemVars are the introspection variables connect-time client probes ask
+// for. Unknown variables answer "".
+var systemVars = map[string]string{
+	"version_comment":      "starmagic",
+	"version":              serverVersion,
+	"max_allowed_packet":   "16777215",
+	"sql_mode":             "",
+	"autocommit":           "1",
+	"character_set_client": "utf8mb4",
+}
+
+// firstKeyword returns the first SQL keyword of q, uppercased ("(" for a
+// parenthesized query expression).
+func firstKeyword(q string) string {
+	q = strings.TrimSpace(q)
+	if q == "" {
+		return ""
+	}
+	if q[0] == '(' {
+		return "("
+	}
+	i := 0
+	for i < len(q) && !isSpaceByte(q[i]) && q[i] != '(' && q[i] != ';' {
+		i++
+	}
+	return strings.ToUpper(q[:i])
+}
+
+func isSpaceByte(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }

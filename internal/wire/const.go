@@ -1,0 +1,92 @@
+// Package wire speaks the MySQL client/server protocol over the starmagic
+// streaming Rows API, so any stock MySQL-protocol client — the mysql CLI, a
+// driver, a GUI — can connect to a starmagic server, run ad-hoc and prepared
+// queries, and receive result sets streamed packet by packet.
+//
+// The package deliberately consumes only the public starmagic surface
+// (QueryRows / PrepareContext / ExecuteRows, the typed error surface, the
+// plan cache): it is the first external client of the streaming cursor API
+// and exercises exactly the contract an embedding application gets.
+//
+// Protocol scope: HandshakeV10 with mysql_native_password, the text protocol
+// (COM_QUERY), the binary protocol (COM_STMT_PREPARE / EXECUTE / CLOSE /
+// RESET), and the session commands COM_PING, COM_INIT_DB, and COM_QUIT.
+// Classic EOF framing is used (CLIENT_DEPRECATE_EOF is not advertised), and
+// all result columns are described as VAR_STRING with values rendered to
+// their SQL text — starmagic's dynamically typed datums make a per-column
+// static wire type unreliable, and every client understands strings.
+package wire
+
+// Protocol command bytes (first payload byte of a client command packet).
+const (
+	comQuit        = 0x01
+	comInitDB      = 0x02
+	comQuery       = 0x03
+	comPing        = 0x0e
+	comStmtPrepare = 0x16
+	comStmtExecute = 0x17
+	comStmtClose   = 0x19
+	comStmtReset   = 0x1a
+)
+
+// Capability flags (the subset the server advertises or inspects).
+const (
+	capLongPassword               = 0x00000001
+	capFoundRows                  = 0x00000002
+	capLongFlag                   = 0x00000004
+	capConnectWithDB              = 0x00000008
+	capProtocol41                 = 0x00000200
+	capTransactions               = 0x00002000
+	capSecureConnection           = 0x00008000
+	capMultiStatements            = 0x00010000
+	capMultiResults               = 0x00020000
+	capPluginAuth                 = 0x00080000
+	capConnectAttrs               = 0x00100000
+	capPluginAuthLenencClientData = 0x00200000
+)
+
+// serverCapabilities is what the server advertises in HandshakeV10. Classic
+// EOF result framing is kept (no CLIENT_DEPRECATE_EOF) so one result-set
+// shape serves every client.
+const serverCapabilities = capLongPassword | capFoundRows | capLongFlag |
+	capConnectWithDB | capProtocol41 | capTransactions | capSecureConnection |
+	capMultiResults | capPluginAuth | capPluginAuthLenencClientData
+
+// Column type bytes. The server describes every result column as VAR_STRING;
+// the full numeric set below is what binary COM_STMT_EXECUTE binds arrive as.
+const (
+	typeTiny       = 0x01
+	typeShort      = 0x02
+	typeLong       = 0x03
+	typeFloat      = 0x04
+	typeDouble     = 0x05
+	typeNull       = 0x06
+	typeLongLong   = 0x08
+	typeInt24      = 0x09
+	typeYear       = 0x0d
+	typeVarchar    = 0x0f
+	typeNewDecimal = 0xf6
+	typeBlob       = 0xfc
+	typeVarString  = 0xfd
+	typeString     = 0xfe
+)
+
+// Character sets: utf8mb4_general_ci for text, binary for blobs.
+const (
+	charsetUTF8MB4 = 45
+	charsetBinary  = 63
+)
+
+// Server status flags.
+const statusAutocommit = 0x0002
+
+// Packet-framing limits.
+const (
+	maxPacketPayload = 0xffffff // 16 MiB - 1: longer payloads are split
+	maxMalformed     = 1 << 24  // reject client packets claiming more than 16 MiB
+)
+
+// authPluginName is the only authentication method the server offers.
+// mysql_native_password is universally supported by clients and needs no TLS
+// for its challenge/response (the password never crosses in clear).
+const authPluginName = "mysql_native_password"

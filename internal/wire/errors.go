@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"starmagic"
+)
+
+// MySQL error numbers the server emits. Each starmagic typed error maps onto
+// the errno/SQLSTATE pair a real MySQL server would use for the analogous
+// condition, so client drivers surface them through their native error
+// classes (syntax error, unknown table, too many connections, ...).
+const (
+	errUnknown          = 1105 // ER_UNKNOWN_ERROR
+	errParse            = 1064 // ER_PARSE_ERROR
+	errNoSuchTable      = 1146 // ER_NO_SUCH_TABLE
+	errBadField         = 1054 // ER_BAD_FIELD_ERROR
+	errParamCount       = 1210 // ER_WRONG_ARGUMENTS
+	errOutOfMemory      = 1038 // ER_OUT_OF_SORTMEMORY
+	errConCount         = 1040 // ER_CON_COUNT_ERROR
+	errServerShutdown   = 1053 // ER_SERVER_SHUTDOWN
+	errQueryInterrupted = 1317 // ER_QUERY_INTERRUPTED
+	errUnknownStmt      = 1243 // ER_UNKNOWN_STMT_HANDLER
+	errAccessDenied     = 1045 // ER_ACCESS_DENIED_ERROR
+	errMalformedPacket  = 1835 // ER_MALFORMED_PACKET
+)
+
+// mysqlError carries a fully resolved wire error: number, SQLSTATE, message.
+type mysqlError struct {
+	code     uint16
+	sqlState string
+	message  string
+}
+
+// mapError resolves any engine or protocol error to its wire representation
+// via the typed error surface of the starmagic root package — the reason
+// that surface exists. Unrecognized errors become ER_UNKNOWN_ERROR with the
+// error text preserved.
+func mapError(err error) mysqlError {
+	var me mysqlError
+	if errors.As(err, &me) {
+		return me
+	}
+	var parse *starmagic.ParseError
+	if errors.As(err, &parse) {
+		return mysqlError{errParse, "42000",
+			fmt.Sprintf("You have an error in your SQL syntax (line %d col %d): %s",
+				parse.Line, parse.Col, parse.Msg)}
+	}
+	var nf *starmagic.NotFoundError
+	if errors.As(err, &nf) {
+		if nf.Kind == "table" {
+			return mysqlError{errNoSuchTable, "42S02", err.Error()}
+		}
+		return mysqlError{errBadField, "42S22", err.Error()}
+	}
+	var pc *starmagic.ParamCountError
+	if errors.As(err, &pc) {
+		return mysqlError{errParamCount, "HY000", err.Error()}
+	}
+	switch {
+	case errors.Is(err, starmagic.ErrMemoryExceeded):
+		return mysqlError{errOutOfMemory, "HY001", err.Error()}
+	case errors.Is(err, starmagic.ErrAdmissionRejected):
+		return mysqlError{errConCount, "08004", err.Error()}
+	case errors.Is(err, starmagic.ErrClosed):
+		return mysqlError{errServerShutdown, "08S01", err.Error()}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return mysqlError{errQueryInterrupted, "70100", "Query execution was interrupted"}
+	}
+	return mysqlError{errUnknown, "HY000", err.Error()}
+}
+
+func (e mysqlError) Error() string {
+	return fmt.Sprintf("ERROR %d (%s): %s", e.code, e.sqlState, e.message)
+}
+
+// errUnknownStmtHandler builds the ER_UNKNOWN_STMT_HANDLER error for a
+// statement id the server has no registration for.
+func errUnknownStmtHandler(id uint32) mysqlError {
+	return mysqlError{errUnknownStmt, "HY000",
+		fmt.Sprintf("Unknown prepared statement handler (%d) given", id)}
+}

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// packetConn frames MySQL packets over a net.Conn: each packet is a 3-byte
+// little-endian payload length, a 1-byte sequence id, and the payload.
+// Payloads of 16 MiB-1 or more are split across consecutive packets; the
+// sequence id increments per packet and resets at each new command.
+type packetConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	seq  uint8
+
+	readBuf  []byte
+	writeBuf []byte // header scratch for writePacket
+}
+
+func newPacketConn(c net.Conn) *packetConn {
+	return &packetConn{
+		conn:     c,
+		r:        bufio.NewReaderSize(c, 16<<10),
+		w:        bufio.NewWriterSize(c, 16<<10),
+		writeBuf: make([]byte, 4),
+	}
+}
+
+// resetSeq starts a new command cycle (client command packets carry seq 0).
+func (p *packetConn) resetSeq() { p.seq = 0 }
+
+// readPacket reads one logical packet, reassembling split payloads. The
+// returned slice is valid until the next readPacket call.
+func (p *packetConn) readPacket() ([]byte, error) {
+	var hdr [4]byte
+	p.readBuf = p.readBuf[:0]
+	for {
+		if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16
+		if n > maxMalformed {
+			return nil, fmt.Errorf("wire: packet length %d exceeds protocol maximum", n)
+		}
+		if hdr[3] != p.seq {
+			return nil, fmt.Errorf("wire: packet out of order: got seq %d, want %d", hdr[3], p.seq)
+		}
+		p.seq++
+		start := len(p.readBuf)
+		p.readBuf = append(p.readBuf, make([]byte, n)...)
+		if _, err := io.ReadFull(p.r, p.readBuf[start:]); err != nil {
+			return nil, err
+		}
+		if n < maxPacketPayload {
+			return p.readBuf, nil
+		}
+		// A max-size packet means the payload continues in the next one
+		// (possibly with an empty terminator packet).
+	}
+}
+
+// writePacket frames and buffers one logical packet, splitting payloads at
+// the protocol maximum. Data is not flushed; call flush when the response is
+// complete so streamed result sets coalesce into few syscalls.
+func (p *packetConn) writePacket(payload []byte) error {
+	for {
+		chunk := payload
+		if len(chunk) >= maxPacketPayload {
+			chunk = payload[:maxPacketPayload]
+		}
+		p.writeBuf[0] = byte(len(chunk))
+		p.writeBuf[1] = byte(len(chunk) >> 8)
+		p.writeBuf[2] = byte(len(chunk) >> 16)
+		p.writeBuf[3] = p.seq
+		p.seq++
+		if _, err := p.w.Write(p.writeBuf[:4]); err != nil {
+			return err
+		}
+		if _, err := p.w.Write(chunk); err != nil {
+			return err
+		}
+		payload = payload[len(chunk):]
+		if len(chunk) < maxPacketPayload {
+			return nil
+		}
+		// len(chunk) == max: the protocol requires a follow-up packet, which
+		// is empty when the payload length was an exact multiple.
+	}
+}
+
+func (p *packetConn) flush() error { return p.w.Flush() }
+
+// --- length-encoded primitives ---
+
+// lenencInt appends a length-encoded integer.
+func lenencInt(b []byte, v uint64) []byte {
+	switch {
+	case v < 251:
+		return append(b, byte(v))
+	case v < 1<<16:
+		return append(b, 0xfc, byte(v), byte(v>>8))
+	case v < 1<<24:
+		return append(b, 0xfd, byte(v), byte(v>>8), byte(v>>16))
+	default:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		return append(append(b, 0xfe), buf[:]...)
+	}
+}
+
+// lenencStr appends a length-encoded string.
+func lenencStr(b []byte, s string) []byte {
+	b = lenencInt(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readLenencInt decodes a length-encoded integer, returning the value, the
+// bytes consumed (0 on malformed input), and whether it was the NULL marker
+// (0xfb, used in text-protocol rows).
+func readLenencInt(b []byte) (v uint64, n int, null bool) {
+	if len(b) == 0 {
+		return 0, 0, false
+	}
+	switch b[0] {
+	case 0xfb:
+		return 0, 1, true
+	case 0xfc:
+		if len(b) < 3 {
+			return 0, 0, false
+		}
+		return uint64(b[1]) | uint64(b[2])<<8, 3, false
+	case 0xfd:
+		if len(b) < 4 {
+			return 0, 0, false
+		}
+		return uint64(b[1]) | uint64(b[2])<<8 | uint64(b[3])<<16, 4, false
+	case 0xfe:
+		if len(b) < 9 {
+			return 0, 0, false
+		}
+		return binary.LittleEndian.Uint64(b[1:9]), 9, false
+	default:
+		return uint64(b[0]), 1, false
+	}
+}
+
+// readLenencStr decodes a length-encoded string, returning it and the total
+// bytes consumed (0 on malformed input).
+func readLenencStr(b []byte) (s []byte, n int, null bool) {
+	v, n, null := readLenencInt(b)
+	if n == 0 || null {
+		return nil, n, null
+	}
+	if uint64(len(b)-n) < v {
+		return nil, 0, false
+	}
+	return b[n : n+int(v)], n + int(v), false
+}
+
+// nulTerminated splits b at the first NUL, returning the string before it
+// and the remainder after.
+func nulTerminated(b []byte) (s []byte, rest []byte, ok bool) {
+	for i, c := range b {
+		if c == 0 {
+			return b[:i], b[i+1:], true
+		}
+	}
+	return nil, b, false
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"strconv"
+
+	"starmagic"
+	"starmagic/internal/datum"
+)
+
+// This file writes the generic response packets (OK, ERR, EOF) and streams
+// result sets. A result set is: column count, one ColumnDefinition41 per
+// column, EOF, then one row packet per row pulled from the cursor, then EOF
+// — the classic framing. Rows are written as they are pulled from
+// starmagic's streaming Rows cursor, so the result set crosses the wire
+// packet by packet without ever materializing server-side.
+
+// writeOK emits an OK packet with affected-row count.
+func (c *conn) writeOK(affected uint64) error {
+	b := c.scratch[:0]
+	b = append(b, 0x00)
+	b = lenencInt(b, affected)
+	b = lenencInt(b, 0) // last insert id
+	b = append(b, byte(statusAutocommit), byte(statusAutocommit>>8))
+	b = append(b, 0, 0) // warnings
+	c.scratch = b
+	return c.pc.writePacket(b)
+}
+
+// writeErr emits an ERR packet for the mapped error.
+func (c *conn) writeErr(err error) error {
+	me := mapError(err)
+	c.sample.ErrorsSent++
+	b := c.scratch[:0]
+	b = append(b, 0xff)
+	b = append(b, byte(me.code), byte(me.code>>8))
+	b = append(b, '#')
+	b = append(b, me.sqlState...)
+	b = append(b, me.message...)
+	c.scratch = b
+	if werr := c.pc.writePacket(b); werr != nil {
+		return werr
+	}
+	return c.pc.flush()
+}
+
+// writeEOF emits a classic EOF packet.
+func (c *conn) writeEOF() error {
+	return c.pc.writePacket([]byte{0xfe, 0, 0, byte(statusAutocommit), byte(statusAutocommit >> 8)})
+}
+
+// writeColumnDef emits one ColumnDefinition41. Every column is declared
+// VAR_STRING (see the package comment for why).
+func (c *conn) writeColumnDef(name string) error {
+	b := c.scratch[:0]
+	b = lenencStr(b, "def") // catalog
+	b = lenencStr(b, "")    // schema
+	b = lenencStr(b, "")    // table
+	b = lenencStr(b, "")    // org_table
+	b = lenencStr(b, name)  // name
+	b = lenencStr(b, name)  // org_name
+	b = append(b, 0x0c)     // fixed-length fields marker
+	b = append(b, charsetUTF8MB4, 0)
+	b = append(b, 0xff, 0xff, 0, 0) // column length
+	b = append(b, typeVarString)
+	b = append(b, 0, 0) // flags
+	b = append(b, 0)    // decimals
+	b = append(b, 0, 0) // filler
+	c.scratch = b
+	return c.pc.writePacket(b)
+}
+
+// wireText renders one datum for the wire: integers in decimal, floats in
+// shortest round-trip form, strings raw, booleans as MySQL's 1/0.
+func wireText(b []byte, d datum.D) []byte {
+	switch d.T {
+	case datum.TInt:
+		return strconv.AppendInt(b, d.I, 10)
+	case datum.TFloat:
+		return strconv.AppendFloat(b, d.F, 'g', -1, 64)
+	case datum.TString:
+		return append(b, d.S...)
+	case datum.TBool:
+		if d.B {
+			return append(b, '1')
+		}
+		return append(b, '0')
+	}
+	return b
+}
+
+// writeResultSet streams the cursor to the client and closes it: header,
+// column definitions, EOF, rows (text or binary per protocol), EOF. The
+// cursor is always Closed before returning; a mid-stream engine error
+// surfaces as a trailing ERR packet (the client sees the rows already sent,
+// then the error — exactly MySQL's behavior for errors during streaming).
+func (c *conn) writeResultSet(rows *starmagic.Rows, binary bool) error {
+	defer rows.Close()
+	cols := rows.Columns()
+	if err := c.pc.writePacket(lenencInt(c.scratch[:0], uint64(len(cols)))); err != nil {
+		return err
+	}
+	for _, name := range cols {
+		if err := c.writeColumnDef(name); err != nil {
+			return err
+		}
+	}
+	if err := c.writeEOF(); err != nil {
+		return err
+	}
+	var rowBuf []byte
+	for rows.Next() {
+		rowBuf = rowBuf[:0]
+		if binary {
+			rowBuf = appendBinaryRow(rowBuf, rows.Row())
+		} else {
+			rowBuf = appendTextRow(rowBuf, rows.Row())
+		}
+		if err := c.pc.writePacket(rowBuf); err != nil {
+			return err
+		}
+		c.sample.RowsSent++
+	}
+	if err := rows.Err(); err != nil {
+		return c.writeErr(err)
+	}
+	if err := c.writeEOF(); err != nil {
+		return err
+	}
+	return c.pc.flush()
+}
+
+// appendTextRow encodes one text-protocol row: each value a lenenc string,
+// NULL as the 0xfb marker. Strings append directly; numerics render through
+// a stack scratch buffer.
+func appendTextRow(b []byte, row datum.Row) []byte {
+	var scratch [32]byte
+	for _, d := range row {
+		switch {
+		case d.IsNull():
+			b = append(b, 0xfb)
+		case d.T == datum.TString:
+			b = lenencStr(b, d.S)
+		default:
+			v := wireText(scratch[:0], d)
+			b = lenencInt(b, uint64(len(v)))
+			b = append(b, v...)
+		}
+	}
+	return b
+}
+
+// appendBinaryRow encodes one binary-protocol row: 0x00 header, NULL bitmap
+// (bit i+2 for column i), then each non-NULL value. Values travel as lenenc
+// strings because the columns are declared VAR_STRING.
+func appendBinaryRow(b []byte, row datum.Row) []byte {
+	b = append(b, 0x00)
+	maskStart := len(b)
+	maskLen := (len(row) + 7 + 2) / 8
+	b = append(b, make([]byte, maskLen)...)
+	var scratch [32]byte
+	for i, d := range row {
+		switch {
+		case d.IsNull():
+			bit := i + 2
+			b[maskStart+bit/8] |= 1 << (bit % 8)
+		case d.T == datum.TString:
+			b = lenencStr(b, d.S)
+		default:
+			v := wireText(scratch[:0], d)
+			b = lenencInt(b, uint64(len(v)))
+			b = append(b, v...)
+		}
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"starmagic"
+)
+
+// stmt is one server-side prepared statement, registered per connection.
+// The starmagic Prepared underneath comes out of the engine's sharded plan
+// cache, so COM_STMT_PREPARE of a SQL text another connection already
+// prepared skips the optimizer entirely.
+type stmt struct {
+	id       uint32
+	prepared *starmagic.Prepared
+	// paramTypes sticks the types from the first COM_STMT_EXECUTE carrying
+	// the new-params-bound flag; later executions may omit them.
+	paramTypes []byte
+}
+
+// handleStmtPrepare implements COM_STMT_PREPARE: prepare through the engine
+// (plan cache included), register the statement, and reply with the
+// COM_STMT_PREPARE_OK framing: header, parameter definitions, column
+// definitions.
+func (c *conn) handleStmtPrepare(query string) error {
+	c.sample.StmtPrepares++
+	p, err := c.srv.db.PrepareContext(c.ctx, query)
+	if err != nil {
+		return c.writeErr(err)
+	}
+	c.stmtSeq++
+	st := &stmt{id: c.stmtSeq, prepared: p}
+	c.stmts[st.id] = st
+	numParams := p.NumParams()
+	cols := p.Columns()
+
+	b := c.scratch[:0]
+	b = append(b, 0x00) // OK
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], st.id)
+	b = append(b, id[:]...)
+	b = append(b, byte(len(cols)), byte(len(cols)>>8))
+	b = append(b, byte(numParams), byte(numParams>>8))
+	b = append(b, 0)    // filler
+	b = append(b, 0, 0) // warnings
+	c.scratch = b
+	if err := c.pc.writePacket(b); err != nil {
+		return err
+	}
+	for i := 0; i < numParams; i++ {
+		if err := c.writeColumnDef("?"); err != nil {
+			return err
+		}
+	}
+	if numParams > 0 {
+		if err := c.writeEOF(); err != nil {
+			return err
+		}
+	}
+	for _, name := range cols {
+		if err := c.writeColumnDef(name); err != nil {
+			return err
+		}
+	}
+	if len(cols) > 0 {
+		if err := c.writeEOF(); err != nil {
+			return err
+		}
+	}
+	return c.pc.flush()
+}
+
+// handleStmtExecute implements COM_STMT_EXECUTE: decode the binary-bound
+// parameters, run the statement through the streaming cursor, and stream a
+// binary-protocol result set.
+func (c *conn) handleStmtExecute(payload []byte) error {
+	c.sample.StmtExecs++
+	if len(payload) < 9 {
+		return c.writeErr(mysqlError{errMalformedPacket, "HY000", "malformed COM_STMT_EXECUTE"})
+	}
+	st, ok := c.stmts[binary.LittleEndian.Uint32(payload[0:4])]
+	if !ok {
+		return c.writeErr(errUnknownStmtHandler(binary.LittleEndian.Uint32(payload[0:4])))
+	}
+	rest := payload[9:] // skip flags(1) + iteration count(4)
+	args, err := decodeBinds(st, rest)
+	if err != nil {
+		return c.writeErr(err)
+	}
+	rows, err := st.prepared.ExecuteRows(c.ctx, args...)
+	if err != nil {
+		return c.writeErr(err)
+	}
+	return c.writeResultSet(rows, true)
+}
+
+// decodeBinds parses the NULL bitmap, parameter types, and values of a
+// COM_STMT_EXECUTE payload into starmagic bind values.
+func decodeBinds(st *stmt, b []byte) ([]any, error) {
+	n := st.prepared.NumParams()
+	if n == 0 {
+		return nil, nil
+	}
+	malformed := func(what string) error {
+		return mysqlError{errMalformedPacket, "HY000", "malformed COM_STMT_EXECUTE: " + what}
+	}
+	maskLen := (n + 7) / 8
+	if len(b) < maskLen+1 {
+		return nil, malformed("truncated NULL bitmap")
+	}
+	nullMask := b[:maskLen]
+	newParams := b[maskLen]
+	b = b[maskLen+1:]
+	if newParams == 1 {
+		if len(b) < 2*n {
+			return nil, malformed("truncated parameter types")
+		}
+		st.paramTypes = append(st.paramTypes[:0], b[:2*n]...)
+		b = b[2*n:]
+	}
+	if len(st.paramTypes) != 2*n {
+		return nil, malformed("no parameter types bound")
+	}
+	args := make([]any, n)
+	for i := 0; i < n; i++ {
+		if nullMask[i/8]&(1<<(i%8)) != 0 {
+			args[i] = nil
+			continue
+		}
+		t := st.paramTypes[2*i]
+		v, rest, err := decodeBinaryValue(t, b)
+		if err != nil {
+			return nil, err
+		}
+		// The unsigned flag (0x80 in the second type byte) is ignored:
+		// values round-trip through int64, which covers every client that
+		// binds values representable in SQL INT.
+		args[i] = v
+		b = rest
+	}
+	return args, nil
+}
+
+// decodeBinaryValue decodes one binary-protocol value of wire type t,
+// coercing onto the Go types starmagic's bind layer accepts (int64, float64,
+// string, nil). This is the full numeric matrix a real client may send.
+func decodeBinaryValue(t byte, b []byte) (any, []byte, error) {
+	need := func(k int) error {
+		if len(b) < k {
+			return mysqlError{errMalformedPacket, "HY000",
+				fmt.Sprintf("truncated binary value of type 0x%02x", t)}
+		}
+		return nil
+	}
+	switch t {
+	case typeNull:
+		return nil, b, nil
+	case typeTiny:
+		if err := need(1); err != nil {
+			return nil, b, err
+		}
+		return int64(int8(b[0])), b[1:], nil
+	case typeShort, typeYear:
+		if err := need(2); err != nil {
+			return nil, b, err
+		}
+		return int64(int16(binary.LittleEndian.Uint16(b))), b[2:], nil
+	case typeLong, typeInt24:
+		if err := need(4); err != nil {
+			return nil, b, err
+		}
+		return int64(int32(binary.LittleEndian.Uint32(b))), b[4:], nil
+	case typeLongLong:
+		if err := need(8); err != nil {
+			return nil, b, err
+		}
+		return int64(binary.LittleEndian.Uint64(b)), b[8:], nil
+	case typeFloat:
+		if err := need(4); err != nil {
+			return nil, b, err
+		}
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))), b[4:], nil
+	case typeDouble:
+		if err := need(8); err != nil {
+			return nil, b, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+	default:
+		// Every string-shaped type — VARCHAR, VAR_STRING, STRING, BLOBs,
+		// NEWDECIMAL — arrives as a lenenc byte string.
+		s, n, null := readLenencStr(b)
+		if null {
+			return nil, b[n:], nil
+		}
+		if n == 0 {
+			return nil, b, mysqlError{errMalformedPacket, "HY000",
+				fmt.Sprintf("truncated lenenc value of type 0x%02x", t)}
+		}
+		return string(s), b[n:], nil
+	}
+}
+
+// handleStmtClose implements COM_STMT_CLOSE (no response packet).
+func (c *conn) handleStmtClose(payload []byte) {
+	if len(payload) >= 4 {
+		delete(c.stmts, binary.LittleEndian.Uint32(payload[0:4]))
+	}
+}
+
+// handleStmtReset implements COM_STMT_RESET: clears bound state and acks.
+func (c *conn) handleStmtReset(payload []byte) error {
+	if len(payload) < 4 {
+		return c.writeErr(mysqlError{errMalformedPacket, "HY000", "malformed COM_STMT_RESET"})
+	}
+	st, ok := c.stmts[binary.LittleEndian.Uint32(payload[0:4])]
+	if !ok {
+		return c.writeErr(errUnknownStmtHandler(binary.LittleEndian.Uint32(payload[0:4])))
+	}
+	st.paramTypes = st.paramTypes[:0]
+	if err := c.writeOK(0); err != nil {
+		return err
+	}
+	return c.pc.flush()
+}

@@ -54,6 +54,8 @@ import (
 	"starmagic/internal/exec"
 	"starmagic/internal/obs"
 	"starmagic/internal/resource"
+	"starmagic/internal/semant"
+	"starmagic/internal/sql"
 )
 
 // DB is an in-memory starmagic database instance. It is safe for concurrent
@@ -187,6 +189,41 @@ func WithMemoryLimit(n int64) QueryOption { return engine.WithMemoryLimit(n) }
 // SetAdmission has configured a cap.
 func WithAdmission(enabled bool) QueryOption { return engine.WithAdmission(enabled) }
 
+// Rows is a streaming result cursor: Columns, then Next/Row (or Scan) until
+// Next returns false, then Err and Close. Rows pull from the streaming
+// executor batch by batch, so the full result set never materializes and a
+// consumer that stops early never pays for the rows it skipped. The deferred
+// PlanInfo (counters, timings, memory footprint) is available from Plan()
+// after the cursor finalizes — drained, failed, or Closed.
+//
+// An open cursor holds the database read lock, its admission slot, and its
+// memory budget until Close; always Close it (a drained cursor finalizes
+// itself, making Close a no-op).
+type Rows = engine.Rows
+
+// QueryRows optimizes and executes a SELECT, returning a streaming cursor
+// instead of a materialized Result. It accepts the same options as
+// QueryContext. This is the preferred query API for large results; Query and
+// QueryContext are thin materializing wrappers over the same execution path.
+func (db *DB) QueryRows(ctx context.Context, query string, opts ...QueryOption) (*Rows, error) {
+	return db.eng.QueryRows(ctx, query, opts...)
+}
+
+// Typed query-pipeline errors, re-exported so callers can errors.As against
+// them without importing internal packages. The resource-governor sentinels
+// (ErrMemoryExceeded, ErrAdmissionRejected, ErrClosed) are further down.
+type (
+	// ParseError is a positioned lex/parse failure (line and column are
+	// 1-based over the query text).
+	ParseError = sql.Error
+	// NotFoundError is a name-resolution failure: an unknown table, view, or
+	// column (Kind says which).
+	NotFoundError = semant.NotFoundError
+	// ParamCountError reports a mismatch between a query's `?` placeholders
+	// and the values bound for an execution.
+	ParamCountError = engine.ParamCountError
+)
+
 // Query optimizes and executes a SELECT with the default EMST strategy.
 func (db *DB) Query(query string) (*Result, error) { return db.eng.Query(query) }
 
@@ -269,6 +306,11 @@ type MemInfo = engine.MemInfo
 // GovernorStats is a point-in-time snapshot of the memory governor and the
 // admission queue.
 type GovernorStats = resource.GovernorStats
+
+// SetParallelism configures intra-query parallelism for subsequent
+// executions: 0 or 1 executes serially (the default); negative means
+// GOMAXPROCS workers. Results are identical to serial execution.
+func (db *DB) SetParallelism(n int) { db.eng.SetParallelism(n) }
 
 // SetMemoryLimit configures memory governance for every subsequent query:
 // perQuery caps each query's resident operator state and total caps the sum
