@@ -18,7 +18,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/resource/ ./internal/wire/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/resource/ ./internal/storage/ ./internal/wire/
 
 cover:
 	$(GO) test -cover ./...
@@ -32,7 +32,7 @@ check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/... ./internal/vec/... ./internal/wire/...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/... ./internal/storage/... ./internal/vec/... ./internal/wire/...
 	$(MAKE) bench-check
 
 # gofmt as a gate: print offending files and fail if any exist.
@@ -47,10 +47,11 @@ bench:
 # Machine-readable perf trajectory: row-key encoders, hash-join build,
 # cold-vs-cached prepares, spill-on vs spill-off join/sort pairs,
 # vectorized-vs-row executor pairs (ns/row), wire-protocol round-trips
-# (COM_QUERY ns/row and cached COM_STMT_EXECUTE), and Table-1 experiments
-# (ns/op + allocs/op) written to $(BENCH_OUT).
-# Override per PR: make bench-json BENCH_OUT=BENCH_8.json
-BENCH_OUT ?= BENCH_7.json
+# (COM_QUERY ns/row and cached COM_STMT_EXECUTE), MVCC transaction-commit
+# latency plus DML throughput under an open streaming scan, and Table-1
+# experiments (ns/op + allocs/op) written to $(BENCH_OUT).
+# Override per PR: make bench-json BENCH_OUT=BENCH_9.json
+BENCH_OUT ?= BENCH_8.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 

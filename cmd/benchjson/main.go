@@ -17,7 +17,7 @@
 //
 //	benchjson [-out BENCH.json] [-experiments A,B,...] [-scale N]
 //	          [-baseline BENCH_1.json] [-threshold 15]
-//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/,vec/]
+//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/]
 package main
 
 import (
@@ -65,7 +65,7 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
-	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/", "comma-separated name prefixes the regression gate applies to")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -157,6 +157,13 @@ func main() {
 	// ns per streamed row) and a plan-cache-served COM_STMT_EXECUTE.
 	if err := wireBench(record, recordPerRow); err != nil {
 		fmt.Fprintln(os.Stderr, "wire bench:", err)
+		os.Exit(1)
+	}
+
+	// MVCC: transaction commit latency and DML throughput while a long
+	// streaming scan is open (the lock-free-read guarantee, measured).
+	if err := mvccBench(record); err != nil {
+		fmt.Fprintln(os.Stderr, "mvcc bench:", err)
 		os.Exit(1)
 	}
 
@@ -520,6 +527,64 @@ func wireBench(record func(string, func(b *testing.B)), recordPerRow func(string
 			}
 			if len(rs.Rows) != 1 {
 				b.Fatalf("point query returned %d rows", len(rs.Rows))
+			}
+		}
+	})
+	return nil
+}
+
+// mvccBench measures the transaction machinery: `commit_ns` is one
+// Begin/INSERT/Commit cycle, and `read_under_write_ns_row` is one
+// autocommit INSERT (one row) while a streaming cursor over a 20k-row table
+// sits half-drained and open — on the pre-MVCC engine this write would
+// block until the cursor closed; under MVCC it must run at normal DML
+// latency.
+func mvccBench(record func(string, func(b *testing.B))) error {
+	db := starmagic.Open()
+	if _, err := db.Exec(`CREATE TABLE mt (id INT, v VARCHAR)`); err != nil {
+		return err
+	}
+	const rows = 20000
+	batch := make([]datum.Row, rows)
+	for i := range batch {
+		batch[i] = datum.Row{datum.Int(int64(i)), datum.String(fmt.Sprintf("v-%05d", i%1000))}
+	}
+	if err := db.InsertRows("mt", batch); err != nil {
+		return err
+	}
+	db.Analyze()
+	ctx := context.Background()
+
+	record("mvcc/commit_ns", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx := db.Begin()
+			if _, err := tx.Exec(fmt.Sprintf(`INSERT INTO mt VALUES (%d, 'c')`, rows+i)); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Open a cursor and drain half of it, so the writes below commit under
+	// a live snapshot holding old versions.
+	cur, err := db.QueryRows(ctx, `SELECT t.id FROM mt t`)
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	for i := 0; i < rows/2; i++ {
+		if !cur.Next() {
+			return fmt.Errorf("mvcc bench: cursor ended early: %v", cur.Err())
+		}
+	}
+	record("mvcc/read_under_write_ns_row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(fmt.Sprintf(`INSERT INTO mt VALUES (%d, 'w')`, 10_000_000+i)); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

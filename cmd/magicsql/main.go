@@ -100,6 +100,9 @@ func main() {
 type shell struct {
 	db       *engine.Database
 	strategy engine.Strategy
+	// txn is the open explicit transaction (BEGIN .. COMMIT/ROLLBACK);
+	// nil in autocommit mode.
+	txn      *engine.Txn
 	timing   bool
 	showPlan bool
 	// .mem / .admission settings, kept so the commands can echo them back.
@@ -138,13 +141,56 @@ func (sh *shell) runScript(script string) error {
 			continue
 		}
 		first := strings.ToUpper(firstWord(trimmed))
+		switch first {
+		case "BEGIN", "START":
+			if sh.txn != nil {
+				t := sh.txn
+				sh.txn = nil
+				if err := t.Commit(); err != nil {
+					return err
+				}
+			}
+			sh.txn = sh.db.Begin()
+			continue
+		case "COMMIT", "ROLLBACK":
+			t := sh.txn
+			sh.txn = nil
+			if t == nil {
+				continue // no-op in autocommit mode, like MySQL
+			}
+			if first == "COMMIT" {
+				if err := t.Commit(); err != nil {
+					return err
+				}
+			} else if err := t.Rollback(); err != nil {
+				return err
+			}
+			continue
+		}
 		if first == "SELECT" || strings.HasPrefix(trimmed, "(") {
-			res, err := sh.db.QueryContext(context.Background(), trimmed,
-				engine.WithStrategy(sh.strategy))
+			var res *engine.Result
+			var err error
+			if sh.txn != nil {
+				res, err = sh.txn.QueryContext(context.Background(), trimmed,
+					engine.WithStrategy(sh.strategy))
+			} else {
+				res, err = sh.db.QueryContext(context.Background(), trimmed,
+					engine.WithStrategy(sh.strategy))
+			}
 			if err != nil {
 				return err
 			}
 			sh.printResult(res)
+			continue
+		}
+		if sh.txn != nil {
+			_, err := sh.txn.ExecContext(context.Background(), trimmed)
+			if sh.txn.Done() {
+				sh.txn = nil // write conflict rolled the transaction back
+			}
+			if err != nil {
+				return err
+			}
 			continue
 		}
 		if _, err := sh.db.Exec(trimmed); err != nil {

@@ -238,11 +238,12 @@ func (db *Database) prepare(ctx context.Context, query string, cfg queryConfig) 
 		return nil, fmt.Errorf("WithArgs: %w", cfg.argsErr)
 	}
 	// Capture the epoch under which statistics are known fresh: load the
-	// epoch, freshen stats if dirty, and retry if a mutation slipped into
-	// that window (a mutation always bumps the epoch, so the re-load detects
-	// it). Plans are cached under this validated epoch — never under an
-	// epoch newer than the statistics they were optimized with, which would
-	// let a stale-stats plan survive until the next mutation.
+	// epoch, freshen stats if dirty, and retry if a DDL or ANALYZE slipped
+	// into that window (only those bump the epoch — DML merely marks stats
+	// dirty, since plans read rows through MVCC snapshots and stay valid).
+	// Plans are cached under this validated epoch — never under an epoch
+	// newer than the statistics they were optimized with, which would let a
+	// stale-stats plan survive until the next schema change.
 	var epoch uint64
 	for {
 		epoch = db.epoch.Load()

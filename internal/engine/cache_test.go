@@ -142,8 +142,9 @@ func TestCachedPlanMatchesColdPrepare(t *testing.T) {
 }
 
 // TestPlanCacheHitMissLifecycle checks the epoch machinery: a second prepare
-// hits; DML, DDL and explicit ANALYZE each advance the epoch and force a
-// re-prepare on next touch.
+// hits; DDL and explicit ANALYZE each advance the epoch and force a
+// re-prepare on next touch, while DML keeps cached plans valid (plans read
+// through MVCC snapshots, so data changes never invalidate them).
 func TestPlanCacheHitMissLifecycle(t *testing.T) {
 	db := cacheTestDB(t)
 	ctx := context.Background()
@@ -163,11 +164,8 @@ func TestPlanCacheHitMissLifecycle(t *testing.T) {
 	if _, err := db.Exec(`INSERT INTO sales VALUES (9001, 3, 12.5)`); err != nil {
 		t.Fatal(err)
 	}
-	if got := status(); got != "miss" {
-		t.Fatalf("prepare after INSERT = %q, want miss", got)
-	}
 	if got := status(); got != "hit" {
-		t.Fatalf("re-prepare = %q, want hit", got)
+		t.Fatalf("prepare after INSERT = %q, want hit (DML must not invalidate)", got)
 	}
 	if _, err := db.Exec(`CREATE INDEX dept_region ON department (region)`); err != nil {
 		t.Fatal(err)
@@ -263,7 +261,7 @@ func TestPlanCacheSingleFlight(t *testing.T) {
 }
 
 // TestPlanCacheConcurrentWithMutations mixes cached parameterized queries
-// with epoch-bumping inserts; every query must still see a consistent result
+// with concurrent inserts; every query must still see a consistent result
 // for its binding (run under -race via make check).
 func TestPlanCacheConcurrentWithMutations(t *testing.T) {
 	db := cacheTestDB(t)

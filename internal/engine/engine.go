@@ -17,7 +17,6 @@ import (
 	"time"
 
 	"starmagic/internal/catalog"
-	"starmagic/internal/core"
 	"starmagic/internal/datum"
 	"starmagic/internal/exec"
 	"starmagic/internal/obs"
@@ -80,10 +79,30 @@ type Database struct {
 	// atomic so the prepare hot path can check it without taking the write
 	// lock (double-checked: the lock is acquired only when it reads true).
 	statsDirty atomic.Bool
-	// epoch is the catalog epoch: it advances on every schema or data
-	// mutation (DDL, DML, bulk loads, ANALYZE) and invalidates plan-cache
-	// entries prepared under earlier epochs.
+	// epoch is the catalog epoch: it advances on schema changes and
+	// explicit ANALYZE — the events that can invalidate a cached plan's
+	// shape — and plan-cache entries prepared under earlier epochs are not
+	// reused. DML does not advance it: under MVCC, data changes only dirty
+	// statistics (plans stay structurally valid and visibility is the
+	// snapshot's job, not the cache's).
 	epoch atomic.Uint64
+	// commitTS is the global commit clock: transactions snapshot it at
+	// Begin and Commit advances it after stamping the write set.
+	commitTS atomic.Uint64
+	// txnSeq allocates transaction ids (storage.TxnIDBit | seq).
+	txnSeq atomic.Uint64
+	// commitMu serializes commit stamping against the clock advance.
+	commitMu sync.Mutex
+	// snapMu guards snaps, the refcounts of live snapshot timestamps; the
+	// minimum key is the vacuum horizon.
+	snapMu sync.Mutex
+	snaps  map[uint64]int
+	// garbage estimates reclaimable row versions; crossing vacuumThreshold
+	// triggers a background vacuum (vacuumBusy keeps passes from stacking,
+	// vacuumWG lets Close wait one out).
+	garbage    atomic.Int64
+	vacuumBusy atomic.Bool
+	vacuumWG   sync.WaitGroup
 	// plans caches prepared plans by normalized SQL + strategy (see cache.go).
 	plans *planCache
 	// parallelism is handed to each query's evaluator (see SetParallelism).
@@ -110,13 +129,6 @@ func New() *Database {
 		plans: newPlanCache(0),
 		gov:   resource.NewGovernor(),
 	}
-}
-
-// noteMutation records a data mutation: optimizer statistics are stale and
-// cached plans prepared under the old contents must not be reused.
-func (db *Database) noteMutation() {
-	db.statsDirty.Store(true)
-	db.epoch.Add(1)
 }
 
 // Epoch returns the current catalog epoch (see ExplainInfo.CacheEpoch).
@@ -183,35 +195,52 @@ func (db *Database) ResourceStats() resource.GovernorStats { return db.gov.Stats
 
 // Close shuts the database down: queued executions are rejected, new
 // executions fail with resource.ErrClosed, and Close blocks until admitted
-// executions drain. Only executions that went through admission control are
-// tracked, so Close is a no-op unless SetAdmission configured a cap. The
-// database's in-memory catalog and storage remain readable.
-func (db *Database) Close() { db.gov.Close() }
+// executions drain (only executions that went through admission control are
+// tracked, so that part is a no-op unless SetAdmission configured a cap)
+// and until any in-flight background vacuum pass finishes. The database's
+// in-memory catalog and storage remain readable.
+func (db *Database) Close() {
+	db.gov.Close()
+	db.vacuumWG.Wait()
+}
 
-// Exec runs a script of DDL/INSERT statements separated by semicolons and
-// returns the number of rows inserted.
+// Exec runs a script of DDL/DML statements separated by semicolons and
+// returns the number of rows affected. Each DML statement runs as its own
+// autocommit transaction (use Begin for multi-statement transactions); DDL
+// statements serialize behind the database write lock as before.
 func (db *Database) Exec(script string) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
 		return 0, err
 	}
-	var inserted int64
+	var affected int64
 	for _, st := range stmts {
 		n, err := db.execStmt(st)
+		affected += n
 		if err != nil {
-			return inserted, err
+			return affected, err
 		}
-		inserted += n
 	}
-	return inserted, nil
+	return affected, nil
 }
 
 func (db *Database) execStmt(st sql.Statement) (int64, error) {
 	if n := sql.CountParams(st); n > 0 {
 		return 0, fmt.Errorf("statement uses %d parameter placeholder(s); parameters (?) are only supported in queries (use WithArgs)", n)
 	}
+	switch st.(type) {
+	case *sql.Insert, *sql.Delete, *sql.Update:
+		return db.autocommit(st)
+	case *sql.SelectStatement:
+		return 0, fmt.Errorf("use Query for SELECT statements")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execDDL(st)
+}
+
+// execDDL handles schema statements under the database write lock.
+func (db *Database) execDDL(st sql.Statement) (int64, error) {
 	switch s := st.(type) {
 	case *sql.CreateTable:
 		return 0, db.createTable(s)
@@ -247,17 +276,10 @@ func (db *Database) execStmt(st sql.Statement) (int64, error) {
 			return 0, err
 		}
 		db.store.Drop(s.Name)
-		db.noteMutation()
+		db.statsDirty.Store(true)
+		db.epoch.Add(1)
 		db.store.MaybeCompactIntern()
 		return 0, nil
-	case *sql.Delete:
-		return db.deleteRows(s)
-	case *sql.Update:
-		return db.updateRows(s)
-	case *sql.Insert:
-		return db.insert(s)
-	case *sql.SelectStatement:
-		return 0, fmt.Errorf("use Query for SELECT statements")
 	}
 	return 0, fmt.Errorf("unsupported statement %T", st)
 }
@@ -322,44 +344,13 @@ func (db *Database) createIndex(s *sql.CreateIndex) error {
 	if s.Unique {
 		t.Keys = append(t.Keys, cols)
 	}
-	// Rebuild storage so the new index covers existing rows.
+	// Build the index in place over the existing versions (dead ones are
+	// filtered by visibility at lookup). No storage rebuild: positions held
+	// by in-flight transactions stay valid.
 	rel, _ := db.store.Relation(s.Table)
-	rows := rel.Rows()
-	nrel := db.store.Create(t)
-	for _, r := range rows {
-		if err := nrel.Insert(r); err != nil {
-			return err
-		}
-	}
+	rel.AddIndex(cols)
 	db.epoch.Add(1)
 	return nil
-}
-
-func (db *Database) insert(s *sql.Insert) (int64, error) {
-	rel, ok := db.store.Relation(s.Table)
-	if !ok {
-		return 0, fmt.Errorf("table %q not found", s.Table)
-	}
-	if s.Query != nil {
-		return db.insertSelect(rel, s)
-	}
-	var n int64
-	for _, rowExprs := range s.Rows {
-		row := make(datum.Row, len(rowExprs))
-		for i, e := range rowExprs {
-			v, err := evalConstExpr(e)
-			if err != nil {
-				return n, err
-			}
-			row[i] = v
-		}
-		if err := rel.Insert(row); err != nil {
-			return n, err
-		}
-		n++
-	}
-	db.noteMutation()
-	return n, nil
 }
 
 // compileRowExpr binds an expression against a single table's columns and
@@ -388,145 +379,6 @@ func (db *Database) compileRowExpr(table *catalog.Table, e sql.Expr) (func(datum
 	return func(row datum.Row) (datum.D, error) {
 		return exec.EvalExpr(expr, exec.Env{q: row})
 	}, nil
-}
-
-// deleteRows implements DELETE FROM t [WHERE pred].
-func (db *Database) deleteRows(s *sql.Delete) (int64, error) {
-	rel, ok := db.store.Relation(s.Table)
-	if !ok {
-		return 0, fmt.Errorf("table %q not found", s.Table)
-	}
-	var pred func(datum.Row) (datum.D, error)
-	if s.Where != nil {
-		var err error
-		pred, err = db.compileRowExpr(rel.Meta, s.Where)
-		if err != nil {
-			return 0, err
-		}
-	}
-	var kept []datum.Row
-	var n int64
-	for _, row := range rel.Rows() {
-		remove := true
-		if pred != nil {
-			v, err := pred(row)
-			if err != nil {
-				return 0, err
-			}
-			remove = !v.IsNull() && v.T == datum.TBool && v.B
-		}
-		if remove {
-			n++
-		} else {
-			kept = append(kept, row)
-		}
-	}
-	if err := rel.Rebuild(kept); err != nil {
-		return 0, err
-	}
-	db.noteMutation()
-	db.store.MaybeCompactIntern()
-	return n, nil
-}
-
-// updateRows implements UPDATE t SET c = e, ... [WHERE pred].
-func (db *Database) updateRows(s *sql.Update) (int64, error) {
-	rel, ok := db.store.Relation(s.Table)
-	if !ok {
-		return 0, fmt.Errorf("table %q not found", s.Table)
-	}
-	t := rel.Meta
-	type setter struct {
-		ord int
-		fn  func(datum.Row) (datum.D, error)
-	}
-	var setters []setter
-	for _, a := range s.Set {
-		ord := t.ColumnIndex(a.Column)
-		if ord < 0 {
-			return 0, fmt.Errorf("table %s: unknown column %q", s.Table, a.Column)
-		}
-		fn, err := db.compileRowExpr(t, a.Expr)
-		if err != nil {
-			return 0, err
-		}
-		setters = append(setters, setter{ord: ord, fn: fn})
-	}
-	var pred func(datum.Row) (datum.D, error)
-	if s.Where != nil {
-		var err error
-		pred, err = db.compileRowExpr(t, s.Where)
-		if err != nil {
-			return 0, err
-		}
-	}
-	var out []datum.Row
-	var n int64
-	for _, row := range rel.Rows() {
-		match := true
-		if pred != nil {
-			v, err := pred(row)
-			if err != nil {
-				return 0, err
-			}
-			match = !v.IsNull() && v.T == datum.TBool && v.B
-		}
-		if !match {
-			out = append(out, row)
-			continue
-		}
-		// Evaluate every SET expression against the OLD row, then apply.
-		updated := row.Clone()
-		for _, st := range setters {
-			v, err := st.fn(row)
-			if err != nil {
-				return 0, err
-			}
-			updated[st.ord] = v
-		}
-		out = append(out, updated)
-		n++
-	}
-	if err := rel.Rebuild(out); err != nil {
-		return 0, err
-	}
-	db.noteMutation()
-	db.store.MaybeCompactIntern()
-	return n, nil
-}
-
-// insertSelect executes INSERT INTO t SELECT ... — the source query runs
-// under the full EMST pipeline, and its rows are loaded into the table.
-func (db *Database) insertSelect(rel *storage.Relation, s *sql.Insert) (int64, error) {
-	// Called with db.mu held (via Exec).
-	if db.statsDirty.Load() {
-		db.analyzeLocked()
-	}
-	g, err := semant.NewBuilder(db.cat).Build(s.Query)
-	if err != nil {
-		return 0, err
-	}
-	t, _ := db.cat.Table(s.Table)
-	if got, want := len(g.Top.Output)-g.HiddenCols, len(t.Columns); got != want {
-		return 0, fmt.Errorf("INSERT INTO %s: query yields %d columns, table has %d", s.Table, got, want)
-	}
-	res, err := core.Optimize(g, core.Options{})
-	if err != nil {
-		return 0, err
-	}
-	rows, err := exec.New(db.store).EvalGraph(res.Graph)
-	if err != nil {
-		return 0, err
-	}
-	var n int64
-	for _, row := range rows {
-		if err := rel.Insert(row); err != nil {
-			return n, err
-		}
-		n++
-	}
-	db.noteMutation()
-	return n, nil
 }
 
 // evalConstExpr evaluates a constant INSERT expression (literals, unary
@@ -567,20 +419,28 @@ func evalConstExpr(e sql.Expr) (datum.D, error) {
 }
 
 // InsertRows bulk-loads rows through the Go API (faster than INSERT text).
+// The load is one transaction: on error nothing is visible.
 func (db *Database) InsertRows(table string, rows []datum.Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	t := db.Begin()
+	db.mu.RLock()
 	rel, ok := db.store.Relation(table)
 	if !ok {
+		db.mu.RUnlock()
+		_ = t.Rollback()
 		return fmt.Errorf("table %q not found", table)
 	}
+	var err error
 	for _, r := range rows {
-		if err := rel.Insert(r); err != nil {
-			return err
+		if err = t.stageAppend(rel, r); err != nil {
+			break
 		}
 	}
-	db.noteMutation()
-	return nil
+	db.mu.RUnlock()
+	if err != nil {
+		_ = t.Rollback()
+		return err
+	}
+	return t.Commit()
 }
 
 // Analyze recomputes optimizer statistics for every table. An explicit

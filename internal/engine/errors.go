@@ -1,6 +1,20 @@
 package engine
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWriteConflict reports a first-updater-wins write-write conflict: a
+// DELETE or UPDATE tried to claim a row version already deleted (or claimed)
+// by another transaction since this transaction's snapshot. The losing
+// transaction is rolled back; retrying it on a fresh snapshot usually
+// succeeds. The wire server maps it to MySQL errno 1213 / SQLSTATE 40001.
+var ErrWriteConflict = errors.New("write-write conflict: row modified by a concurrent transaction (transaction rolled back, retry it)")
+
+// ErrTxnDone reports a Commit or statement on a transaction that was already
+// committed or rolled back.
+var ErrTxnDone = errors.New("transaction has already been committed or rolled back")
 
 // ParamCountError reports a mismatch between a query's `?` placeholders and
 // the values bound for an execution (WithArgs at prepare time or args on

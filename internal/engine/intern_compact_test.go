@@ -39,11 +39,13 @@ func TestInternCompaction(t *testing.T) {
 		t.Fatalf("expected at least %d interned strings, have %d", n, before)
 	}
 
-	// DELETE most of the big table: > half the table is now dead, so the
-	// rebuild threshold must fire.
+	// DELETE most of the big table: under MVCC the old versions linger until
+	// vacuum, so reclaim explicitly (the background vacuum is asynchronous);
+	// then > half the intern table is dead and the rebuild threshold fires.
 	if _, err := db.Exec(`DELETE FROM words WHERE id >= 100`); err != nil {
 		t.Fatal(err)
 	}
+	db.Vacuum()
 	afterDelete := db.Store().Intern().Stats().Strings
 	if afterDelete >= before/2 {
 		t.Fatalf("DELETE did not reclaim intern ids: %d strings before, %d after", before, afterDelete)

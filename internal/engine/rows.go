@@ -17,6 +17,7 @@ import (
 	"starmagic/internal/obs"
 	"starmagic/internal/plan"
 	"starmagic/internal/resource"
+	"starmagic/internal/storage"
 )
 
 // Rows is a streaming result cursor over one execution of a prepared plan:
@@ -28,10 +29,11 @@ import (
 //
 // Rows must be Closed (Close is idempotent; a fully drained cursor finalizes
 // itself, making Close a no-op). Until finalized, the cursor holds its
-// execution resources: the database read lock, the admission slot, and the
-// query's memory budget — so a cursor held open blocks DDL exactly like a
-// long-running query, and issuing DDL from the same goroutine before Close
-// self-deadlocks.
+// execution resources: the admission slot, the query's memory budget, and a
+// registered MVCC snapshot. It holds no lock: the cursor reads a snapshot
+// view of storage, so an open cursor never blocks writers — DML commits
+// freely mid-stream and the cursor keeps returning the rows its snapshot
+// saw. The registered snapshot only pins row versions against vacuum.
 //
 // Rows is not safe for concurrent use by multiple goroutines.
 type Rows struct {
@@ -53,7 +55,7 @@ type Rows struct {
 	ev            *exec.Evaluator
 	bud           *resource.Budget
 	release       func() // admission slot (nil when not admitted)
-	unlock        func() // db.mu.RUnlock (nil once released)
+	releaseSnap   func() // snapshot-registry entry (nil for txn cursors)
 	sp            obs.Span
 	start         time.Time
 	admissionWait time.Duration
@@ -66,10 +68,25 @@ type Rows struct {
 // ExecuteRows runs the prepared plan and returns a streaming cursor over its
 // result. Optional args bind the query's `?` placeholders for this run only,
 // overriding WithArgs values captured at prepare time. The returned cursor
-// must be Closed; see Rows.
+// must be Closed; see Rows. The execution reads a fresh snapshot of the
+// committed state acquired here.
 func (p *Prepared) ExecuteRows(ctx context.Context, args ...any) (*Rows, error) {
+	return p.executeRowsIn(ctx, nil, args...)
+}
+
+// ExecuteRowsIn is ExecuteRows inside a transaction: the cursor reads the
+// transaction's snapshot plus its own staged writes. Close the cursor before
+// Commit/Rollback.
+func (p *Prepared) ExecuteRowsIn(ctx context.Context, t *Txn, args ...any) (*Rows, error) {
+	return p.executeRowsIn(ctx, t, args...)
+}
+
+func (p *Prepared) executeRowsIn(ctx context.Context, t *Txn, args ...any) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if t != nil && t.done {
+		return nil, ErrTxnDone
 	}
 	bound := p.cfg.args
 	if len(args) > 0 {
@@ -95,10 +112,21 @@ func (p *Prepared) ExecuteRows(ctx context.Context, args ...any) (*Rows, error) 
 		r.release = release
 		r.admissionWait = waited
 	}
-	p.db.mu.RLock()
-	r.unlock = p.db.mu.RUnlock
+	// Acquire the snapshot the execution reads. No lock is held while the
+	// cursor streams: the view captures the versioned backing arrays, and
+	// registering the snapshot timestamp keeps vacuum from reclaiming the
+	// versions it can see.
+	var view *storage.View
+	if t != nil {
+		view = t.view
+	} else {
+		ts := p.db.retainSnapshot()
+		view = p.db.store.NewView(storage.Snap{TS: ts})
+		r.releaseSnap = func() { p.db.releaseSnapshot(ts) }
+	}
 
 	ev := exec.New(p.db.store)
+	ev.SetView(view)
 	ev.Params = bound
 	ev.SetContext(ctx)
 	if p.cfg.hasParallelism {
@@ -296,8 +324,8 @@ func (r *Rows) fail(err error) {
 
 // finish finalizes the cursor exactly once: it closes the executor iterator,
 // snapshots counters and operator reports into PlanInfo, records the
-// execution sample, and releases budget, admission slot, and read lock — in
-// that order, mirroring ExecuteContext's defer stack.
+// execution sample, and releases budget, snapshot registration, and
+// admission slot — in that order, mirroring ExecuteContext's defer stack.
 func (r *Rows) finish(execErr error) {
 	if r.finalized {
 		return
@@ -354,9 +382,9 @@ func (r *Rows) finish(execErr error) {
 		r.bud.Close()
 		r.bud = nil
 	}
-	if r.unlock != nil {
-		r.unlock()
-		r.unlock = nil
+	if r.releaseSnap != nil {
+		r.releaseSnap()
+		r.releaseSnap = nil
 	}
 	if r.release != nil {
 		r.release()

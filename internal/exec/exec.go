@@ -50,6 +50,12 @@ func (c *Counters) Add(other Counters) {
 // Evaluator executes QGM graphs against a store.
 type Evaluator struct {
 	store *storage.Store
+	// view is the snapshot the evaluation reads: every base-table access
+	// (scan, columnar capture, index probe) resolves through it. New
+	// installs a lazy ReadAll live view (every committed row); the engine
+	// overrides it per execution with the query's or transaction's MVCC
+	// snapshot via SetView.
+	view *storage.View
 
 	// NoSubqueryCache disables memoization of correlated evaluations,
 	// modeling tuple-at-a-time correlated execution (Table 1's "Correlated"
@@ -144,16 +150,21 @@ type corrRef struct {
 	ord int
 }
 
-// New returns an evaluator over the store.
+// New returns an evaluator over the store, reading every committed row
+// (a lazy ReadAll view). The engine swaps in a snapshot view with SetView.
 func New(store *storage.Store) *Evaluator {
 	return &Evaluator{
 		store:     store,
+		view:      store.LiveView(),
 		memo:      map[*qgm.Box][]datum.Row{},
 		subCache:  map[*qgm.Quantifier]map[string][]datum.Row{},
 		free:      map[*qgm.Box][]corrRef{},
 		hashCache: map[*qgm.Quantifier]map[string]map[string][]datum.Row{},
 	}
 }
+
+// SetView installs the storage view (MVCC snapshot) the evaluation reads.
+func (ev *Evaluator) SetView(v *storage.View) { ev.view = v }
 
 // ctxPollInterval is the amortization window for cancellation checks: one
 // done-channel read per this many per-row checkpoints.
@@ -475,12 +486,13 @@ func errRowBudget(n int64) error {
 }
 
 func (ev *Evaluator) evalBase(b *qgm.Box) ([]datum.Row, error) {
-	rel, ok := ev.store.Relation(b.Table.Name)
+	rel, ok := ev.view.Relation(b.Table.Name)
 	if !ok {
 		return nil, fmt.Errorf("exec: no storage for table %q", b.Table.Name)
 	}
-	ev.Counters.BaseRows += int64(rel.Len())
-	return rel.Rows(), nil
+	rows := rel.Rows()
+	ev.Counters.BaseRows += int64(len(rows))
+	return rows, nil
 }
 
 // selectPlan is the per-box execution plan computed once per evaluation:
@@ -697,7 +709,7 @@ func (ev *Evaluator) joinStage(b *qgm.Box, plan *selectPlan, q *qgm.Quantifier, 
 			cols = append(cols, cr.Ord)
 		}
 		if plain {
-			rel, okr := ev.store.Relation(q.Ranges.Table.Name)
+			rel, okr := ev.view.Relation(q.Ranges.Table.Name)
 			if okr {
 				probe := make(datum.Row, len(keys))
 				for j, k := range keys {
@@ -1332,9 +1344,12 @@ func (ev *Evaluator) freeRefs(b *qgm.Box) []corrRef {
 	return refs
 }
 
-// ResetCaches clears memoized materializations; callers re-executing after
-// data changes must reset.
+// ResetCaches clears memoized materializations and re-captures the snapshot
+// view; callers re-executing after data changes must reset. For a live
+// (ReadAll) view this picks up new rows; for a fixed snapshot it re-captures
+// at the same timestamp, which yields identical visibility.
 func (ev *Evaluator) ResetCaches() {
+	ev.view.Refresh()
 	ev.memo = map[*qgm.Box][]datum.Row{}
 	ev.subCache = map[*qgm.Quantifier]map[string][]datum.Row{}
 	ev.free = map[*qgm.Box][]corrRef{}

@@ -29,11 +29,12 @@ func (ev *Evaluator) workerCount() int {
 	return ev.Parallelism
 }
 
-// child returns a worker evaluator sharing the store but nothing else; its
-// caches and Counters are private until merged by the spawner. Children run
-// serially so the pool size bounds total goroutines.
+// child returns a worker evaluator sharing the store and the snapshot view
+// but nothing else; its caches and Counters are private until merged by the
+// spawner. Children run serially so the pool size bounds total goroutines.
 func (ev *Evaluator) child() *Evaluator {
 	c := New(ev.store)
+	c.view = ev.view // same snapshot: workers must agree on visibility
 	c.MaxRows = ev.MaxRows
 	c.MaxRecursion = ev.MaxRecursion
 	c.Parallelism = 1

@@ -225,7 +225,7 @@ func (r *planRun) materialize(n *plan.Node) ([]datum.Row, error) {
 	// treat the result as read-only, so skip the batch-append copy and
 	// charge the same counters the streamed scan would.
 	if n.Kind == plan.OpScan {
-		rel, ok := ev.store.Relation(n.Box.Table.Name)
+		rel, ok := ev.view.Relation(n.Box.Table.Name)
 		if !ok {
 			return nil, fmt.Errorf("exec: no storage for table %q", n.Box.Table.Name)
 		}
@@ -324,7 +324,7 @@ type scanOp struct {
 
 func (s *scanOp) open() error {
 	ev := s.r.ev
-	rel, ok := ev.store.Relation(s.n.Box.Table.Name)
+	rel, ok := ev.view.Relation(s.n.Box.Table.Name)
 	if !ok {
 		return fmt.Errorf("exec: no storage for table %q", s.n.Box.Table.Name)
 	}
@@ -408,10 +408,10 @@ type stageState struct {
 	// nested-loop downgrade).
 	filters []qgm.Expr
 
-	child     operator // AccessStream
-	rel       *storage.Relation
-	probe     datum.Row   // AccessIndex probe buffer
-	childRows []datum.Row // materialized child (hash/scan)
+	child     operator         // AccessStream
+	rel       *storage.RelView // AccessIndex: snapshot-filtered probes
+	probe     datum.Row        // AccessIndex probe buffer
+	childRows []datum.Row      // materialized child (hash/scan)
 	built     bool
 	ht        map[string][]datum.Row
 
@@ -508,7 +508,7 @@ func (p *selectPipeOp) open() error {
 				return err
 			}
 		case plan.AccessIndex:
-			rel, ok := ev.store.Relation(st.Quant.Ranges.Table.Name)
+			rel, ok := ev.view.Relation(st.Quant.Ranges.Table.Name)
 			if !ok {
 				return fmt.Errorf("exec: no storage for table %q", st.Quant.Ranges.Table.Name)
 			}

@@ -501,14 +501,16 @@ type vecSelectOp struct {
 	// emit time for env-based projection.
 	alwaysBind bool
 
-	rel  *storage.Relation
+	rel  *storage.RelView
 	tbl  vec.Table
 	rows []datum.Row
+	vis  []int32 // visibility selection; nil when every stored version is visible
 	tab  *vec.Intern
 	strs []string
 
 	env        Env
 	chunkStart int
+	visPos     int
 	sel        vec.Sel
 	selPos     int
 	selA, selB vec.Sel
@@ -959,13 +961,15 @@ func (o *vecSelectOp) open() error {
 	if err := ev.prefetchBoxes(pre); err != nil {
 		return err
 	}
-	rel, ok := ev.store.Relation(o.scanNode.Box.Table.Name)
+	rel, ok := ev.view.Relation(o.scanNode.Box.Table.Name)
 	if !ok {
 		return fmt.Errorf("exec: no storage for table %q", o.scanNode.Box.Table.Name)
 	}
 	o.rel = rel
-	o.tbl, o.rows = rel.Snapshot()
-	o.tab = rel.Intern()
+	// Vec hands back the raw columnar arrays (all versions, zero-copy) plus a
+	// visibility selection; kernels stay oblivious to MVCC and the pred loop
+	// simply starts from o.vis slices instead of Iota ranges.
+	o.tbl, o.rows, o.vis, o.tab = rel.Vec()
 	// The string snapshot is taken after the table snapshot, so it resolves
 	// every id the columns can hold.
 	o.strs = o.tab.Strs()
@@ -975,6 +979,7 @@ func (o *vecSelectOp) open() error {
 	scanStats.Vectorized = true
 	o.r.stats[o.n.ID].Vectorized = true
 	o.chunkStart = 0
+	o.visPos = 0
 	o.sel = nil
 	o.selPos = 0
 	o.depth = 0
@@ -997,19 +1002,42 @@ func (o *vecSelectOp) advanceDrive() (bool, error) {
 			}
 			return true, nil
 		}
-		if o.chunkStart >= o.tbl.N {
-			if o.alwaysBind {
-				delete(o.env, o.q0)
+		// Refill: chunk either the full table (everything visible) or the
+		// snapshot's visibility selection. Counters charge visible rows only,
+		// matching the row pipeline, which never sees invisible versions.
+		var sel vec.Sel
+		var n int
+		if o.vis != nil {
+			if o.visPos >= len(o.vis) {
+				if o.alwaysBind {
+					delete(o.env, o.q0)
+				}
+				return false, nil
 			}
-			return false, nil
+			lo := o.visPos
+			hi := lo + vecBatch
+			if hi > len(o.vis) {
+				hi = len(o.vis)
+			}
+			o.visPos = hi
+			n = hi - lo
+			sel = o.vis[lo:hi]
+		} else {
+			if o.chunkStart >= o.tbl.N {
+				if o.alwaysBind {
+					delete(o.env, o.q0)
+				}
+				return false, nil
+			}
+			lo := o.chunkStart
+			hi := lo + vecBatch
+			if hi > o.tbl.N {
+				hi = o.tbl.N
+			}
+			o.chunkStart = hi
+			n = hi - lo
+			sel = vec.Iota(o.selA[:0], int32(lo), int32(hi))
 		}
-		lo := o.chunkStart
-		hi := lo + vecBatch
-		if hi > o.tbl.N {
-			hi = o.tbl.N
-		}
-		o.chunkStart = hi
-		n := hi - lo
 		ev.Counters.BaseRows += int64(n)
 		if err := ev.addOutput(n); err != nil {
 			return false, err
@@ -1020,7 +1048,6 @@ func (o *vecSelectOp) advanceDrive() (bool, error) {
 		if err := ev.tickN(n); err != nil {
 			return false, err
 		}
-		sel := vec.Iota(o.selA[:0], int32(lo), int32(hi))
 		for _, p := range o.preds {
 			if len(sel) == 0 {
 				break

@@ -172,6 +172,19 @@ type Metrics struct {
 	AdmissionWaits     int64 `json:"admission_waits"`
 	AdmissionWaitNanos int64 `json:"admission_wait_nanos"`
 	AdmissionRejected  int64 `json:"admission_rejected"`
+	// Transaction counters. TxnBegins/TxnCommits/TxnRollbacks count explicit
+	// and autocommit transactions (every DML statement outside an explicit
+	// transaction is one autocommit transaction); TxnConflicts counts
+	// first-updater-wins write-write conflicts (MySQL errno 1213), which
+	// roll the losing transaction back.
+	TxnBegins    int64 `json:"txn_begins"`
+	TxnCommits   int64 `json:"txn_commits"`
+	TxnRollbacks int64 `json:"txn_rollbacks"`
+	TxnConflicts int64 `json:"txn_conflicts"`
+	// Vacuum counters. VacuumRuns counts background/explicit vacuum passes;
+	// VacuumReclaimed the row versions they removed.
+	VacuumRuns      int64 `json:"vacuum_runs"`
+	VacuumReclaimed int64 `json:"vacuum_reclaimed"`
 	// Intern is the engine-wide string-intern table at snapshot time (filled
 	// by the engine from storage, not accumulated through the sink).
 	Intern InternStats `json:"intern"`
@@ -284,6 +297,42 @@ func (s *MetricsSink) RecordCacheShared() {
 func (s *MetricsSink) RecordCacheEvictions(n int) {
 	s.mu.Lock()
 	s.m.CacheEvictions += int64(n)
+	s.mu.Unlock()
+}
+
+// RecordTxnBegin counts a transaction start (explicit or autocommit).
+func (s *MetricsSink) RecordTxnBegin() {
+	s.mu.Lock()
+	s.m.TxnBegins++
+	s.mu.Unlock()
+}
+
+// RecordTxnCommit counts a committed transaction.
+func (s *MetricsSink) RecordTxnCommit() {
+	s.mu.Lock()
+	s.m.TxnCommits++
+	s.mu.Unlock()
+}
+
+// RecordTxnRollback counts a rolled-back transaction.
+func (s *MetricsSink) RecordTxnRollback() {
+	s.mu.Lock()
+	s.m.TxnRollbacks++
+	s.mu.Unlock()
+}
+
+// RecordTxnConflict counts a first-updater-wins write-write conflict.
+func (s *MetricsSink) RecordTxnConflict() {
+	s.mu.Lock()
+	s.m.TxnConflicts++
+	s.mu.Unlock()
+}
+
+// RecordVacuum counts one vacuum pass and the versions it reclaimed.
+func (s *MetricsSink) RecordVacuum(reclaimed int) {
+	s.mu.Lock()
+	s.m.VacuumRuns++
+	s.m.VacuumReclaimed += int64(reclaimed)
 	s.mu.Unlock()
 }
 

@@ -7,12 +7,16 @@
 // Relations and the store are safe for concurrent use: reads (scans, index
 // probes) share an RWMutex read lock so many evaluators — including the
 // parallel workers of a single evaluator — can run at once, while Insert and
-// Rebuild serialize behind the write lock.
+// Rebuild serialize behind the write lock. Relations are multi-versioned:
+// see mvcc.go for the begin/end stamp protocol, snapshot visibility, views,
+// and vacuum.
 package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"starmagic/internal/catalog"
 	"starmagic/internal/datum"
@@ -36,10 +40,23 @@ type Relation struct {
 
 	mu      sync.RWMutex
 	rows    []datum.Row
+	begins  []uint64 // version begin stamps; elements accessed atomically
+	ends    []uint64 // version end stamps (Live = not deleted)
 	cols    []vec.Col
 	tab     *vec.Intern
 	indexes []*HashIndex
 	keyBuf  []byte // reused under mu write lock when indexing inserts
+
+	// dirty counts versions that are not plainly visible: in-flight or
+	// aborted begins plus any end stamp != Live. dirty == 0 is the
+	// zero-copy fast path: every stored version is committed and live.
+	dirty atomic.Int64
+	// inflight counts unresolved transaction markers; vacuum skips the
+	// relation while any exist, keeping write-set positions stable.
+	inflight atomic.Int64
+	// maxBegin is the largest committed begin stamp; with dirty == 0 a
+	// snapshot at TS >= maxBegin sees exactly the captured prefix.
+	maxBegin atomic.Uint64
 }
 
 // NewRelation creates an empty relation for the table, building one hash
@@ -72,17 +89,20 @@ func newIndexes(meta *catalog.Table) []*HashIndex {
 	return idxs
 }
 
-// Insert appends a row after validating arity and types. Values of INT type
-// inserted into FLOAT columns are widened.
+// Insert appends a row after validating arity and types, stamped as
+// committed at timestamp zero (visible to every snapshot). Values of INT
+// type inserted into FLOAT columns are widened. Transactional inserts go
+// through Append with the writer's transaction id.
 func (r *Relation) Insert(row datum.Row) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.insertLocked(row)
+	_, err := r.appendLocked(row, 0)
+	return err
 }
 
-func (r *Relation) insertLocked(row datum.Row) error {
+func (r *Relation) appendLocked(row datum.Row, begin uint64) (int, error) {
 	if len(row) != len(r.Meta.Columns) {
-		return fmt.Errorf("table %s: inserting %d values into %d columns",
+		return 0, fmt.Errorf("table %s: inserting %d values into %d columns",
 			r.Meta.Name, len(row), len(r.Meta.Columns))
 	}
 	stored := make(datum.Row, len(row))
@@ -96,12 +116,20 @@ func (r *Relation) insertLocked(row datum.Row) error {
 		case d.T == datum.TInt && want == datum.TFloat:
 			stored[i] = datum.Float(float64(d.I))
 		default:
-			return fmt.Errorf("table %s column %s: cannot store %s value",
+			return 0, fmt.Errorf("table %s column %s: cannot store %s value",
 				r.Meta.Name, r.Meta.Columns[i].Name, d.T)
 		}
 	}
 	pos := len(r.rows)
 	r.rows = append(r.rows, stored)
+	r.begins = append(r.begins, begin)
+	r.ends = append(r.ends, Live)
+	if begin&TxnIDBit != 0 {
+		r.dirty.Add(1)
+		r.inflight.Add(1)
+	} else {
+		maxU64(&r.maxBegin, begin)
+	}
 	for i, d := range stored {
 		r.cols[i].Append(d, r.tab)
 	}
@@ -110,24 +138,25 @@ func (r *Relation) insertLocked(row datum.Row) error {
 		k := string(r.keyBuf)
 		idx.buckets[k] = append(idx.buckets[k], pos)
 	}
-	return nil
+	return pos, nil
 }
 
-// Rows returns the stored rows. Callers must not mutate them. The returned
-// slice is a stable snapshot: concurrent inserts never change rows already
-// visible through it.
+// Rows returns the rows visible to a ReadAll snapshot (every committed,
+// undeleted version). Callers must not mutate them. When the relation holds
+// no dead or in-flight versions this is the zero-copy stable prefix, as
+// before MVCC; otherwise it gathers.
 func (r *Relation) Rows() []datum.Row {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.rows
+	c := r.capture(ReadAll, false)
+	return c.visibleRows(ReadAll)
 }
 
 // Snapshot returns a zero-copy columnar view of the relation together with
-// the matching row snapshot. Both share the append-only backing arrays under
-// the same contract as Rows: entries [0, N) never change after becoming
-// visible, so the vectorized executor scans the column slices directly with
-// no per-scan copy. The columnar and row views describe exactly the same N
-// rows.
+// the matching row snapshot. Both share the append-only backing arrays:
+// entries [0, N) never change after becoming visible, so the vectorized
+// executor scans the column slices directly with no per-scan copy. The
+// columnar and row views describe exactly the same N stored versions —
+// including dead or uncommitted ones; callers needing snapshot visibility
+// go through a View (RelView.Vec carries the visibility selection).
 func (r *Relation) Snapshot() (vec.Table, []datum.Row) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -141,28 +170,40 @@ func (r *Relation) Snapshot() (vec.Table, []datum.Row) {
 func (r *Relation) Intern() *vec.Intern { return r.tab }
 
 // Rebuild replaces the relation's contents, revalidating and reindexing
-// every row (DELETE and UPDATE go through here).
+// every row. All new versions are stamped committed-at-zero. It is a bulk
+// replace for tests and loaders; transactional DELETE/UPDATE use the
+// version protocol instead, and Rebuild must not run while any transaction
+// markers are unresolved (their positions would dangle).
 func (r *Relation) Rebuild(rows []datum.Row) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old, oldIdx, oldCols := r.rows, r.indexes, r.cols
-	r.rows = nil
+	oldBegins, oldEnds := r.begins, r.ends
+	r.rows, r.begins, r.ends = nil, nil, nil
 	r.indexes = newIndexes(r.Meta)
 	r.cols = newCols(r.Meta)
 	for _, row := range rows {
-		if err := r.insertLocked(row); err != nil {
+		if _, err := r.appendLocked(row, 0); err != nil {
 			r.rows, r.indexes, r.cols = old, oldIdx, oldCols // restore on failure
+			r.begins, r.ends = oldBegins, oldEnds
 			return err
 		}
 	}
+	r.dirty.Store(0)
+	r.inflight.Store(0)
 	return nil
 }
 
-// Len returns the number of stored rows.
+// Len returns the number of rows visible to a ReadAll snapshot.
 func (r *Relation) Len() int {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.rows)
+	n := len(r.rows)
+	dirty := r.dirty.Load()
+	r.mu.RUnlock()
+	if dirty == 0 {
+		return n
+	}
+	return len(r.Rows())
 }
 
 // probeBuf is the reusable scratch of one Lookup call. Lookup runs under
@@ -176,13 +217,20 @@ type probeBuf struct {
 var probePool = sync.Pool{New: func() any { return &probeBuf{key: make([]byte, 0, 48)} }}
 
 // Lookup returns the rows whose indexed columns equal key, using the index
-// over exactly cols if one exists. The boolean reports whether an index was
-// available; when false the caller must fall back to a scan. The probe
-// itself is allocation-free (pooled scratch plus the string(buf) map
-// index); only a non-empty result allocates, for the returned slice.
+// over exactly cols if one exists, filtered to a ReadAll snapshot. The
+// boolean reports whether an index was available; when false the caller
+// must fall back to a scan. The probe itself is allocation-free (pooled
+// scratch plus the string(buf) map index); only a non-empty result
+// allocates, for the returned slice.
 func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	return r.LookupSnap(cols, key, ReadAll)
+}
+
+// probeLocked resolves cols against an index and probes it, returning the
+// matching version positions. The second return distinguishes "no index"
+// (false) from an empty probe result (true, nil). Caller holds the read
+// lock.
+func (r *Relation) probeLocked(cols []int, key datum.Row) ([]int, bool) {
 	idx := r.findIndexLocked(cols)
 	if idx == nil {
 		return nil, false
@@ -212,15 +260,7 @@ func (r *Relation) Lookup(cols []int, key datum.Row) ([]datum.Row, bool) {
 		}
 	}
 	pb.key = datum.AppendKey(pb.key[:0], pb.probe)
-	positions := idx.buckets[string(pb.key)]
-	if len(positions) == 0 {
-		return nil, true
-	}
-	out := make([]datum.Row, len(positions))
-	for i, pos := range positions {
-		out[i] = r.rows[pos]
-	}
-	return out, true
+	return idx.buckets[string(pb.key)], true
 }
 
 // findIndexLocked matches cols against an index as a set, without
@@ -315,11 +355,15 @@ const compactMinStrings = 1024
 // backing arrays, leaving previously taken snapshots consistent with the old
 // table they captured.
 //
-// The caller must exclude concurrent writers AND readers (the engine runs it
-// under its database-wide write lock, on the DELETE/DROP TABLE paths):
-// readers resolve ids through the store's current table, so swapping it
-// under a running scan would mix id spaces. It reports whether a rebuild
-// happened.
+// Compaction is safe against concurrent readers and writers: it holds the
+// store lock (excluding new views, whose eager capture needs it) plus every
+// relation's write lock for the whole mark→rebuild→swap, so no append can
+// intern into the table being retired and no scan can capture a relation
+// mid-swap. Mark-live walks every stored version — dead, aborted, and
+// uncommitted included — so ids referenced by old versions still visible to
+// a live snapshot survive; views captured earlier keep the old table and
+// old ID arrays, both of which compaction leaves intact, so running scans
+// stay consistent. It reports whether a rebuild happened.
 func (s *Store) MaybeCompactIntern() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -328,10 +372,27 @@ func (s *Store) MaybeCompactIntern() bool {
 	if total < compactMinStrings {
 		return false
 	}
+	// Lock every relation for the duration: marking and rewriting must see
+	// one frozen id space. Sorted order keeps multi-lock acquisition
+	// deterministic.
+	names := make([]string, 0, len(s.rels))
+	for name := range s.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rels := make([]*Relation, len(names))
+	for i, name := range names {
+		rels[i] = s.rels[name]
+		rels[i].mu.Lock()
+	}
+	defer func() {
+		for _, r := range rels {
+			r.mu.Unlock()
+		}
+	}()
 	live := make([]bool, total)
 	nLive := 0
-	for _, r := range s.rels {
-		r.mu.RLock()
+	for _, r := range rels {
 		for ci := range r.cols {
 			c := &r.cols[ci]
 			if c.T != datum.TString {
@@ -344,7 +405,6 @@ func (s *Store) MaybeCompactIntern() bool {
 				}
 			}
 		}
-		r.mu.RUnlock()
 	}
 	if 2*nLive > total {
 		return false
@@ -356,8 +416,7 @@ func (s *Store) MaybeCompactIntern() bool {
 			remap[id] = ntab.Intern(strs[id])
 		}
 	}
-	for _, r := range s.rels {
-		r.mu.Lock()
+	for _, r := range rels {
 		for ci := range r.cols {
 			c := &r.cols[ci]
 			if c.T != datum.TString || len(c.IDs) == 0 {
@@ -372,7 +431,6 @@ func (s *Store) MaybeCompactIntern() bool {
 			c.IDs = nids
 		}
 		r.tab = ntab
-		r.mu.Unlock()
 	}
 	s.tab = ntab
 	return true

@@ -160,6 +160,33 @@ func (c *Client) Exec(query string) (uint64, error) {
 	}
 }
 
+// ExecStatus is Exec that also returns the OK packet's server status flags,
+// so callers can observe SERVER_STATUS_IN_TRANS transitions.
+func (c *Client) ExecStatus(query string) (affected uint64, status uint16, err error) {
+	if err := c.command(comQuery, []byte(query)); err != nil {
+		return 0, 0, err
+	}
+	payload, err := c.pc.readPacket()
+	if err != nil {
+		return 0, 0, err
+	}
+	switch {
+	case len(payload) > 0 && payload[0] == 0x00:
+		affected, n, _ := readLenencInt(payload[1:])
+		rest := payload[1+n:]
+		_, m, _ := readLenencInt(rest) // last insert id
+		rest = rest[m:]
+		if len(rest) >= 2 {
+			status = binary.LittleEndian.Uint16(rest)
+		}
+		return affected, status, nil
+	case len(payload) > 0 && payload[0] == 0xff:
+		return 0, 0, decodeErr(payload)
+	default:
+		return 0, 0, fmt.Errorf("wire client: unexpected response 0x%02x to ExecStatus", payload[0])
+	}
+}
+
 // Query runs a text-protocol query and reads the whole result set.
 func (c *Client) Query(query string) (*Resultset, error) {
 	if err := c.command(comQuery, []byte(query)); err != nil {

@@ -6,17 +6,23 @@ import (
 	"net"
 	"strings"
 
+	"starmagic"
 	"starmagic/internal/obs"
 )
 
 // conn is one client connection: the packet framer, the per-connection
-// prepared-statement registry, and the metrics sample folded into the
-// server's WireSink at close.
+// prepared-statement registry, the open transaction (if any), and the
+// metrics sample folded into the server's WireSink at close.
 type conn struct {
 	srv *Server
 	ctx context.Context
 	pc  *packetConn
 	id  uint32
+
+	// txn is the explicit transaction opened by BEGIN/START TRANSACTION,
+	// nil in autocommit mode. Statements route through it until COMMIT/
+	// ROLLBACK; a client disconnect rolls it back.
+	txn *starmagic.Txn
 
 	stmts   map[uint32]*stmt
 	stmtSeq uint32
@@ -30,6 +36,10 @@ type conn struct {
 func (c *conn) serve(nc net.Conn) {
 	c.srv.metrics.RecordConnOpen()
 	defer func() {
+		if c.txn != nil {
+			_ = c.txn.Rollback() // client went away mid-transaction
+			c.txn = nil
+		}
 		c.srv.metrics.RecordConnClose(c.sample)
 		_ = nc.Close()
 	}()
@@ -145,10 +155,12 @@ func (c *conn) handshake() error {
 }
 
 // handleQuery dispatches one COM_QUERY. SELECT-shaped statements stream
-// through QueryRows; DDL/DML run through Exec and answer OK with the
-// affected-row count; session statements clients send on connect (SET, USE)
-// are accepted as no-ops, and `SELECT @@var` introspection gets canned
-// answers so stock clients' connect-time probes succeed.
+// through QueryRows (inside the connection's transaction when one is open);
+// BEGIN/COMMIT/ROLLBACK manage real MVCC transactions; DDL/DML run through
+// Exec (or the open transaction) and answer OK with the affected-row count;
+// session statements clients send on connect (SET, USE) are accepted as
+// no-ops, and `SELECT @@var` introspection gets canned answers so stock
+// clients' connect-time probes succeed.
 func (c *conn) handleQuery(query string) error {
 	q := strings.TrimSpace(query)
 	q = strings.TrimSuffix(q, ";")
@@ -157,17 +169,41 @@ func (c *conn) handleQuery(query string) error {
 		if kw == "SELECT" && strings.HasPrefix(strings.ToLower(strings.TrimSpace(q[6:])), "@@") {
 			return c.systemVarQuery(q)
 		}
-		rows, err := c.srv.db.QueryRows(c.ctx, q)
+		var rows *starmagic.Rows
+		var err error
+		if c.txn != nil {
+			rows, err = c.txn.QueryRows(c.ctx, q)
+		} else {
+			rows, err = c.srv.db.QueryRows(c.ctx, q)
+		}
 		if err != nil {
 			return c.writeErr(err)
 		}
 		return c.writeResultSet(rows, false)
-	case "SET", "USE", "BEGIN", "COMMIT", "ROLLBACK", "START":
-		// Session/transaction chatter: single-database, autocommit-only
-		// server, so these are accepted and ignored.
+	case "BEGIN", "START":
+		return c.txnBegin()
+	case "COMMIT":
+		return c.txnEnd(true)
+	case "ROLLBACK":
+		return c.txnEnd(false)
+	case "SET", "USE":
+		// Session chatter: single-database server with autocommit pinned to
+		// 1, so these are accepted and ignored.
 		return c.ok()
 	default:
-		n, err := c.srv.db.Exec(q)
+		var n int64
+		var err error
+		if c.txn != nil {
+			n, err = c.txn.ExecContext(c.ctx, q)
+			if c.txn.Done() {
+				// A write-write conflict rolled the transaction back
+				// engine-side; drop the handle so the status flags (and the
+				// next statement) reflect autocommit mode again.
+				c.txn = nil
+			}
+		} else {
+			n, err = c.srv.db.Exec(q)
+		}
 		if err != nil {
 			return c.writeErr(err)
 		}
@@ -176,6 +212,40 @@ func (c *conn) handleQuery(query string) error {
 		}
 		return c.pc.flush()
 	}
+}
+
+// txnBegin opens an explicit transaction; BEGIN inside an open transaction
+// implicitly commits it first, matching MySQL.
+func (c *conn) txnBegin() error {
+	if c.txn != nil {
+		t := c.txn
+		c.txn = nil
+		if err := t.Commit(); err != nil {
+			return c.writeErr(err)
+		}
+	}
+	c.txn = c.srv.db.Begin()
+	return c.ok()
+}
+
+// txnEnd resolves the open transaction. COMMIT/ROLLBACK without one is a
+// no-op OK, matching MySQL in autocommit mode.
+func (c *conn) txnEnd(commit bool) error {
+	t := c.txn
+	c.txn = nil
+	if t == nil {
+		return c.ok()
+	}
+	var err error
+	if commit {
+		err = t.Commit()
+	} else {
+		err = t.Rollback()
+	}
+	if err != nil {
+		return c.writeErr(err)
+	}
+	return c.ok()
 }
 
 // systemVarQuery answers `SELECT @@var[, @@var...]` probes (the mysql CLI

@@ -78,7 +78,10 @@ const (
 )
 
 // Server status flags.
-const statusAutocommit = 0x0002
+const (
+	statusInTrans    = 0x0001 // SERVER_STATUS_IN_TRANS: explicit transaction open
+	statusAutocommit = 0x0002 // SERVER_STATUS_AUTOCOMMIT
+)
 
 // Packet-framing limits.
 const (

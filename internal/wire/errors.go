@@ -24,6 +24,7 @@ const (
 	errQueryInterrupted = 1317 // ER_QUERY_INTERRUPTED
 	errUnknownStmt      = 1243 // ER_UNKNOWN_STMT_HANDLER
 	errAccessDenied     = 1045 // ER_ACCESS_DENIED_ERROR
+	errLockDeadlock     = 1213 // ER_LOCK_DEADLOCK: serialization failure, retry
 	errMalformedPacket  = 1835 // ER_MALFORMED_PACKET
 )
 
@@ -61,6 +62,10 @@ func mapError(err error) mysqlError {
 		return mysqlError{errParamCount, "HY000", err.Error()}
 	}
 	switch {
+	case errors.Is(err, starmagic.ErrWriteConflict):
+		// MySQL reports serialization failures as ER_LOCK_DEADLOCK with
+		// SQLSTATE 40001; drivers translate that into their retryable class.
+		return mysqlError{errLockDeadlock, "40001", err.Error()}
 	case errors.Is(err, starmagic.ErrMemoryExceeded):
 		return mysqlError{errOutOfMemory, "HY001", err.Error()}
 	case errors.Is(err, starmagic.ErrAdmissionRejected):

@@ -14,13 +14,26 @@ import (
 // starmagic's streaming Rows cursor, so the result set crosses the wire
 // packet by packet without ever materializing server-side.
 
+// status returns the server status flags for OK/EOF packets: autocommit is
+// always advertised (it reflects @@autocommit, which this server pins to 1),
+// and SERVER_STATUS_IN_TRANS is added while an explicit transaction is open
+// — how clients and connectors track transaction state.
+func (c *conn) status() uint16 {
+	s := uint16(statusAutocommit)
+	if c.txn != nil {
+		s |= statusInTrans
+	}
+	return s
+}
+
 // writeOK emits an OK packet with affected-row count.
 func (c *conn) writeOK(affected uint64) error {
+	status := c.status()
 	b := c.scratch[:0]
 	b = append(b, 0x00)
 	b = lenencInt(b, affected)
 	b = lenencInt(b, 0) // last insert id
-	b = append(b, byte(statusAutocommit), byte(statusAutocommit>>8))
+	b = append(b, byte(status), byte(status>>8))
 	b = append(b, 0, 0) // warnings
 	c.scratch = b
 	return c.pc.writePacket(b)
@@ -45,7 +58,8 @@ func (c *conn) writeErr(err error) error {
 
 // writeEOF emits a classic EOF packet.
 func (c *conn) writeEOF() error {
-	return c.pc.writePacket([]byte{0xfe, 0, 0, byte(statusAutocommit), byte(statusAutocommit >> 8)})
+	status := c.status()
+	return c.pc.writePacket([]byte{0xfe, 0, 0, byte(status), byte(status >> 8)})
 }
 
 // writeColumnDef emits one ColumnDefinition41. Every column is declared

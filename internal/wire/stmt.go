@@ -89,7 +89,10 @@ func (c *conn) handleStmtExecute(payload []byte) error {
 	if err != nil {
 		return c.writeErr(err)
 	}
-	rows, err := st.prepared.ExecuteRows(c.ctx, args...)
+	// ExecuteRowsIn with a nil transaction is plain autocommit execution;
+	// with one open, the statement reads the transaction's snapshot (and its
+	// own staged writes).
+	rows, err := st.prepared.ExecuteRowsIn(c.ctx, c.txn, args...)
 	if err != nil {
 		return c.writeErr(err)
 	}

@@ -1,0 +1,406 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"starmagic"
+)
+
+// TestWireTransactionStatusFlags checks the SERVER_STATUS_IN_TRANS lifecycle
+// in OK packets and snapshot isolation between two connections.
+func TestWireTransactionStatusFlags(t *testing.T) {
+	srv := NewServer(testDB(t), Config{})
+	a := connect(t, srv, "u", "")
+	b := connect(t, srv, "u", "")
+
+	_, status, err := a.ExecStatus("BEGIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status&statusInTrans == 0 || status&statusAutocommit == 0 {
+		t.Fatalf("status after BEGIN = %#x, want in-trans|autocommit", status)
+	}
+	if _, status, err = a.ExecStatus(`INSERT INTO dept VALUES (50, 'Txn')`); err != nil {
+		t.Fatal(err)
+	}
+	if status&statusInTrans == 0 {
+		t.Fatalf("status mid-txn = %#x, want in-trans", status)
+	}
+
+	// a sees its own write; b does not until COMMIT.
+	rs, err := a.Query(`SELECT d.deptname FROM dept d WHERE d.deptno = 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("read-your-writes failed: %v", rs.Rows)
+	}
+	rs, err = b.Query(`SELECT d.deptname FROM dept d WHERE d.deptno = 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 0 {
+		t.Fatalf("uncommitted write visible to other connection: %v", rs.Rows)
+	}
+
+	if _, status, err = a.ExecStatus("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if status&statusInTrans != 0 {
+		t.Fatalf("status after COMMIT = %#x, want in-trans cleared", status)
+	}
+	rs, err = b.Query(`SELECT d.deptname FROM dept d WHERE d.deptno = 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Value != "Txn" {
+		t.Fatalf("committed write invisible: %v", rs.Rows)
+	}
+
+	// ROLLBACK discards.
+	if _, _, err = a.ExecStatus("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec(`DELETE FROM dept WHERE deptno = 50`); err != nil {
+		t.Fatal(err)
+	}
+	if _, status, err = a.ExecStatus("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	if status&statusInTrans != 0 {
+		t.Fatalf("status after ROLLBACK = %#x", status)
+	}
+	rs, err = b.Query(`SELECT d.deptname FROM dept d WHERE d.deptno = 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rolled-back delete applied: %v", rs.Rows)
+	}
+
+	// START TRANSACTION is BEGIN; COMMIT/ROLLBACK with no txn are no-op OKs.
+	if _, status, err = a.ExecStatus("START TRANSACTION"); err != nil || status&statusInTrans == 0 {
+		t.Fatalf("START TRANSACTION: status=%#x err=%v", status, err)
+	}
+	if _, _, err = a.ExecStatus("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	if _, status, err = a.ExecStatus("COMMIT"); err != nil || status&statusInTrans != 0 {
+		t.Fatalf("bare COMMIT: status=%#x err=%v", status, err)
+	}
+}
+
+// TestWireWriteConflict1213 checks the MySQL mapping of a lost
+// first-updater-wins race: errno 1213, SQLSTATE 40001, transaction rolled
+// back server-side.
+func TestWireWriteConflict1213(t *testing.T) {
+	srv := NewServer(testDB(t), Config{})
+	a := connect(t, srv, "u", "")
+	b := connect(t, srv, "u", "")
+
+	if _, err := a.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec(`UPDATE emp SET salary = 60000 WHERE empno = 1`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Exec(`UPDATE emp SET salary = 70000 WHERE empno = 1`)
+	ce, ok := err.(*ClientError)
+	if !ok {
+		t.Fatalf("conflicting update: %v, want ClientError", err)
+	}
+	if ce.Code != 1213 || ce.SQLState != "40001" {
+		t.Fatalf("conflict error = %d (%s), want 1213 (40001)", ce.Code, ce.SQLState)
+	}
+
+	// b's transaction was rolled back server-side: the next OK shows
+	// autocommit mode, and a's commit wins.
+	_, status, err := b.ExecStatus(`INSERT INTO dept VALUES (60, 'After')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status&statusInTrans != 0 {
+		t.Fatalf("status after conflict rollback = %#x, want autocommit", status)
+	}
+	if _, err := a.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := b.Query(`SELECT e.salary FROM emp e WHERE e.empno = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Value != "60000" {
+		t.Fatalf("winner's update lost: %v", rs.Rows)
+	}
+}
+
+// TestWireMidStreamDML is the streaming-read regression test: with a 20k-row
+// result set half-read on one connection, DML on another connection must
+// commit within a bounded wait (the cursor holds no lock), and the reader
+// must still drain exactly its snapshot.
+func TestWireMidStreamDML(t *testing.T) {
+	db := starmagic.Open()
+	db.MustExec(`CREATE TABLE big (id INT, v VARCHAR)`)
+	const n = 20000
+	rows := make([]starmagic.Row, n)
+	for i := range rows {
+		rows[i] = starmagic.Row{starmagic.Int(int64(i)), starmagic.String(fmt.Sprintf("v-%d", i))}
+	}
+	if err := db.InsertRows("big", rows); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db, Config{})
+	reader := connect(t, srv, "u", "")
+	writer := connect(t, srv, "u", "")
+
+	// Start the query by hand so the result set can be read incrementally:
+	// column count, one column definition, EOF, then row packets on demand.
+	if err := reader.command(comQuery, []byte(`SELECT b.id FROM big b`)); err != nil {
+		t.Fatal(err)
+	}
+	header, err := reader.pc.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCols, m, _ := readLenencInt(header)
+	if m == 0 || nCols != 1 {
+		t.Fatalf("result header: %v", header)
+	}
+	if _, err := reader.pc.readPacket(); err != nil { // column definition
+		t.Fatal(err)
+	}
+	if _, err := reader.pc.readPacket(); err != nil { // EOF
+		t.Fatal(err)
+	}
+	read := 0
+	for ; read < n/2; read++ {
+		if _, err := reader.pc.readPacket(); err != nil {
+			t.Fatalf("row %d: %v", read, err)
+		}
+	}
+
+	// Mid-stream: INSERT and DELETE from the writer connection, bounded.
+	done := make(chan error, 1)
+	go func() {
+		if _, err := writer.Exec(`INSERT INTO big VALUES (999999, 'late')`); err != nil {
+			done <- err
+			return
+		}
+		_, err := writer.Exec(`DELETE FROM big WHERE id < 1000`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("wire DML blocked behind an open streaming cursor")
+	}
+
+	// Drain the rest: exactly the snapshot's 20k rows, no more, no fewer.
+	for {
+		payload, err := reader.pc.readPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isEOF(payload) {
+			break
+		}
+		if payload[0] == 0xff {
+			t.Fatalf("mid-stream error: %v", decodeErr(payload))
+		}
+		read++
+	}
+	if read != n {
+		t.Fatalf("streamed %d rows, want %d", read, n)
+	}
+
+	// A fresh query on the reader connection sees the committed DML.
+	rs, err := reader.Query(`SELECT COUNT(*) FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strconv.Itoa(n - 1000 + 1)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Value != want {
+		t.Fatalf("post-DML count = %v, want %s", rs.Rows, want)
+	}
+}
+
+// TestWireReaderWriterOracle: wire-path writers append (w, s) rows in
+// per-writer sequence order while wire-path readers scan concurrently;
+// every scan must see a clean per-writer prefix (count == max seq + 1).
+// Run under -race via make race.
+func TestWireReaderWriterOracle(t *testing.T) {
+	db := starmagic.Open()
+	db.MustExec(`CREATE TABLE log (w INT, s INT)`)
+	srv := NewServer(db, Config{})
+
+	const writers, perWriter, readers = 3, 60, 2
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := NewClient(startPipe(t, srv), "u", "")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer func() { _ = c.Quit() }()
+			for s := 0; s < perWriter; s++ {
+				if _, err := c.Exec(fmt.Sprintf(`INSERT INTO log VALUES (%d, %d)`, w, s)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			c, err := NewClient(startPipe(t, srv), "u", "")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer func() { _ = c.Quit() }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rs, err := c.Query(`SELECT l.w, COUNT(*), MAX(l.s) FROM log l GROUP BY l.w`)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for _, row := range rs.Rows {
+					count, _ := strconv.Atoi(row[1].Value)
+					max, _ := strconv.Atoi(row[2].Value)
+					if count != max+1 {
+						errCh <- fmt.Errorf("writer %s: count %d != max+1 %d (torn snapshot)",
+							row[0].Value, count, max+1)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestWireTxnStress runs 8 connections mixing BEGIN/COMMIT/ROLLBACK,
+// autocommit DML, conflicts, and snapshot reads; the conservation invariant
+// must hold on every read. Run under -race via make race.
+func TestWireTxnStress(t *testing.T) {
+	db := starmagic.Open()
+	db.MustExec(`
+	CREATE TABLE account (id INT, balance INT, PRIMARY KEY (id));
+	INSERT INTO account VALUES (1, 1000), (2, 1000), (3, 1000), (4, 1000);`)
+	srv := NewServer(db, Config{})
+
+	const conns = 8
+	const opsPerConn = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := NewClient(startPipe(t, srv), "u", "")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer func() { _ = c.Quit() }()
+			src, dst := 1+i%4, 1+(i+1)%4
+			for op := 0; op < opsPerConn; op++ {
+				switch op % 3 {
+				case 0: // transfer in an explicit transaction, retry on 1213
+					for {
+						if _, err := c.Exec("BEGIN"); err != nil {
+							errCh <- err
+							return
+						}
+						_, err := c.Exec(fmt.Sprintf(
+							`UPDATE account SET balance = balance - 10 WHERE id = %d`, src))
+						if err == nil {
+							_, err = c.Exec(fmt.Sprintf(
+								`UPDATE account SET balance = balance + 10 WHERE id = %d`, dst))
+						}
+						if err == nil {
+							if _, err = c.Exec("COMMIT"); err != nil {
+								errCh <- err
+								return
+							}
+							break
+						}
+						if ce, ok := err.(*ClientError); !ok || ce.Code != 1213 {
+							errCh <- fmt.Errorf("transfer: %v", err)
+							return
+						}
+						// 1213 rolled the transaction back server-side.
+					}
+				case 1: // transaction opened and abandoned via ROLLBACK
+					if _, err := c.Exec("BEGIN"); err != nil {
+						errCh <- err
+						return
+					}
+					if _, err := c.Exec(fmt.Sprintf(
+						`INSERT INTO account VALUES (%d, 0)`, 100+i*1000+op)); err != nil {
+						errCh <- err
+						return
+					}
+					if _, err := c.Exec("ROLLBACK"); err != nil {
+						errCh <- err
+						return
+					}
+				case 2: // snapshot read: conservation must hold
+					rs, err := c.Query(`SELECT SUM(a.balance) FROM account a WHERE a.id <= 4`)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(rs.Rows) != 1 || rs.Rows[0][0].Value != "4000" {
+						errCh <- fmt.Errorf("balance sum = %v, want 4000", rs.Rows)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// Rolled-back inserts must not exist; conservation holds at rest.
+	rs, err := connect(t, srv, "u", "").Query(`SELECT COUNT(*), SUM(a.balance) FROM account a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Value != "4" || rs.Rows[0][1].Value != "4000" {
+		t.Fatalf("final state: %v", rs.Rows)
+	}
+}

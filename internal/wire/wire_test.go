@@ -367,12 +367,16 @@ func TestConcurrentConnections(t *testing.T) {
 	db.SetAdmission(4, 64)
 	srv := NewServer(db, Config{})
 	const conns = 8
-	var wg sync.WaitGroup
+	var wg, srvWg sync.WaitGroup
 	errs := make(chan error, conns)
 	for i := 0; i < conns; i++ {
 		clientSide, serverSide := net.Pipe()
 		wg.Add(1)
-		go srv.ServeConn(serverSide)
+		srvWg.Add(1)
+		go func(nc net.Conn) {
+			defer srvWg.Done()
+			srv.ServeConn(nc)
+		}(serverSide)
 		go func(nc net.Conn, n int) {
 			defer wg.Done()
 			defer func() { _ = nc.Close() }()
@@ -409,6 +413,7 @@ func TestConcurrentConnections(t *testing.T) {
 		}(clientSide, i)
 	}
 	wg.Wait()
+	srvWg.Wait() // samples fold into server metrics at connection close
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)

@@ -59,11 +59,13 @@ import (
 )
 
 // DB is an in-memory starmagic database instance. It is safe for concurrent
-// use: queries (Query, QueryContext, Prepared executions) run under a shared
-// read lock with per-execution evaluator state, while DDL and data loading
-// (Exec, InsertRows) serialize behind a write lock and block queries only
-// for their own duration. Writes are not visible to query plans prepared
-// before the write; re-prepare to observe new tables or views.
+// use: storage is a versioned (MVCC) row store, every query executes against
+// a consistent snapshot taken when it starts, and writers never block
+// readers — an open streaming cursor holds no lock, so INSERT, UPDATE and
+// DELETE commit freely underneath it. Explicit transactions (Begin) get
+// snapshot isolation with first-updater-wins conflict detection; statements
+// outside a transaction autocommit through the same machinery. Only DDL
+// serializes against queries, and only for its own duration.
 type DB struct {
 	eng *engine.Database
 }
@@ -196,9 +198,11 @@ func WithAdmission(enabled bool) QueryOption { return engine.WithAdmission(enabl
 // PlanInfo (counters, timings, memory footprint) is available from Plan()
 // after the cursor finalizes — drained, failed, or Closed.
 //
-// An open cursor holds the database read lock, its admission slot, and its
-// memory budget until Close; always Close it (a drained cursor finalizes
-// itself, making Close a no-op).
+// An open cursor holds no lock — it reads a registered MVCC snapshot, so
+// concurrent DML commits freely while the cursor streams. It does hold its
+// admission slot, memory budget, and snapshot registration (pinning old row
+// versions against vacuum) until Close; always Close it (a drained cursor
+// finalizes itself, making Close a no-op).
 type Rows = engine.Rows
 
 // QueryRows optimizes and executes a SELECT, returning a streaming cursor
@@ -223,6 +227,35 @@ type (
 	// and the values bound for an execution.
 	ParamCountError = engine.ParamCountError
 )
+
+// Txn is an explicit transaction running under MVCC snapshot isolation: it
+// sees a consistent snapshot taken at Begin plus its own staged writes, and
+// its INSERT/UPDATE/DELETE become visible to others atomically at Commit.
+// Write-write conflicts use first-updater-wins: the second transaction to
+// touch a row fails immediately with ErrWriteConflict and is rolled back
+// (no waiting, so no deadlocks — retry the transaction). A Txn is not safe
+// for concurrent use by multiple goroutines.
+type Txn = engine.Txn
+
+// Begin starts an explicit transaction. Always resolve it with Commit or
+// Rollback; an abandoned transaction pins old row versions against vacuum.
+func (db *DB) Begin() *Txn { return db.eng.Begin() }
+
+// Transaction errors, re-exported for errors.Is.
+var (
+	// ErrWriteConflict marks a transaction that lost a first-updater-wins
+	// race and was rolled back; the caller should retry it.
+	ErrWriteConflict = engine.ErrWriteConflict
+	// ErrTxnDone marks use of a transaction after Commit or Rollback.
+	ErrTxnDone = engine.ErrTxnDone
+)
+
+// Vacuum synchronously reclaims row versions no longer visible to any live
+// snapshot and compacts the string intern table if enough died. The engine
+// runs this automatically in the background once enough garbage accumulates;
+// call it explicitly to make reclamation deterministic (e.g. in tests or
+// after a bulk DELETE). It returns the number of versions reclaimed.
+func (db *DB) Vacuum() int { return db.eng.Vacuum() }
 
 // Query optimizes and executes a SELECT with the default EMST strategy.
 func (db *DB) Query(query string) (*Result, error) { return db.eng.Query(query) }
@@ -275,8 +308,10 @@ func (db *DB) ExplainContext(ctx context.Context, query string, opts ...QueryOpt
 
 // SetPlanCache enables or disables the prepared-plan cache (it starts
 // enabled). The cache serves repeated prepares of the same normalized SQL +
-// strategy without re-running the optimizer; DDL, DML and Analyze advance a
-// catalog epoch that invalidates stale entries automatically.
+// strategy without re-running the optimizer; DDL and Analyze advance a
+// catalog epoch that invalidates stale entries automatically. DML does not:
+// plans read through MVCC snapshots, so data changes never make a cached
+// plan incorrect.
 func (db *DB) SetPlanCache(enabled bool) { db.eng.SetPlanCache(enabled) }
 
 // PlanCacheStats is a point-in-time view of the plan cache.
