@@ -18,7 +18,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/resource/ ./internal/storage/ ./internal/wire/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/resource/ ./internal/storage/ ./internal/wire/ ./internal/opt/ ./internal/catalog/
 
 cover:
 	$(GO) test -cover ./...
@@ -32,7 +32,7 @@ check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/... ./internal/storage/... ./internal/vec/... ./internal/wire/...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/... ./internal/storage/... ./internal/vec/... ./internal/wire/... ./internal/opt/... ./internal/catalog/...
 	$(MAKE) bench-check
 
 # gofmt as a gate: print offending files and fail if any exist.
@@ -48,10 +48,11 @@ bench:
 # cold-vs-cached prepares, spill-on vs spill-off join/sort pairs,
 # vectorized-vs-row executor pairs (ns/row), wire-protocol round-trips
 # (COM_QUERY ns/row and cached COM_STMT_EXECUTE), MVCC transaction-commit
-# latency plus DML throughput under an open streaming scan, and Table-1
+# latency plus DML throughput under an open streaming scan, ANALYZE and
+# histogram-probe costs plus the skewed plan-pick A/B, and Table-1
 # experiments (ns/op + allocs/op) written to $(BENCH_OUT).
-# Override per PR: make bench-json BENCH_OUT=BENCH_9.json
-BENCH_OUT ?= BENCH_8.json
+# Override per PR: make bench-json BENCH_OUT=BENCH_10.json
+BENCH_OUT ?= BENCH_9.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 

@@ -17,7 +17,7 @@
 //
 //	benchjson [-out BENCH.json] [-experiments A,B,...] [-scale N]
 //	          [-baseline BENCH_1.json] [-threshold 15]
-//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/]
+//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/,stats/]
 package main
 
 import (
@@ -65,7 +65,7 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
-	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/", "comma-separated name prefixes the regression gate applies to")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/,stats/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -164,6 +164,21 @@ func main() {
 	// streaming scan is open (the lock-free-read guarantee, measured).
 	if err := mvccBench(record); err != nil {
 		fmt.Fprintln(os.Stderr, "mvcc bench:", err)
+		os.Exit(1)
+	}
+
+	// Statistics: full-ANALYZE cost per row (histograms included) and one
+	// equality + one range histogram probe.
+	if err := statsBench(record, recordPerRow); err != nil {
+		fmt.Fprintln(os.Stderr, "stats bench:", err)
+		os.Exit(1)
+	}
+
+	// Skewed plan pick A/B: on a Zipf-skewed Table-1 instance, the plan the
+	// histogram-backed cost comparison chose versus the magic plan the flat
+	// uniformity assumption would have picked.
+	if err := skewedPlanBench(record); err != nil {
+		fmt.Fprintln(os.Stderr, "skewed-plan bench:", err)
 		os.Exit(1)
 	}
 
@@ -403,10 +418,13 @@ func spillBench(record func(string, func(b *testing.B))) error {
 // cardinality estimate high, and the parameterized range filters on t (all
 // rows pass) shrink t's estimated stream. The join is pinned to the
 // Original strategy — magic rewriting would restructure the view around
-// the fooled estimates and benchmark a different plan entirely.
+// the fooled estimates and benchmark a different plan entirely — and to
+// flat statistics: histograms would estimate the string-range filter
+// accurately, flip the join order, and benchmark a different plan.
 func vecBench(record func(string, int, func(b *testing.B))) error {
 	const rows = 65536
 	db := engine.New()
+	db.SetHistograms(false)
 	if _, err := db.Exec(`
 	CREATE TABLE vt (a INT, k INT, name VARCHAR);
 	CREATE VIEW vtot (ka, total) AS
@@ -588,6 +606,137 @@ func mvccBench(record func(string, func(b *testing.B))) error {
 			}
 		}
 	})
+	return nil
+}
+
+// statsBench measures the statistics layer: `analyze_ns_row` is one full
+// ANALYZE of a 100k-row, three-column table — null/min/max counting, distinct
+// estimation, and equi-depth histogram builds — normalized to ns per row, and
+// `histogram_probe_ns` is one equality plus one range selectivity probe
+// against a built histogram (the estimator's hot path during join-order
+// enumeration).
+func statsBench(record func(string, func(b *testing.B)), recordPerRow func(string, int, func(b *testing.B))) error {
+	const rows = 100_000
+	db := engine.New()
+	if _, err := db.Exec(`CREATE TABLE st (id INT, grp INT, name VARCHAR, PRIMARY KEY (id))`); err != nil {
+		return err
+	}
+	batch := make([]datum.Row, rows)
+	for i := range batch {
+		batch[i] = datum.Row{
+			datum.Int(int64(i)),
+			datum.Int(int64(i * i % 9973)),
+			datum.String(fmt.Sprintf("n-%05d", i%2500)),
+		}
+	}
+	if err := db.InsertRows("st", batch); err != nil {
+		return err
+	}
+	recordPerRow("stats/analyze_ns_row", rows, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db.Analyze()
+		}
+	})
+	tbl, ok := db.Catalog().Table("st")
+	if !ok || len(tbl.Stats) < 2 || tbl.Stats[1].Hist == nil {
+		return fmt.Errorf("stats bench: no histogram on st.grp after ANALYZE")
+	}
+	hist := tbl.Stats[1].Hist
+	record("stats/histogram_probe_ns", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := datum.Int(int64(i % 9973))
+			if _, ok := hist.EqSel(v); !ok {
+				b.Fatal("equality probe missed")
+			}
+			if _, ok := hist.LessSel(v, true); !ok {
+				b.Fatal("range probe missed")
+			}
+		}
+	})
+	return nil
+}
+
+// skewedPlanBench is the adaptive-statistics A/B: on a Table-1 instance whose
+// deptname column is Zipf-skewed (95% of departments named 'HQ'), the
+// histogram-backed cost comparison rejects the magic transformation for the
+// heavy value while the flat 1/NDV assumption picks it. `chosen` executes the
+// histogram's pick; `flat_pick_magic` forces the plan the flat baseline
+// selects. The gap is what adaptive statistics save at runtime.
+func skewedPlanBench(record func(string, func(b *testing.B))) error {
+	const (
+		depts   = 400
+		heavy   = 380
+		perDept = 8
+		queryHQ = `SELECT d.deptno, s.avgsalary FROM department d, avgMgrSal s
+		            WHERE d.deptno = s.workdept AND d.deptname = 'HQ'`
+		skewDDLB = `
+		CREATE TABLE department (deptno INT, deptname VARCHAR(30), mgrno INT, PRIMARY KEY (deptno));
+		CREATE TABLE employee (empno INT, empname VARCHAR(30), workdept INT, salary FLOAT, PRIMARY KEY (empno));
+		CREATE INDEX emp_workdept ON employee (workdept);
+		CREATE VIEW mgrSal (empno, empname, workdept, salary) AS
+		  SELECT e.empno, e.empname, e.workdept, e.salary
+		  FROM employee e, department d WHERE e.empno = d.mgrno;
+		CREATE VIEW avgMgrSal (workdept, avgsalary) AS
+		  SELECT workdept, AVG(salary) FROM mgrSal GROUPBY workdept;`
+	)
+	db := engine.New()
+	if _, err := db.Exec(skewDDLB); err != nil {
+		return err
+	}
+	dept := make([]datum.Row, 0, depts)
+	emp := make([]datum.Row, 0, depts*perDept)
+	empno := 0
+	for d := 1; d <= depts; d++ {
+		name := "HQ"
+		if d > heavy {
+			name = fmt.Sprintf("D%03d", d)
+		}
+		dept = append(dept, datum.Row{datum.Int(int64(d)), datum.String(name), datum.Int(int64(empno + 1))})
+		for e := 0; e < perDept; e++ {
+			empno++
+			emp = append(emp, datum.Row{
+				datum.Int(int64(empno)), datum.String(fmt.Sprintf("e%d", empno)),
+				datum.Int(int64(d)), datum.Float(float64(100 * (1 + empno%9))),
+			})
+		}
+	}
+	if err := db.InsertRows("department", dept); err != nil {
+		return err
+	}
+	if err := db.InsertRows("employee", emp); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	chosen, err := db.PrepareContext(ctx, queryHQ, engine.WithStrategy(engine.EMST))
+	if err != nil {
+		return err
+	}
+	if chosen.Explain().UsedEMST {
+		return fmt.Errorf("skewed-plan bench: histogram estimates picked magic for the heavy value")
+	}
+	forced, err := db.PrepareContext(ctx, queryHQ, engine.WithStrategy(engine.EMST), engine.WithForceEMST())
+	if err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		name string
+		p    *engine.Prepared
+	}{
+		{"opt/skewed_plan_pick/chosen", chosen},
+		{"opt/skewed_plan_pick/flat_pick_magic", forced},
+	} {
+		p := c.p
+		record(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ExecuteContext(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	return nil
 }
 

@@ -13,6 +13,10 @@
 //	.mem [limit [total]|off]              cap per-query (and total) memory;
 //	                                      capped operators spill to disk
 //	.admission [N [queue]|off]            cap concurrent query executions
+//	.stats <table>                        per-column statistics and
+//	                                      equi-depth histograms
+//	.feedback on|off|stats                toggle or inspect execution-
+//	                                      feedback re-optimization
 //	.tables                               list tables and views
 //	.help                                 this text
 //
@@ -212,6 +216,8 @@ func (sh *shell) dotCommand(line string) {
 		fmt.Fprintln(sh.out, ".cache on|off|stats                — toggle or inspect the plan cache")
 		fmt.Fprintln(sh.out, ".mem [limit [total]|off]           — cap per-query (and total) memory; spill beyond it")
 		fmt.Fprintln(sh.out, ".admission [N [queue]|off]         — cap concurrent query executions")
+		fmt.Fprintln(sh.out, ".stats <table> [column]            — per-column statistics and histograms")
+		fmt.Fprintln(sh.out, ".feedback on|off|stats             — toggle or inspect execution feedback")
 		fmt.Fprintln(sh.out, ".tables                            — list tables and views")
 	case ".strategy":
 		if len(fields) < 2 {
@@ -324,6 +330,67 @@ func (sh *shell) dotCommand(line string) {
 		}
 		fmt.Fprintf(sh.out, "  running=%d waiting=%d admitted=%d waited=%d rejected=%d\n",
 			st.Running, st.Waiting, st.Admitted, st.Waited, st.Rejected)
+	case ".stats":
+		if len(fields) < 2 {
+			fmt.Fprintln(sh.out, "usage: .stats <table>")
+			return
+		}
+		t, ok := sh.db.Catalog().Table(fields[1])
+		if !ok {
+			fmt.Fprintf(sh.out, "no such table %s\n", fields[1])
+			return
+		}
+		if len(fields) > 2 {
+			// .stats <table> <column>: dump the full histogram.
+			ord := t.ColumnIndex(fields[2])
+			if ord < 0 {
+				fmt.Fprintf(sh.out, "no such column %s.%s\n", t.Name, fields[2])
+				return
+			}
+			if ord >= len(t.Stats) || t.Stats[ord].Hist == nil {
+				fmt.Fprintln(sh.out, "(no histogram)")
+				return
+			}
+			fmt.Fprint(sh.out, t.Stats[ord].Hist.Dump())
+			return
+		}
+		fmt.Fprintf(sh.out, "table %s: %d rows\n", t.Name, t.RowCount)
+		for i, c := range t.Columns {
+			if i >= len(t.Stats) {
+				fmt.Fprintf(sh.out, "  %s %s: not analyzed\n", c.Name, c.Type)
+				continue
+			}
+			st := t.Stats[i]
+			fmt.Fprintf(sh.out, "  %s %s: ndv=%d nulls=%d", c.Name, c.Type, st.DistinctCount, st.NullCount)
+			if st.DistinctCount > 0 {
+				fmt.Fprintf(sh.out, " min=%s max=%s", st.Min.Format(), st.Max.Format())
+			}
+			fmt.Fprintln(sh.out)
+			if st.Hist != nil {
+				fmt.Fprintf(sh.out, "    histogram: %s\n", st.Hist)
+			}
+		}
+	case ".feedback":
+		if len(fields) > 1 {
+			switch fields[1] {
+			case "on":
+				sh.db.SetFeedback(true)
+			case "off":
+				sh.db.SetFeedback(false)
+			case "stats":
+				// fall through to the printout below
+			default:
+				fmt.Fprintln(sh.out, "usage: .feedback on|off|stats")
+				return
+			}
+		}
+		state := "off"
+		if sh.db.FeedbackEnabled() {
+			state = "on"
+		}
+		m := sh.db.Metrics()
+		fmt.Fprintf(sh.out, "feedback: %s  updates: %d  marked: %d  reopts: %d  max-q: %.1f\n",
+			state, m.FeedbackUpdates, m.FeedbackMarked, m.FeedbackReopts, m.FeedbackMaxQ)
 	case ".explain":
 		query := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
 		info, err := sh.db.ExplainContext(context.Background(), query,

@@ -122,6 +122,60 @@ func TestShellMemAndAdmissionCommands(t *testing.T) {
 	}
 }
 
+func TestShellStatsCommand(t *testing.T) {
+	sh, buf := newShell()
+	script := `
+	CREATE TABLE t (a INT, b VARCHAR, PRIMARY KEY (a));
+	INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, NULL);`
+	if err := sh.runScript(script); err != nil {
+		t.Fatal(err)
+	}
+	sh.db.Analyze()
+	sh.dotCommand(".stats t")
+	sh.dotCommand(".stats t a")
+	sh.dotCommand(".stats t nope")
+	sh.dotCommand(".stats missing")
+	sh.dotCommand(".stats")
+	out := buf.String()
+	for _, want := range []string{
+		"table t: 4 rows",
+		"a INT: ndv=4 nulls=0 min=1 max=4",
+		"b VARCHAR: ndv=2 nulls=1",
+		"histogram:", // per-column histogram summary line
+		"bucket  0",  // full dump for .stats t a
+		"no such column t.nope",
+		"no such table missing",
+		"usage: .stats <table>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellFeedbackCommand(t *testing.T) {
+	sh, buf := newShell()
+	sh.dotCommand(".feedback")
+	sh.dotCommand(".feedback off")
+	sh.dotCommand(".feedback on")
+	sh.dotCommand(".feedback stats")
+	sh.dotCommand(".feedback bogus")
+	out := buf.String()
+	for _, want := range []string{
+		"feedback: on  updates: 0",
+		"feedback: off",
+		"max-q:",
+		"usage: .feedback on|off|stats",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !sh.db.FeedbackEnabled() {
+		t.Error("feedback left disabled")
+	}
+}
+
 func TestShellErrorPropagates(t *testing.T) {
 	sh, _ := newShell()
 	if err := sh.runScript("SELECT * FROM missing"); err == nil {

@@ -21,13 +21,19 @@ type Column struct {
 
 // ColumnStats carries per-column statistics used by the cost model.
 type ColumnStats struct {
-	// DistinctCount is the number of distinct non-NULL values.
+	// DistinctCount is the number of distinct non-NULL values. Above
+	// SampleThreshold rows it is a Duj1 estimate from a stride sample (see
+	// AnalyzeTable); below, it is exact.
 	DistinctCount int64
-	// NullCount is the number of NULL values.
+	// NullCount is the number of NULL values (always exact; counting nulls
+	// is cheap even on the full scan).
 	NullCount int64
 	// Min and Max bound the non-NULL values (valid only when
-	// DistinctCount > 0 and the type is ordered).
+	// DistinctCount > 0 and the type is ordered). Always exact.
 	Min, Max datum.D
+	// Hist is the equi-depth histogram over non-NULL values, or nil when
+	// the column is empty.
+	Hist *Histogram
 }
 
 // Table is a base-table descriptor.
@@ -234,35 +240,92 @@ func (c *Catalog) Views() []*View {
 	return out
 }
 
+// SampleThreshold is the row count above which ANALYZE switches from exact
+// distinct counting and exact histogram builds to a deterministic stride
+// sample of ~SampleThreshold rows. NullCount, Min, and Max stay exact (one
+// cheap comparison per row); the per-value map and the histogram sort — the
+// two superlinear-memory / O(n log n) pieces — are what the cap bounds.
+// Accuracy trade-off: sampled DistinctCount is a Duj1 estimate (unbiased for
+// uniform duplication, conservative under heavy skew), and sampled histogram
+// bucket counts carry ~1/sqrt(depth) relative error per bucket — values
+// rarer than about total/SampleThreshold rows may be missed entirely, but
+// heavy values (the ones that flip plan choices) are always captured.
+const SampleThreshold = 65536
+
 // AnalyzeTable computes RowCount and per-column statistics from the rows.
 // The storage layer calls this from Database.Analyze.
 func AnalyzeTable(t *Table, rows []datum.Row) {
 	t.RowCount = int64(len(rows))
 	t.Stats = make([]ColumnStats, len(t.Columns))
+	stride := 1
+	if len(rows) > SampleThreshold {
+		stride = (len(rows) + SampleThreshold - 1) / SampleThreshold
+	}
 	keyBuf := make([]byte, 0, 32)
+	var vals []datum.D
 	for ci := range t.Columns {
 		distinct := make(map[string]struct{})
+		singletons := make(map[string]bool) // sample key -> seen exactly once
 		st := &t.Stats[ci]
-		for _, r := range rows {
+		vals = vals[:0]
+		sampled := int64(0)
+		for ri, r := range rows {
 			d := r[ci]
 			if d.IsNull() {
 				st.NullCount++
 				continue
 			}
+			// Exact min/max over every row.
+			if st.Min.IsNull() {
+				st.Min, st.Max = d, d
+			} else {
+				if datum.Compare(d, st.Min) < 0 {
+					st.Min = d
+				}
+				if datum.Compare(d, st.Max) > 0 {
+					st.Max = d
+				}
+			}
+			if ri%stride != 0 {
+				continue
+			}
+			// Sampled (or, below the threshold, exhaustive) distinct map and
+			// histogram input.
+			sampled++
+			vals = append(vals, d)
 			keyBuf = d.AppendKey(keyBuf[:0])
 			if _, ok := distinct[string(keyBuf)]; !ok {
 				distinct[string(keyBuf)] = struct{}{}
+				singletons[string(keyBuf)] = true
+			} else {
+				delete(singletons, string(keyBuf))
 			}
-			if st.DistinctCount == 0 && len(distinct) == 1 {
-				st.Min, st.Max = d, d
-			}
-			if datum.Compare(d, st.Min) < 0 {
-				st.Min = d
-			}
-			if datum.Compare(d, st.Max) > 0 {
-				st.Max = d
-			}
-			st.DistinctCount = int64(len(distinct))
 		}
+		nonNull := int64(len(rows)) - st.NullCount
+		st.DistinctCount = estimateDistinct(int64(len(distinct)), int64(len(singletons)), sampled, nonNull)
+		ndvScale := 1.0
+		if sampled > 0 && len(distinct) > 0 {
+			ndvScale = float64(st.DistinctCount) / float64(len(distinct))
+		}
+		st.Hist = buildHistogram(vals, nonNull, ndvScale)
 	}
+}
+
+// estimateDistinct scales a sample's distinct count d (with f1 values seen
+// exactly once) up to the full non-NULL population N using the Duj1
+// estimator: d̂ = n·d / (n − f1 + f1·n/N). With an exhaustive "sample"
+// (n == N) it degenerates to the exact count d.
+func estimateDistinct(d, f1, n, total int64) int64 {
+	if d == 0 || n == 0 || total <= n {
+		return d
+	}
+	est := float64(n) * float64(d) / (float64(n-f1) + float64(f1)*float64(n)/float64(total))
+	out := int64(est + 0.5)
+	if out < d {
+		out = d
+	}
+	if out > total {
+		out = total
+	}
+	return out
 }

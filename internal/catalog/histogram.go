@@ -1,0 +1,278 @@
+package catalog
+
+// Equi-depth column histograms. ANALYZE builds one per column; the plan
+// optimizer (internal/opt) probes them for equality and range selectivities.
+// On the skewed data distributions where the paper's magic-vs-no-magic
+// comparisons (Table 1, Figures 2-3) flip, flat per-column defaults — "every
+// value is average" — are exactly what mis-costs the plans; an equi-depth
+// histogram keeps heavy values visible because a value more frequent than
+// one bucket's depth occupies whole buckets by itself.
+//
+// Buckets are run-aligned: a bucket boundary never splits a run of equal
+// values, so every distinct value lives in exactly one bucket (a value
+// heavier than the target depth gets one or more degenerate buckets with
+// NDV 1). That makes the equality probe exact over the sampled data: find
+// the value's bucket, divide its row count by its distinct count.
+//
+// Above a row threshold the build switches to a deterministic stride sample
+// (see AnalyzeTable) so ANALYZE on million-row tables stays linear with a
+// small constant; bucket row counts are scaled back to the full relation and
+// per-bucket NDVs are scaled by the same factor as the table-wide Duj1
+// distinct estimate.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"starmagic/internal/datum"
+)
+
+// HistBuckets is the target bucket count for one column histogram. 64 keeps
+// the probe a short scan (cache-resident) while resolving ~1.6% quantiles.
+const HistBuckets = 64
+
+// HistBucket is one equi-depth bucket: the rows with prevUpper < v <= Upper
+// (the first bucket starts at the histogram's Low bound, inclusive).
+type HistBucket struct {
+	// Upper is the inclusive upper bound of the bucket's value range.
+	Upper datum.D
+	// Rows is the (scaled) number of rows in the bucket.
+	Rows int64
+	// NDV is the (scaled) number of distinct values in the bucket. A heavy
+	// value that overflows the target depth yields buckets with NDV 1.
+	NDV int64
+}
+
+// Histogram is a per-column equi-depth histogram over non-NULL values.
+type Histogram struct {
+	// Low is the inclusive lower bound of the first bucket (the column min
+	// as observed in the build sample).
+	Low datum.D
+	// Buckets in ascending value order; boundaries never split equal-value
+	// runs.
+	Buckets []HistBucket
+	// Rows is the total (scaled) non-NULL row count the buckets represent.
+	Rows int64
+	// SampledRows is the number of rows the histogram was actually built
+	// from (= Rows when the build was exact, smaller when sampled).
+	SampledRows int64
+}
+
+// Sampled reports whether the histogram was built from a sample rather than
+// every row.
+func (h *Histogram) Sampled() bool { return h.SampledRows < h.Rows }
+
+// NDV sums the per-bucket distinct counts.
+func (h *Histogram) NDV() int64 {
+	var n int64
+	for _, b := range h.Buckets {
+		n += b.NDV
+	}
+	return n
+}
+
+// buildHistogram constructs a run-aligned equi-depth histogram from the
+// sampled non-NULL values (sorted in place). totalRows is the full-relation
+// non-NULL row count the bucket row counts are scaled to; ndvScale is the
+// factor table-wide distinct counts were scaled by (1 for exact builds).
+func buildHistogram(vals []datum.D, totalRows int64, ndvScale float64) *Histogram {
+	if len(vals) == 0 || totalRows <= 0 {
+		return nil
+	}
+	sort.Slice(vals, func(i, j int) bool { return datum.Compare(vals[i], vals[j]) < 0 })
+	n := len(vals)
+	depth := (n + HistBuckets - 1) / HistBuckets
+	if depth < 1 {
+		depth = 1
+	}
+	h := &Histogram{Low: vals[0], SampledRows: int64(n), Rows: totalRows}
+	rowScale := float64(totalRows) / float64(n)
+	// runEnd returns the index one past the equal-value run starting at i.
+	runEnd := func(i int) int {
+		j := i + 1
+		for j < n && datum.Compare(vals[j], vals[i]) == 0 {
+			j++
+		}
+		return j
+	}
+	start := 0
+	for start < n {
+		// Accumulate whole runs until the bucket reaches the target depth. A
+		// run that is itself at least one depth deep closes the bucket it
+		// would join first, so a heavy value never shares a bucket with its
+		// lighter neighbors — it gets a dedicated NDV-1 bucket, which is what
+		// keeps its true frequency visible to the equality probe. (Such early
+		// closures can push the bucket count slightly past HistBuckets; the
+		// probe cost stays a short binary search either way.)
+		end, ndv := start, int64(0)
+		for end < n {
+			re := runEnd(end)
+			if re-end >= depth && end > start {
+				break
+			}
+			end = re
+			ndv++
+			if end-start >= depth {
+				break
+			}
+		}
+		scaledNDV := int64(float64(ndv)*ndvScale + 0.5)
+		if scaledNDV < ndv {
+			scaledNDV = ndv
+		}
+		rows := int64(float64(end-start)*rowScale + 0.5)
+		if rows < 1 {
+			rows = 1
+		}
+		if scaledNDV > rows {
+			scaledNDV = rows
+		}
+		h.Buckets = append(h.Buckets, HistBucket{Upper: vals[end-1], Rows: rows, NDV: scaledNDV})
+		start = end
+	}
+	return h
+}
+
+// bucketFor locates the bucket whose value range contains d, or -1 when d
+// falls outside [Low, max]. Because buckets are run-aligned every value
+// belongs to exactly one bucket.
+func (h *Histogram) bucketFor(d datum.D) int {
+	if len(h.Buckets) == 0 || datum.Compare(d, h.Low) < 0 {
+		return -1
+	}
+	// First bucket with Upper >= d.
+	i := sort.Search(len(h.Buckets), func(i int) bool {
+		return datum.Compare(h.Buckets[i].Upper, d) >= 0
+	})
+	if i == len(h.Buckets) {
+		return -1
+	}
+	return i
+}
+
+// EqSel estimates the fraction of non-NULL rows equal to d: the containing
+// bucket's rows divided by its distinct count. A value outside the
+// histogram's range selects (almost) nothing.
+func (h *Histogram) EqSel(d datum.D) (float64, bool) {
+	if h == nil || h.Rows == 0 || d.IsNull() {
+		return 0, false
+	}
+	i := h.bucketFor(d)
+	if i < 0 {
+		// Outside the observed range: near zero, floored so a join against
+		// an unseen key does not estimate to exactly nothing.
+		return clampSel(0, h.Rows), true
+	}
+	b := h.Buckets[i]
+	ndv := b.NDV
+	if ndv < 1 {
+		ndv = 1
+	}
+	return clampSel(float64(b.Rows)/float64(ndv)/float64(h.Rows), h.Rows), true
+}
+
+// LessSel estimates the fraction of non-NULL rows with value < d (orEq
+// includes equality). Numeric containing buckets interpolate linearly
+// between the bucket bounds; other types count half the containing bucket.
+func (h *Histogram) LessSel(d datum.D, orEq bool) (float64, bool) {
+	if h == nil || h.Rows == 0 || d.IsNull() {
+		return 0, false
+	}
+	if datum.Compare(d, h.Low) < 0 {
+		return clampSel(0, h.Rows), true
+	}
+	var below float64
+	lower := h.Low
+	for i, b := range h.Buckets {
+		if datum.Compare(d, b.Upper) > 0 {
+			below += float64(b.Rows)
+			lower = b.Upper
+			continue
+		}
+		// d falls in bucket i (run-aligned: exactly one bucket).
+		frac := 0.5
+		if numericD(d) && numericD(b.Upper) && numericD(lower) {
+			lo, hi := lower.AsFloat(), b.Upper.AsFloat()
+			if hi > lo {
+				frac = (d.AsFloat() - lo) / (hi - lo)
+			} else {
+				frac = 1
+			}
+		}
+		if datum.Compare(d, b.Upper) == 0 {
+			frac = 1
+		}
+		within := float64(b.Rows) * frac
+		if !orEq {
+			// Exclude the rows equal to d itself.
+			if eq, ok := h.EqSel(d); ok {
+				within -= eq * float64(h.Rows)
+			}
+			if i == 0 && datum.Compare(d, h.Low) == 0 {
+				within = 0
+			}
+		}
+		if within < 0 {
+			within = 0
+		}
+		below += within
+		return clampSel(below/float64(h.Rows), h.Rows), true
+	}
+	return clampSel(1, h.Rows), true
+}
+
+// clampSel bounds a selectivity estimate away from the degenerate 0 and
+// above 1: the floor is half a row of the relation the histogram describes.
+func clampSel(s float64, rows int64) float64 {
+	floor := 0.5 / float64(rows+1)
+	if s < floor {
+		return floor
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func numericD(d datum.D) bool { return d.T == datum.TInt || d.T == datum.TFloat }
+
+// String renders a compact summary: bucket count and the heaviest buckets
+// (the skew the histogram exists to expose).
+func (h *Histogram) String() string {
+	if h == nil || len(h.Buckets) == 0 {
+		return "(no histogram)"
+	}
+	heavy := 0
+	for i, b := range h.Buckets {
+		if b.Rows > h.Buckets[heavy].Rows {
+			heavy = i
+		}
+	}
+	b := h.Buckets[heavy]
+	mode := "exact"
+	if h.Sampled() {
+		mode = fmt.Sprintf("sampled %d", h.SampledRows)
+	}
+	return fmt.Sprintf("%d buckets (%s), heaviest [..%s] rows=%d ndv=%d",
+		len(h.Buckets), mode, b.Upper.Format(), b.Rows, b.NDV)
+}
+
+// Dump renders every bucket, one per line, for tooling (`.stats table col`).
+func (h *Histogram) Dump() string {
+	if h == nil || len(h.Buckets) == 0 {
+		return "(no histogram)\n"
+	}
+	var sb strings.Builder
+	lower := h.Low
+	for i, b := range h.Buckets {
+		open := "("
+		if i == 0 {
+			open = "["
+		}
+		fmt.Fprintf(&sb, "bucket %2d %s%s .. %s]  rows=%-8d ndv=%d\n",
+			i, open, lower.Format(), b.Upper.Format(), b.Rows, b.NDV)
+		lower = b.Upper
+	}
+	return sb.String()
+}

@@ -1,0 +1,196 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"starmagic/internal/datum"
+)
+
+func tableFor(n int, col func(i int) datum.D) (*Table, []datum.Row) {
+	t := &Table{Name: "t", Columns: []Column{{Name: "a", Type: datum.TInt}}}
+	rows := make([]datum.Row, n)
+	for i := range rows {
+		rows[i] = datum.Row{col(i)}
+	}
+	return t, rows
+}
+
+func TestHistogramHeavyValueEqSel(t *testing.T) {
+	// 99% of rows carry value 7, the rest spread over 200 rare values.
+	const n = 20000
+	tab, rows := tableFor(n, func(i int) datum.D {
+		if i%100 != 0 {
+			return datum.Int(7)
+		}
+		return datum.Int(1000 + int64(i/100)%200)
+	})
+	AnalyzeTable(tab, rows)
+	h := tab.Stats[0].Hist
+	if h == nil {
+		t.Fatal("no histogram built")
+	}
+	sel, ok := h.EqSel(datum.Int(7))
+	if !ok {
+		t.Fatal("EqSel not answered")
+	}
+	if sel < 0.95 || sel > 1.0 {
+		t.Fatalf("heavy value selectivity = %g, want ~0.99", sel)
+	}
+	// A rare value must not inherit the heavy value's weight.
+	rare, ok := h.EqSel(datum.Int(1005))
+	if !ok {
+		t.Fatal("EqSel not answered for rare value")
+	}
+	if rare > 0.05 {
+		t.Fatalf("rare value selectivity = %g, want small", rare)
+	}
+	// An absent value estimates to (near) nothing.
+	if miss, _ := h.EqSel(datum.Int(999999)); miss > 0.001 {
+		t.Fatalf("absent value selectivity = %g, want ~0", miss)
+	}
+}
+
+func TestHistogramRunAlignment(t *testing.T) {
+	// Every distinct value must live in exactly one bucket: bucket uppers
+	// strictly increase and no value equals two buckets' ranges.
+	const n = 5000
+	tab, rows := tableFor(n, func(i int) datum.D { return datum.Int(int64(i) % 97) })
+	AnalyzeTable(tab, rows)
+	h := tab.Stats[0].Hist
+	if h == nil {
+		t.Fatal("no histogram built")
+	}
+	for i := 1; i < len(h.Buckets); i++ {
+		if datum.Compare(h.Buckets[i-1].Upper, h.Buckets[i].Upper) >= 0 {
+			t.Fatalf("bucket uppers not strictly increasing at %d", i)
+		}
+	}
+	var rowsSum, ndvSum int64
+	for _, b := range h.Buckets {
+		rowsSum += b.Rows
+		ndvSum += b.NDV
+	}
+	if rowsSum != n {
+		t.Fatalf("bucket rows sum = %d, want %d", rowsSum, n)
+	}
+	if ndvSum != 97 {
+		t.Fatalf("bucket NDV sum = %d, want 97", ndvSum)
+	}
+	if got := h.NDV(); got != 97 {
+		t.Fatalf("NDV() = %d, want 97", got)
+	}
+}
+
+func TestHistogramRangeInterpolation(t *testing.T) {
+	// Uniform 0..9999: P(a < k) should be close to k/10000.
+	const n = 10000
+	tab, rows := tableFor(n, func(i int) datum.D { return datum.Int(int64(i)) })
+	AnalyzeTable(tab, rows)
+	h := tab.Stats[0].Hist
+	for _, k := range []int64{100, 2500, 5000, 9000} {
+		sel, ok := h.LessSel(datum.Int(k), false)
+		if !ok {
+			t.Fatalf("LessSel(%d) not answered", k)
+		}
+		want := float64(k) / n
+		if math.Abs(sel-want) > 0.03 {
+			t.Fatalf("LessSel(%d) = %g, want ~%g", k, sel, want)
+		}
+	}
+	// Bounds: below min ~0, above max ~1.
+	if sel, _ := h.LessSel(datum.Int(-5), false); sel > 0.001 {
+		t.Fatalf("LessSel below min = %g, want ~0", sel)
+	}
+	if sel, _ := h.LessSel(datum.Int(123456), true); sel < 0.999 {
+		t.Fatalf("LessSel above max = %g, want 1", sel)
+	}
+}
+
+func TestHistogramStringBuckets(t *testing.T) {
+	tab := &Table{Name: "t", Columns: []Column{{Name: "s", Type: datum.TString}}}
+	rows := make([]datum.Row, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		// Heavy string value "HQ" at ~90%, rest spread.
+		if i%10 != 0 {
+			rows = append(rows, datum.Row{datum.String("HQ")})
+		} else {
+			rows = append(rows, datum.Row{datum.String(fmt.Sprintf("R%03d", i%50))})
+		}
+	}
+	AnalyzeTable(tab, rows)
+	h := tab.Stats[0].Hist
+	sel, ok := h.EqSel(datum.String("HQ"))
+	if !ok || sel < 0.85 {
+		t.Fatalf("heavy string selectivity = %g ok=%v, want ~0.9", sel, ok)
+	}
+}
+
+func TestAnalyzeSampledDistinct(t *testing.T) {
+	// Above SampleThreshold rows the distinct map is sampled and scaled with
+	// Duj1. A column where every value is distinct must estimate near n; a
+	// low-cardinality column must stay near its true NDV.
+	const n = SampleThreshold * 4
+	allDistinct, rowsA := tableFor(n, func(i int) datum.D { return datum.Int(int64(i)) })
+	AnalyzeTable(allDistinct, rowsA)
+	if got := allDistinct.Stats[0].DistinctCount; float64(got) < 0.5*n {
+		t.Fatalf("all-distinct column: DistinctCount = %d, want >= %d", got, n/2)
+	}
+	if h := allDistinct.Stats[0].Hist; h == nil || !h.Sampled() {
+		t.Fatalf("expected sampled histogram above threshold")
+	}
+	// Exact pieces stay exact even when sampled.
+	if allDistinct.Stats[0].Min.I != 0 || allDistinct.Stats[0].Max.I != n-1 {
+		t.Fatalf("min/max not exact under sampling: %v..%v",
+			allDistinct.Stats[0].Min, allDistinct.Stats[0].Max)
+	}
+
+	lowCard, rowsB := tableFor(n, func(i int) datum.D { return datum.Int(int64(i) % 10) })
+	AnalyzeTable(lowCard, rowsB)
+	if got := lowCard.Stats[0].DistinctCount; got < 5 || got > 50 {
+		t.Fatalf("low-cardinality column: DistinctCount = %d, want ~10", got)
+	}
+}
+
+func TestAnalyzeNullsAndEmpty(t *testing.T) {
+	tab, rows := tableFor(100, func(i int) datum.D {
+		if i%2 == 0 {
+			return datum.NullOf(datum.TInt)
+		}
+		return datum.Int(int64(i))
+	})
+	AnalyzeTable(tab, rows)
+	st := tab.Stats[0]
+	if st.NullCount != 50 {
+		t.Fatalf("NullCount = %d, want 50", st.NullCount)
+	}
+	if st.DistinctCount != 50 {
+		t.Fatalf("DistinctCount = %d, want 50", st.DistinctCount)
+	}
+	if st.Hist == nil || st.Hist.Rows != 50 {
+		t.Fatalf("histogram should cover the 50 non-NULL rows")
+	}
+
+	empty, noRows := tableFor(0, nil)
+	AnalyzeTable(empty, noRows)
+	if empty.Stats[0].Hist != nil {
+		t.Fatal("empty table should have no histogram")
+	}
+	if s, _ := empty.Stats[0].Hist.EqSel(datum.Int(1)); s != 0 {
+		t.Fatal("nil histogram EqSel should answer 0,false")
+	}
+}
+
+func TestHistogramDumpString(t *testing.T) {
+	tab, rows := tableFor(1000, func(i int) datum.D { return datum.Int(int64(i) % 7) })
+	AnalyzeTable(tab, rows)
+	h := tab.Stats[0].Hist
+	if h.String() == "" || h.Dump() == "" {
+		t.Fatal("String/Dump should render")
+	}
+	var nilH *Histogram
+	if nilH.String() != "(no histogram)" {
+		t.Fatal("nil histogram String")
+	}
+}

@@ -32,9 +32,33 @@ type Options struct {
 	// plan-opt2.
 	Tracer obs.Tracer
 
+	// Est configures the estimators used by both plan-optimization passes
+	// and by lowering: execution-feedback cardinality hints (box name →
+	// observed rows) and the flat-statistics mode that ignores histograms.
+	Est EstimatorConfig
+	// ForceEMST executes the post-EMST plan even when the cost comparison
+	// favors the pre-EMST one. A/B benchmarks and the skewed-plan oracle use
+	// it to measure the runtime of the strategy the optimizer rejected.
+	ForceEMST bool
+
 	// Ablations disable individual design choices for the ablation study
 	// (cmd/table1 -ablation); all false in normal operation.
 	Ablations Ablations
+}
+
+// EstimatorConfig selects how the pipeline's estimators are constructed.
+// Each optimization pass gets a fresh estimator (memoized cardinalities must
+// not survive graph rewrites) built from this shared configuration.
+type EstimatorConfig struct {
+	// Hints maps qgm box names to observed output cardinalities; see
+	// opt.Estimator.Hints.
+	Hints map[string]float64
+	// NoHist disables histogram probes (flat-default selectivities).
+	NoHist bool
+}
+
+func (c EstimatorConfig) new() *opt.Estimator {
+	return opt.NewEstimatorWith(c.Hints, c.NoHist)
 }
 
 // Ablations switches off individual EMST design decisions so their
@@ -152,7 +176,7 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 	// Plan optimization #1: join orders for EMST, and the no-EMST cost.
 	var r1 opt.Result
 	if err := stage("plan-opt1", func() error {
-		r1 = opt.Optimize(g)
+		r1 = opt.OptimizeEst(g, o.Est.new())
 		return nil
 	}); err != nil {
 		return res, err
@@ -164,7 +188,7 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 		res.Graph = g
 		res.CostAfter = r1.Cost
 		err := stage("lower", func() error {
-			res.Physical = plan.Lower(res.Graph)
+			res.Physical = plan.LowerWith(res.Graph, o.Est.new())
 			return nil
 		})
 		return res, err
@@ -213,14 +237,14 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 	// Plan optimization #2 and the cost comparison.
 	var r2 opt.Result
 	if err := stage("plan-opt2", func() error {
-		r2 = opt.Optimize(g)
+		r2 = opt.OptimizeEst(g, o.Est.new())
 		return nil
 	}); err != nil {
 		return res, err
 	}
 	res.CostAfter = r2.Cost
 	res.PlansConsidered += r2.PlansConsidered
-	if r2.Cost <= r1.Cost {
+	if o.ForceEMST || r2.Cost <= r1.Cost {
 		res.Graph = g
 		res.UsedEMST = true
 	} else {
@@ -230,7 +254,7 @@ func Optimize(g *qgm.Graph, o Options) (*Result, error) {
 	// Lowering: the winning graph plus its chosen join orders become the
 	// physical operator tree the streaming executor runs.
 	if err := stage("lower", func() error {
-		res.Physical = plan.Lower(res.Graph)
+		res.Physical = plan.LowerWith(res.Graph, o.Est.new())
 		return nil
 	}); err != nil {
 		return res, err

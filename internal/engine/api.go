@@ -48,6 +48,12 @@ type queryConfig struct {
 	memLimit    int64
 	hasMemLimit bool
 	noAdmission bool
+	// hints injects execution-feedback cardinalities (box name → observed
+	// rows) into the optimizer's estimators. Set internally by the plan
+	// cache's re-optimization path; there is no public option.
+	hints map[string]float64
+	// forceEMST skips the cost comparison and executes the magic plan.
+	forceEMST bool
 }
 
 // WithStrategy selects the optimization/execution strategy (default EMST).
@@ -144,6 +150,14 @@ func WithMemoryLimit(n int64) QueryOption {
 // configured a cap.
 func WithAdmission(enabled bool) QueryOption {
 	return func(c *queryConfig) { c.noAdmission = !enabled }
+}
+
+// WithForceEMST executes the post-EMST (magic) plan even when the §3.2 cost
+// comparison prefers the untransformed one. It is an A/B instrument: running
+// the same query with and without it measures what the optimizer's choice
+// actually saved. EMST strategy only; other strategies ignore it.
+func WithForceEMST() QueryOption {
+	return func(c *queryConfig) { c.forceEMST = true }
 }
 
 // WithMaterialized executes through the classic box-at-a-time evaluator
@@ -325,6 +339,8 @@ func (db *Database) prepareCold(ctx context.Context, query string, cfg queryConf
 			Snapshots: cfg.snapshots,
 			Ctx:       ctx,
 			Tracer:    cfg.tracer,
+			Est:       core.EstimatorConfig{Hints: cfg.hints, NoHist: db.noHist.Load()},
+			ForceEMST: cfg.forceEMST,
 		})
 		if res != nil {
 			explain.addPipelinePhases(res)
@@ -345,7 +361,7 @@ func (db *Database) prepareCold(ctx context.Context, query string, cfg queryConf
 		info.CostAfter = res.Cost
 		info.PlansConsidered = res.PlansConsidered
 		if err := timed("lower", func() error {
-			phys = plan.Lower(g)
+			phys = plan.LowerWith(g, db.newEstimator(cfg))
 			return nil
 		}); err != nil {
 			return nil, err
@@ -386,7 +402,16 @@ func (db *Database) prepareCold(ctx context.Context, query string, cfg queryConf
 		info:      info,
 		explain:   explain,
 		ruleFires: ruleFires,
+		// The feedback record inherits the hints this plan was optimized
+		// with, so successive re-optimizations accumulate observations.
+		fb: newFeedbackState(phys, cfg.hints),
 	}, nil
+}
+
+// newEstimator builds an estimator under the call's feedback hints and the
+// database's histogram mode.
+func (db *Database) newEstimator(cfg queryConfig) *opt.Estimator {
+	return opt.NewEstimatorWith(cfg.hints, db.noHist.Load())
 }
 
 // prepareCorrelated runs the Correlated strategy's pipeline (phase-1
@@ -425,7 +450,7 @@ func (db *Database) prepareCorrelated(ctx context.Context, g *qgm.Graph, cfg que
 		return res, err
 	}
 	if err := stage("plan-opt1", func() error {
-		opt.Optimize(g)
+		opt.OptimizeEst(g, db.newEstimator(cfg))
 		return nil
 	}); err != nil {
 		return res, err
@@ -437,7 +462,7 @@ func (db *Database) prepareCorrelated(ctx context.Context, g *qgm.Graph, cfg que
 		return res, err
 	}
 	err := stage("plan-opt2", func() error {
-		res = opt.Optimize(g)
+		res = opt.OptimizeEst(g, db.newEstimator(cfg))
 		return nil
 	})
 	snap("correlated")

@@ -118,6 +118,9 @@ func cacheKey(query string, cfg queryConfig) string {
 	if cfg.snapshots {
 		k += "\x00snap"
 	}
+	if cfg.forceEMST {
+		k += "\x00force-emst"
+	}
 	return k
 }
 
@@ -149,6 +152,19 @@ func (db *Database) prepareCached(ctx context.Context, query string, cfg queryCo
 			select {
 			case <-e.ready:
 				if e.err == nil && e.epoch == epoch {
+					// Execution feedback marked this entry's estimates as off
+					// by more than the q-error threshold: drop it and
+					// re-optimize in its place with the observed cardinalities
+					// injected as estimates. Exactly one caller consumes the
+					// mark (takeReopt); concurrent prepares wait on the
+					// replacement entry like any single-flight miss.
+					if fb := e.p.fb; fb != nil && db.FeedbackEnabled() && fb.takeReopt() {
+						sh.removeLocked(el)
+						recfg := cfg
+						recfg.hints = fb.hints(e.p.phys)
+						db.metrics.RecordReopt()
+						return db.leadPrepare(ctx, query, recfg, epoch, key, sh, "reopt")
+					}
 					sh.lru.MoveToFront(el)
 					sh.mu.Unlock()
 					db.metrics.RecordCacheHit()
@@ -173,34 +189,43 @@ func (db *Database) prepareCached(ctx context.Context, query string, cfg queryCo
 				continue // leader failed or entry went stale; retry
 			}
 		}
-		// Miss: publish an in-flight entry, then optimize outside the lock.
-		e := &cacheEntry{key: key, ready: make(chan struct{}), epoch: epoch}
-		el := sh.lru.PushFront(e)
-		sh.m[key] = el
-		evicted := 0
-		for sh.lru.Len() > db.plans.perShard {
-			sh.removeLocked(sh.lru.Back())
-			evicted++
+		// Miss: optimize cold as the leader for this key.
+		db.metrics.RecordCacheMiss()
+		return db.leadPrepare(ctx, query, cfg, epoch, key, sh, "miss")
+	}
+}
+
+// leadPrepare makes the caller the single-flight leader for key: it publishes
+// an in-flight entry (sh.mu must be held; leadPrepare unlocks it), runs the
+// cold optimization outside the lock, and completes the entry so waiters
+// unblock. cfg.hints carries injected feedback cardinalities on the "reopt"
+// path.
+func (db *Database) leadPrepare(ctx context.Context, query string, cfg queryConfig, epoch uint64, key string, sh *cacheShard, status string) (*Prepared, error) {
+	e := &cacheEntry{key: key, ready: make(chan struct{}), epoch: epoch}
+	el := sh.lru.PushFront(e)
+	sh.m[key] = el
+	evicted := 0
+	for sh.lru.Len() > db.plans.perShard {
+		sh.removeLocked(sh.lru.Back())
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		db.metrics.RecordCacheEvictions(evicted)
+	}
+	p, err := db.prepareCold(ctx, query, cfg)
+	e.p, e.err = p, err
+	close(e.ready)
+	if err != nil {
+		// Errors are not cached: remove the entry if it is still ours.
+		sh.mu.Lock()
+		if cur, ok := sh.m[key]; ok && cur.Value.(*cacheEntry) == e {
+			sh.removeLocked(cur)
 		}
 		sh.mu.Unlock()
-		if evicted > 0 {
-			db.metrics.RecordCacheEvictions(evicted)
-		}
-		p, err := db.prepareCold(ctx, query, cfg)
-		e.p, e.err = p, err
-		close(e.ready)
-		if err != nil {
-			// Errors are not cached: remove the entry if it is still ours.
-			sh.mu.Lock()
-			if cur, ok := sh.m[key]; ok && cur.Value.(*cacheEntry) == e {
-				sh.removeLocked(cur)
-			}
-			sh.mu.Unlock()
-			return nil, err
-		}
-		db.metrics.RecordCacheMiss()
-		return p.withConfig(cfg, "miss", epoch), nil
+		return nil, err
 	}
+	return p.withConfig(cfg, status, epoch), nil
 }
 
 // SetPlanCache enables or disables the prepared-plan cache (it starts

@@ -62,6 +62,7 @@ type Rows struct {
 
 	finalized bool
 	closed    bool
+	exhausted bool // cursor reached end of stream (not early-Closed)
 	info      PlanInfo
 }
 
@@ -198,6 +199,7 @@ func (r *Rows) Next() bool {
 			return false
 		}
 		if len(batch) == 0 {
+			r.exhausted = true
 			r.finish(nil)
 			return false
 		}
@@ -210,6 +212,7 @@ func (r *Rows) Next() bool {
 		r.matPos++
 		return true
 	}
+	r.exhausted = true
 	r.finish(nil)
 	return false
 }
@@ -377,6 +380,15 @@ func (r *Rows) finish(execErr error) {
 	if opStats != nil && r.p.phys != nil {
 		r.info.Physical = r.p.phys.Format(opStats)
 		r.info.Operators = reports
+		r.info.MaxQError = r.p.phys.MaxQError(opStats)
+		// Execution feedback only learns from fully-drained, error-free runs:
+		// an early-Closed cursor or a LIMIT plan reports truncated actuals
+		// that would poison the learned cardinalities.
+		if execErr == nil && r.exhausted && r.p.fb != nil &&
+			r.p.db.FeedbackEnabled() && !r.p.phys.HasLimit() {
+			maxQ, marked := r.p.fb.observe(r.p.phys, opStats)
+			r.p.db.metrics.RecordFeedback(maxQ, marked)
+		}
 	}
 	if r.bud != nil {
 		r.bud.Close()

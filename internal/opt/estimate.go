@@ -13,6 +13,7 @@ package opt
 import (
 	"math"
 
+	"starmagic/internal/catalog"
 	"starmagic/internal/datum"
 	"starmagic/internal/qgm"
 )
@@ -31,6 +32,15 @@ const (
 // predicate selectivities over a QGM graph, memoized per box.
 type Estimator struct {
 	card map[*qgm.Box]float64
+	// Hints maps box names (qgm.Box.Name, deterministic across re-plans of
+	// the same SQL) to observed output cardinalities from execution
+	// feedback. A hinted box's Card is the observed value, overriding the
+	// statistical estimate — this is how re-optimization injects actuals.
+	Hints map[string]float64
+	// NoHist disables histogram probes, reverting to the flat defaults
+	// (defaultNDVFrac and the fixed comparison selectivities). Used for
+	// flat-baseline comparisons in tests and benchmarks.
+	NoHist bool
 }
 
 // NewEstimator returns a fresh estimator (statistics are read from the
@@ -40,13 +50,25 @@ func NewEstimator() *Estimator {
 	return &Estimator{card: map[*qgm.Box]float64{}}
 }
 
+// NewEstimatorWith returns an estimator with execution-feedback cardinality
+// hints and an optional flat-statistics mode.
+func NewEstimatorWith(hints map[string]float64, noHist bool) *Estimator {
+	return &Estimator{card: map[*qgm.Box]float64{}, Hints: hints, NoHist: noHist}
+}
+
 // Card estimates the output cardinality of a box.
 func (e *Estimator) Card(b *qgm.Box) float64 {
 	if c, ok := e.card[b]; ok {
 		return c
 	}
 	e.card[b] = 1 // cycle guard; QGM graphs are acyclic but be safe
-	c := e.cardNow(b)
+	c, hinted := 0.0, false
+	if e.Hints != nil && b.Name != "" {
+		c, hinted = e.Hints[b.Name]
+	}
+	if !hinted {
+		c = e.cardNow(b)
+	}
 	if c < 1 {
 		c = 1
 	}
@@ -213,6 +235,12 @@ func (e *Estimator) Selectivity(b *qgm.Box, pred qgm.Expr) float64 {
 	case *qgm.Cmp:
 		switch x.Op {
 		case datum.EQ:
+			// Column = constant with a histogram: exact per-value frequency,
+			// which is where skewed (Zipf) columns diverge from the flat
+			// 1/NDV guess by orders of magnitude.
+			if s, ok := e.histEqSel(x); ok {
+				return s
+			}
 			ln := e.sideNDV(x.L)
 			rn := e.sideNDV(x.R)
 			n := ln
@@ -268,22 +296,77 @@ func (e *Estimator) Selectivity(b *qgm.Box, pred qgm.Expr) float64 {
 	return defaultSel
 }
 
-// rangeSel interpolates the selectivity of a range comparison between a
-// column and a constant using the column's min/max statistics.
-func (e *Estimator) rangeSel(cmp *qgm.Cmp) (float64, bool) {
+// colConst decomposes cmp into a column reference and a constant, flipping
+// the operator so the column is on the left. ok is false when cmp is not a
+// column-vs-constant comparison.
+func colConst(cmp *qgm.Cmp) (cr *qgm.ColRef, c *qgm.Const, op datum.CmpOp, ok bool) {
 	col, konst := cmp.L, cmp.R
-	op := cmp.Op
-	if _, ok := col.(*qgm.ColRef); !ok {
+	op = cmp.Op
+	if _, isCol := col.(*qgm.ColRef); !isCol {
 		col, konst = cmp.R, cmp.L
 		op = op.Flip()
 	}
-	cr, ok := col.(*qgm.ColRef)
+	cr, crOK := col.(*qgm.ColRef)
+	c, cOK := konst.(*qgm.Const)
+	if !crOK || !cOK || c.Val.IsNull() {
+		return nil, nil, op, false
+	}
+	return cr, c, op, true
+}
+
+// histEqSel answers column = constant from the column's equi-depth
+// histogram. Interned-string columns work the same as numerics here: the
+// histogram buckets hold the string datums themselves (interned ids are an
+// executor-side representation), so the literal probes by value.
+func (e *Estimator) histEqSel(cmp *qgm.Cmp) (float64, bool) {
+	if e.NoHist {
+		return 0, false
+	}
+	cr, c, op, ok := colConst(cmp)
+	if !ok || op != datum.EQ {
+		return 0, false
+	}
+	st, ok := e.baseColStats(cr.Q.Ranges, cr.Ord)
+	if !ok || st.Hist == nil {
+		return 0, false
+	}
+	if !datum.Comparable(c.Val.T, st.Hist.Low.T) {
+		return 0, false
+	}
+	return st.Hist.EqSel(c.Val)
+}
+
+// rangeSel estimates the selectivity of a range comparison between a column
+// and a constant: from the column's histogram when one exists (bucket walk
+// with linear interpolation inside the containing bucket), else from min/max
+// interpolation.
+func (e *Estimator) rangeSel(cmp *qgm.Cmp) (float64, bool) {
+	cr, c, op, ok := colConst(cmp)
 	if !ok {
 		return 0, false
 	}
-	c, ok := konst.(*qgm.Const)
-	if !ok || c.Val.IsNull() {
-		return 0, false
+	if !e.NoHist {
+		if st, ok := e.baseColStats(cr.Q.Ranges, cr.Ord); ok && st.Hist != nil &&
+			datum.Comparable(c.Val.T, st.Hist.Low.T) {
+			switch op {
+			case datum.LT:
+				if s, ok := st.Hist.LessSel(c.Val, false); ok {
+					return clamp(s, 0.0005, 1), true
+				}
+			case datum.LE:
+				if s, ok := st.Hist.LessSel(c.Val, true); ok {
+					return clamp(s, 0.0005, 1), true
+				}
+			case datum.GT:
+				if s, ok := st.Hist.LessSel(c.Val, true); ok {
+					return clamp(1-s, 0.0005, 1), true
+				}
+			case datum.GE:
+				if s, ok := st.Hist.LessSel(c.Val, false); ok {
+					return clamp(1-s, 0.0005, 1), true
+				}
+			}
+		}
 	}
 	if c.Val.T != datum.TInt && c.Val.T != datum.TFloat {
 		return 0, false
@@ -303,45 +386,54 @@ func (e *Estimator) rangeSel(cmp *qgm.Cmp) (float64, bool) {
 	return 0, false
 }
 
-// minMax traces a column back to base-table statistics where possible.
-func (e *Estimator) minMax(b *qgm.Box, ord int) (float64, float64, bool) {
+// baseColStats traces output column ord of box b through select/group-by
+// projections back to a base-table column's statistics.
+func (e *Estimator) baseColStats(b *qgm.Box, ord int) (*catalog.ColumnStats, bool) {
 	for depth := 0; depth < 16; depth++ {
 		switch b.Kind {
 		case qgm.KindBaseTable:
 			if b.Table == nil || ord >= len(b.Table.Stats) {
-				return 0, 0, false
+				return nil, false
 			}
-			st := b.Table.Stats[ord]
-			if st.DistinctCount == 0 || st.Min.IsNull() || st.Max.IsNull() {
-				return 0, 0, false
-			}
-			if st.Min.T != datum.TInt && st.Min.T != datum.TFloat {
-				return 0, 0, false
-			}
-			return st.Min.AsFloat(), st.Max.AsFloat(), true
+			return &b.Table.Stats[ord], true
 		case qgm.KindSelect:
 			if ord >= len(b.Output) {
-				return 0, 0, false
+				return nil, false
 			}
 			cr, ok := b.Output[ord].Expr.(*qgm.ColRef)
 			if !ok {
-				return 0, 0, false
+				return nil, false
 			}
 			b, ord = cr.Q.Ranges, cr.Ord
 		case qgm.KindGroupBy:
 			if ord >= len(b.GroupBy) {
-				return 0, 0, false
+				return nil, false
 			}
 			cr, ok := b.GroupBy[ord].(*qgm.ColRef)
 			if !ok {
-				return 0, 0, false
+				return nil, false
 			}
 			b, ord = cr.Q.Ranges, cr.Ord
 		default:
-			return 0, 0, false
+			return nil, false
 		}
 	}
-	return 0, 0, false
+	return nil, false
+}
+
+// minMax traces a column back to base-table min/max statistics.
+func (e *Estimator) minMax(b *qgm.Box, ord int) (float64, float64, bool) {
+	st, ok := e.baseColStats(b, ord)
+	if !ok {
+		return 0, 0, false
+	}
+	if st.DistinctCount == 0 || st.Min.IsNull() || st.Max.IsNull() {
+		return 0, 0, false
+	}
+	if st.Min.T != datum.TInt && st.Min.T != datum.TFloat {
+		return 0, 0, false
+	}
+	return st.Min.AsFloat(), st.Max.AsFloat(), true
 }
 
 // sideNDV estimates the NDV of a comparison side.

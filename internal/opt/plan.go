@@ -33,7 +33,13 @@ type Result struct {
 // (storing it in Box.JoinOrder) and returns the estimated plan cost. It is
 // deterministic.
 func Optimize(g *qgm.Graph) Result {
-	e := NewEstimator()
+	return OptimizeEst(g, NewEstimator())
+}
+
+// OptimizeEst is Optimize with a caller-supplied estimator, so feedback
+// cardinality hints and the flat-statistics mode reach join ordering and
+// costing.
+func OptimizeEst(g *qgm.Graph, e *Estimator) Result {
 	res := Result{}
 	for _, b := range g.Reachable() {
 		if b.Kind != qgm.KindSelect {
@@ -42,14 +48,18 @@ func Optimize(g *qgm.Graph) Result {
 		considered := orderSelectBox(e, b)
 		res.PlansConsidered += considered
 	}
-	res.Cost = GraphCost(g)
+	res.Cost = GraphCostEst(g, e)
 	return res
 }
 
 // GraphCost estimates the total execution cost of the graph under the
 // current join orders.
 func GraphCost(g *qgm.Graph) float64 {
-	e := NewEstimator()
+	return GraphCostEst(g, NewEstimator())
+}
+
+// GraphCostEst is GraphCost with a caller-supplied estimator.
+func GraphCostEst(g *qgm.Graph, e *Estimator) float64 {
 	total := 0.0
 	for _, b := range g.Reachable() {
 		total += e.boxCost(b)

@@ -17,9 +17,16 @@ import (
 // bridge operators that evaluate through the classic box-at-a-time
 // evaluator, so every graph the evaluator accepts has a plan.
 func Lower(g *qgm.Graph) *Plan {
+	return LowerWith(g, opt.NewEstimator())
+}
+
+// LowerWith is Lower with a caller-supplied estimator, so operator EstRows
+// annotations reflect feedback cardinality hints when a plan is re-optimized
+// from observed actuals.
+func LowerWith(g *qgm.Graph, est *opt.Estimator) *Plan {
 	lw := &lowerer{
 		p:         &Plan{Graph: g},
-		est:       opt.NewEstimator(),
+		est:       est,
 		uses:      map[*qgm.Box]int{},
 		freeCache: map[*qgm.Box]bool{},
 		visiting:  map[*qgm.Box]bool{},

@@ -286,12 +286,19 @@ func (p *Plan) Format(stats []OpStats) string {
 		if n.Detail != "" {
 			line += " [" + n.Detail + "]"
 		}
-		if n.EstRows > 0 {
+		if n.EstRows > 0 && (stats == nil || n.ID >= len(stats)) {
 			line += fmt.Sprintf(" (est %.0f)", n.EstRows)
 		}
 		if stats != nil && n.ID < len(stats) {
 			st := stats[n.ID]
-			line += fmt.Sprintf("  rows=%d batches=%d", st.Rows, st.Batches)
+			line += fmt.Sprintf("  rows=%d", st.Rows)
+			if n.EstRows > 0 {
+				line += fmt.Sprintf(" est_rows=%.0f", n.EstRows)
+				if q := qError(n.EstRows, st.Rows); q > 0 {
+					line += fmt.Sprintf(" q=%.1f", q)
+				}
+			}
+			line += fmt.Sprintf(" batches=%d", st.Batches)
 			if st.Batches > 0 {
 				line += fmt.Sprintf(" rows_per_batch=%.1f", float64(st.Rows)/float64(st.Batches))
 			}
@@ -314,11 +321,65 @@ func (p *Plan) Format(stats []OpStats) string {
 		}
 	}
 	walk(p.Root, "", true, true)
+	if stats != nil {
+		if q := p.MaxQError(stats); q > 0 {
+			fmt.Fprintf(&sb, "max q-error: %.1fx\n", q)
+		}
+	}
 	return sb.String()
 }
 
 // String renders the tree without execution counters.
 func (p *Plan) String() string { return p.Format(nil) }
+
+// qError is the symmetric estimation error max(est/actual, actual/est), the
+// standard measure of cardinality-estimate quality; both sides are floored
+// at one row so an empty operator does not divide by zero. 1.0 is a perfect
+// estimate.
+func qError(est float64, actual int64) float64 {
+	a := float64(actual)
+	if a < 1 {
+		a = 1
+	}
+	if est < 1 {
+		est = 1
+	}
+	if est > a {
+		return est / a
+	}
+	return a / est
+}
+
+// MaxQError returns the worst per-operator q-error of one execution: the
+// plan-level signal execution feedback compares against its re-optimization
+// threshold, and the number EXPLAIN prints after the operator tree. Operators
+// that never opened (short-circuited subtrees) and operators without an
+// estimate are skipped; 0 means no operator qualified.
+func (p *Plan) MaxQError(stats []OpStats) float64 {
+	maxQ := 0.0
+	for _, n := range p.Nodes {
+		if n.ID >= len(stats) || n.EstRows <= 0 || stats[n.ID].Opens == 0 {
+			continue
+		}
+		if q := qError(n.EstRows, stats[n.ID].Rows); q > maxQ {
+			maxQ = q
+		}
+	}
+	return maxQ
+}
+
+// HasLimit reports whether the plan contains a LIMIT operator. Execution
+// feedback skips such plans: a truncated run's actual row counts describe the
+// early exit, not the operators' true cardinalities, and learning from them
+// would poison the estimates.
+func (p *Plan) HasLimit() bool {
+	for _, n := range p.Nodes {
+		if n.Kind == OpLimit {
+			return true
+		}
+	}
+	return false
+}
 
 // OpReport is one operator's flattened explain entry (depth-first order),
 // the structured counterpart of Format for tools and metrics.
