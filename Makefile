@@ -18,21 +18,21 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/resource/ ./internal/storage/ ./internal/wire/ ./internal/opt/ ./internal/catalog/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/resource/ ./internal/storage/ ./internal/wal/ ./internal/wire/ ./internal/opt/ ./internal/catalog/
 
 cover:
 	$(GO) test -cover ./...
 
 # Full verification gate: formatting, build, vet, tests, the race detector
-# over the packages with intra-query parallelism (executor, engine, and the
-# resource governor — including the engine-shutdown goroutine-leak and
-# admission-drain tests), and the bench-regression gate against the
-# recorded baseline.
+# over the packages with intra-query parallelism and durability (executor,
+# engine — including the crash-recovery suite in durable_test.go — the
+# resource governor, and the write-ahead log), and the bench-regression
+# gate against the recorded baseline.
 check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/... ./internal/storage/... ./internal/vec/... ./internal/wire/... ./internal/opt/... ./internal/catalog/...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/resource/... ./internal/storage/... ./internal/vec/... ./internal/wal/... ./internal/wire/... ./internal/opt/... ./internal/catalog/...
 	$(MAKE) bench-check
 
 # gofmt as a gate: print offending files and fail if any exist.
@@ -49,10 +49,11 @@ bench:
 # vectorized-vs-row executor pairs (ns/row), wire-protocol round-trips
 # (COM_QUERY ns/row and cached COM_STMT_EXECUTE), MVCC transaction-commit
 # latency plus DML throughput under an open streaming scan, ANALYZE and
-# histogram-probe costs plus the skewed plan-pick A/B, and Table-1
-# experiments (ns/op + allocs/op) written to $(BENCH_OUT).
-# Override per PR: make bench-json BENCH_OUT=BENCH_10.json
-BENCH_OUT ?= BENCH_9.json
+# histogram-probe costs plus the skewed plan-pick A/B, WAL commit latency
+# (per-commit fsync vs group commit) and recovery speed per MB of log, and
+# Table-1 experiments (ns/op + allocs/op) written to $(BENCH_OUT).
+# Override per PR: make bench-json BENCH_OUT=BENCH_11.json
+BENCH_OUT ?= BENCH_10.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 

@@ -17,7 +17,7 @@
 //
 //	benchjson [-out BENCH.json] [-experiments A,B,...] [-scale N]
 //	          [-baseline BENCH_1.json] [-threshold 15]
-//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/,stats/]
+//	          [-gate rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/,stats/,wal/]
 package main
 
 import (
@@ -36,6 +36,7 @@ import (
 	"starmagic/internal/bench"
 	"starmagic/internal/datum"
 	"starmagic/internal/engine"
+	"starmagic/internal/wal"
 	"starmagic/internal/wire"
 )
 
@@ -65,7 +66,7 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark data size multiplier")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty = no comparison)")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression over the baseline, in percent")
-	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/,stats/", "comma-separated name prefixes the regression gate applies to")
+	gate := flag.String("gate", "rowkey/,hashjoin_build/,prepare/,spill/,vec/,wire/,mvcc/,stats/,wal/", "comma-separated name prefixes the regression gate applies to")
 	flag.Parse()
 
 	rep := report{
@@ -179,6 +180,18 @@ func main() {
 	// uniformity assumption would have picked.
 	if err := skewedPlanBench(record); err != nil {
 		fmt.Fprintln(os.Stderr, "skewed-plan bench:", err)
+		os.Exit(1)
+	}
+
+	// WAL: per-commit fsync latency, the same workload under concurrent
+	// committers sharing group-commit fsyncs, and log-replay recovery speed
+	// normalized per MB of log.
+	recordValue := func(name string, val float64, unit string, iters int) {
+		rep.Results = append(rep.Results, result{Name: name, NsPerOp: val, Iterations: iters})
+		fmt.Printf("%-28s %12.2f %s\n", name, val, unit)
+	}
+	if err := walBench(record, recordValue); err != nil {
+		fmt.Fprintln(os.Stderr, "wal bench:", err)
 		os.Exit(1)
 	}
 
@@ -835,5 +848,109 @@ func earlyExitBench(record func(string, func(b *testing.B))) error {
 			})
 		}
 	}
+	return nil
+}
+
+// walBench measures the durability layer. `wal/commit_fsync_ns` is the
+// serial floor: one single-row transaction per iteration, each paying a
+// full fsync before it returns. `wal/commit_group_ns` drives the same workload
+// from 64 concurrent committers so the flush leader's single fsync covers
+// every transaction that buffered while the previous flush was in flight —
+// the group-commit win is the ratio between the two. `wal/recovery_ms_per_mb`
+// builds a multi-megabyte log, then times OpenDir (checkpoint load + record
+// replay + index and intern-table rebuild) normalized per MB of log.
+func walBench(record func(string, func(b *testing.B)), recordValue func(string, float64, string, int)) error {
+	commitDir, err := os.MkdirTemp("", "starmagic-walbench-commit")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(commitDir)
+	db, err := engine.OpenDir(commitDir)
+	if err != nil {
+		return err
+	}
+	db.SetCheckpointThreshold(0) // no background checkpoints mid-measurement
+	if _, err := db.Exec(`CREATE TABLE wt (id INT, v VARCHAR)`); err != nil {
+		return err
+	}
+
+	// One transaction per op, committed through the parse-free InsertRows
+	// path so the pair isolates the durability cost: the serial bench pays
+	// a full fsync per commit, the parallel one shares each fsync across
+	// every committer the flush leader covers.
+	one := []datum.Row{{datum.Int(1), datum.String("durable")}}
+	record("wal/commit_fsync_ns", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := db.InsertRows("wt", one); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	record("wal/commit_group_ns", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism((64 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := db.InsertRows("wt", one); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	if err := db.Close(); err != nil {
+		return err
+	}
+
+	// Recovery: build a ~4 MB single-segment log (checkpoints disabled, fsync
+	// deferred while loading), then time cold OpenDir+Close over it.
+	recDir, err := os.MkdirTemp("", "starmagic-walbench-recovery")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(recDir)
+	rdb, err := engine.OpenDir(recDir)
+	if err != nil {
+		return err
+	}
+	rdb.SetCheckpointThreshold(0)
+	rdb.SetDurability(wal.SyncNever)
+	if _, err := rdb.Exec(`CREATE TABLE rt (id INT, grp INT, name VARCHAR)`); err != nil {
+		return err
+	}
+	const batchRows = 5000
+	logBytes := int64(0)
+	for n := 0; logBytes < 4<<20; n += batchRows {
+		batch := make([]datum.Row, batchRows)
+		for i := range batch {
+			batch[i] = datum.Row{
+				datum.Int(int64(n + i)),
+				datum.Int(int64((n + i) % 997)),
+				datum.String(fmt.Sprintf("r-%07d", n+i)),
+			}
+		}
+		if err := rdb.InsertRows("rt", batch); err != nil {
+			return err
+		}
+		logBytes = rdb.Metrics().WAL.SegmentBytes
+	}
+	if err := rdb.Close(); err != nil {
+		return err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, err := engine.OpenDir(recDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mb := float64(logBytes) / float64(1<<20)
+	msPerMB := float64(r.T.Nanoseconds()) / float64(r.N) / 1e6 / mb
+	recordValue("wal/recovery_ms_per_mb", msPerMB, fmt.Sprintf("ms/MB (%.1f MB log)", mb), r.N)
 	return nil
 }

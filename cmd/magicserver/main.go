@@ -4,11 +4,14 @@
 //	magicserver -addr :3306 -init schema.sql -user root -password secret
 //	mysql -h 127.0.0.1 -P 3306 -u root -psecret
 //
-// The server is a thin shell over internal/wire: one in-memory database,
+// The server is a thin shell over internal/wire: one database — in-memory
+// by default, durable when -data names a directory (write-ahead logged,
+// checkpointed, recovered on start; -durability picks the fsync policy) —
 // optionally seeded from an -init SQL script, with the engine's resource
 // controls (memory governor, admission queue, parallelism) exposed as
 // flags. SIGINT/SIGTERM shut it down gracefully: the listener closes,
-// in-flight query contexts are cancelled, and connection goroutines drain.
+// in-flight query contexts are cancelled, connection goroutines drain, and
+// the write-ahead log is flushed and closed.
 package main
 
 import (
@@ -27,6 +30,8 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", "127.0.0.1:3306", "listen address")
+		dataDir       = flag.String("data", "", "data directory for a durable database (empty = in-memory)")
+		durability    = flag.String("durability", "commit", "commit fsync policy: commit, interval, or never (-data only)")
 		initFile      = flag.String("init", "", "SQL script to run at startup (DDL/INSERT)")
 		user          = flag.String("user", "", "required username (empty accepts any)")
 		password      = flag.String("password", "", "required password (empty accepts none)")
@@ -40,7 +45,28 @@ func main() {
 	)
 	flag.Parse()
 
-	db := starmagic.Open()
+	var db *starmagic.DB
+	if *dataDir != "" {
+		var err error
+		db, err = starmagic.OpenDir(*dataDir)
+		if err != nil {
+			log.Fatalf("magicserver: %v", err)
+		}
+		switch *durability {
+		case "commit":
+			db.SetDurability(starmagic.SyncCommit)
+		case "interval":
+			db.SetDurability(starmagic.SyncInterval)
+		case "never":
+			db.SetDurability(starmagic.SyncNever)
+		default:
+			log.Fatalf("magicserver: unknown -durability %q (want commit, interval, or never)", *durability)
+		}
+		d, n := db.RecoveryStats()
+		log.Printf("magicserver: data dir %s recovered (%d log records in %s)", *dataDir, n, d)
+	} else {
+		db = starmagic.Open()
+	}
 	if *initFile != "" {
 		script, err := os.ReadFile(*initFile)
 		if err != nil {
@@ -75,7 +101,9 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("magicserver: %v", err)
 	}
-	db.Close()
+	if err := db.Close(); err != nil {
+		log.Printf("magicserver: close: %v", err)
+	}
 	if *metricsDump {
 		out, _ := json.MarshalIndent(map[string]any{
 			"wire":   srv.Metrics(),

@@ -17,6 +17,7 @@
 //	                                      equi-depth histograms
 //	.feedback on|off|stats                toggle or inspect execution-
 //	                                      feedback re-optimization
+//	.checkpoint                           checkpoint a durable database now
 //	.tables                               list tables and views
 //	.help                                 this text
 //
@@ -25,12 +26,18 @@
 // Usage:
 //
 //	magicsql [script.sql ...]        run scripts, then read from stdin
+//	magicsql -data ./mydb            open (or create) a durable database
 //	echo "SELECT 1" | magicsql       pipe statements
+//
+// With -data, the database lives in the named directory: committed writes
+// are write-ahead logged and the shell recovers the full state on the next
+// start. Without it, everything is in memory and gone at exit.
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -44,9 +51,29 @@ import (
 )
 
 func main() {
-	db := engine.New()
+	dataDir := flag.String("data", "", "data directory for a durable database (empty = in-memory)")
+	flag.Parse()
+	var db *engine.Database
+	if *dataDir != "" {
+		var err error
+		db, err = engine.OpenDir(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "magicsql:", err)
+			os.Exit(1)
+		}
+		if d, n := db.RecoveryStats(); n > 0 {
+			fmt.Fprintf(os.Stderr, "magicsql: recovered %s (%d log records in %v)\n", *dataDir, n, d)
+		}
+	} else {
+		db = engine.New()
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "magicsql: close:", err)
+		}
+	}()
 	sh := &shell{db: db, strategy: engine.EMST, out: os.Stdout}
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		script, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "magicsql:", err)
@@ -218,6 +245,7 @@ func (sh *shell) dotCommand(line string) {
 		fmt.Fprintln(sh.out, ".admission [N [queue]|off]         — cap concurrent query executions")
 		fmt.Fprintln(sh.out, ".stats <table> [column]            — per-column statistics and histograms")
 		fmt.Fprintln(sh.out, ".feedback on|off|stats             — toggle or inspect execution feedback")
+		fmt.Fprintln(sh.out, ".checkpoint                        — checkpoint a durable database now")
 		fmt.Fprintln(sh.out, ".tables                            — list tables and views")
 	case ".strategy":
 		if len(fields) < 2 {
@@ -237,6 +265,18 @@ func (sh *shell) dotCommand(line string) {
 	case ".plan":
 		sh.showPlan = len(fields) > 1 && fields[1] == "on"
 		fmt.Fprintf(sh.out, "plan: %v\n", sh.showPlan)
+	case ".checkpoint":
+		if !sh.db.Durable() {
+			fmt.Fprintln(sh.out, "in-memory database (start with -data <dir> for durability)")
+			return
+		}
+		start := time.Now()
+		if err := sh.db.Checkpoint(); err != nil {
+			fmt.Fprintln(sh.out, "checkpoint failed:", err)
+			return
+		}
+		m := sh.db.Metrics()
+		fmt.Fprintf(sh.out, "checkpoint: %d bytes in %v\n", m.WAL.CheckpointBytes, time.Since(start))
 	case ".tables":
 		for _, t := range sh.db.Catalog().Tables() {
 			fmt.Fprintf(sh.out, "table %s (%d rows)\n", t.Name, t.RowCount)

@@ -1,0 +1,162 @@
+// Command walbench regenerates the durability tables in EXPERIMENTS.md:
+// group-commit throughput (concurrent single-row transactions, fsync per
+// flush group) and cold-start recovery time (checkpoint-free log replay),
+// each at a set of row counts.
+//
+// Usage:
+//
+//	walbench [-rows 10000,100000,1000000] [-writers 64] [-dir ""]
+//
+// Every run uses fresh temporary directories (removed afterwards) unless
+// -dir names a parent to create them under.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starmagic/internal/datum"
+	"starmagic/internal/engine"
+	"starmagic/internal/wal"
+)
+
+func main() {
+	rowsFlag := flag.String("rows", "10000,100000,1000000", "comma-separated row counts")
+	writers := flag.Int("writers", 64, "concurrent committers in the group-commit run")
+	parent := flag.String("dir", "", "parent directory for data dirs (empty = system temp)")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*rowsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "walbench: bad -rows entry %q\n", s)
+			os.Exit(1)
+		}
+		sizes = append(sizes, n)
+	}
+
+	fmt.Printf("group commit: %d writers, single-row transactions, SyncCommit\n", *writers)
+	fmt.Printf("%10s %12s %12s %10s %12s\n", "rows", "wall", "commits/s", "fsyncs", "mean batch")
+	for _, n := range sizes {
+		if err := groupCommitRun(n, *writers, *parent); err != nil {
+			fmt.Fprintln(os.Stderr, "walbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("\nrecovery: batch-loaded log (no checkpoint), cold OpenDir\n")
+	fmt.Printf("%10s %10s %12s %12s %12s\n", "rows", "log MB", "recovery", "ms/MB", "records")
+	for _, n := range sizes {
+		if err := recoveryRun(n, *parent); err != nil {
+			fmt.Fprintln(os.Stderr, "walbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func groupCommitRun(n, writers int, parent string) error {
+	dir, err := os.MkdirTemp(parent, "walbench-commit")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.OpenDir(dir)
+	if err != nil {
+		return err
+	}
+	db.SetCheckpointThreshold(0)
+	if _, err := db.Exec(`CREATE TABLE wt (id INT, v VARCHAR)`); err != nil {
+		return err
+	}
+	row := []datum.Row{{datum.Int(1), datum.String("durable")}}
+
+	var left atomic.Int64
+	left.Store(int64(n))
+	errc := make(chan error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for left.Add(-1) >= 0 {
+				if err := db.InsertRows("wt", row); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	w := db.Metrics().WAL
+	batch := float64(0)
+	if w.Fsyncs > 0 {
+		batch = float64(w.Synced) / float64(w.Fsyncs)
+	}
+	fmt.Printf("%10d %12s %12.0f %10d %12.1f\n",
+		n, wall.Round(time.Millisecond), float64(n)/wall.Seconds(), w.Fsyncs, batch)
+	return db.Close()
+}
+
+func recoveryRun(n int, parent string) error {
+	dir, err := os.MkdirTemp(parent, "walbench-recovery")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.OpenDir(dir)
+	if err != nil {
+		return err
+	}
+	db.SetCheckpointThreshold(0)
+	db.SetDurability(wal.SyncNever)
+	if _, err := db.Exec(`CREATE TABLE rt (id INT, grp INT, name VARCHAR)`); err != nil {
+		return err
+	}
+	const batchRows = 5000
+	for done := 0; done < n; {
+		c := batchRows
+		if n-done < c {
+			c = n - done
+		}
+		batch := make([]datum.Row, c)
+		for i := range batch {
+			batch[i] = datum.Row{
+				datum.Int(int64(done + i)),
+				datum.Int(int64((done + i) % 997)),
+				datum.String(fmt.Sprintf("r-%07d", done+i)),
+			}
+		}
+		if err := db.InsertRows("rt", batch); err != nil {
+			return err
+		}
+		done += c
+	}
+	logBytes := db.Metrics().WAL.SegmentBytes
+	if err := db.Close(); err != nil {
+		return err
+	}
+
+	db, err = engine.OpenDir(dir)
+	if err != nil {
+		return err
+	}
+	d, records := db.RecoveryStats()
+	mb := float64(logBytes) / float64(1<<20)
+	fmt.Printf("%10d %10.1f %12s %12.1f %12d\n",
+		n, mb, d.Round(time.Millisecond), float64(d.Milliseconds())/mb, records)
+	return db.Close()
+}

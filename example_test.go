@@ -3,6 +3,7 @@ package starmagic_test
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"starmagic"
 )
@@ -85,4 +86,46 @@ func ExampleDB_ExplainContext() {
 	// used EMST: true
 	// first prepare: cache miss
 	// second prepare: cache hit
+}
+
+// ExampleOpen_persistent opens a durable database in a data directory:
+// committed writes go through a write-ahead log with group commit, and
+// reopening the same directory recovers exactly the committed state — the
+// crash-safe counterpart of the in-memory Open.
+func ExampleOpen_persistent() {
+	dir, err := os.MkdirTemp("", "starmagic-data")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := starmagic.OpenDir(dir)
+	if err != nil {
+		panic(err)
+	}
+	db.MustExec(`
+		CREATE TABLE parts (id INT, name VARCHAR, PRIMARY KEY (id));
+		INSERT INTO parts VALUES (1, 'bolt'), (2, 'nut'), (3, 'washer');
+		DELETE FROM parts WHERE name = 'washer';`)
+	if err := db.Close(); err != nil {
+		panic(err)
+	}
+
+	// A later process opening the same directory sees the committed state:
+	// the write-ahead log replays on open, rebuilding rows and indexes.
+	db, err = starmagic.OpenDir(dir)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	res, err := db.QueryContext(context.Background(), `SELECT id, name FROM parts ORDER BY id`)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s %s\n", row[0].Format(), row[1].Format())
+	}
+	// Output:
+	// 1 bolt
+	// 2 nut
 }

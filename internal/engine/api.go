@@ -520,13 +520,15 @@ func (p *Prepared) Explain() *ExplainInfo { return p.explain }
 
 // Metrics returns a snapshot of database-wide activity: plan and query
 // volume, EMST cost-comparison outcomes, cumulative executor counters,
-// rewrite-rule fire counts, and the engine-wide string-intern table.
+// rewrite-rule fire counts, the engine-wide string-intern table, and — for
+// durable databases — write-ahead-log, checkpoint, and recovery counters.
 func (db *Database) Metrics() obs.Metrics {
 	m := db.metrics.Snapshot()
 	is := db.store.Intern().Stats()
 	m.Intern = obs.InternStats{
 		Strings: is.Strings, Bytes: is.Bytes, Hits: is.Hits, Misses: is.Misses,
 	}
+	m.WAL = db.walStats()
 	return m
 }
 

@@ -26,6 +26,7 @@ import (
 	"starmagic/internal/semant"
 	"starmagic/internal/sql"
 	"starmagic/internal/storage"
+	"starmagic/internal/wal"
 )
 
 // Strategy selects how a query is optimized and executed.
@@ -103,6 +104,20 @@ type Database struct {
 	garbage    atomic.Int64
 	vacuumBusy atomic.Bool
 	vacuumWG   sync.WaitGroup
+	// wal is the write-ahead log of a durable database (nil when opened
+	// in-memory with New; see OpenDir in durable.go). ckptMu serializes
+	// checkpoints; ckptBusy/ckptWG schedule the background size-triggered
+	// checkpoint the same way vacuumBusy/vacuumWG schedule vacuum;
+	// ckptThreshold is the segment size that arms the trigger.
+	wal           *wal.Log
+	ckptMu        sync.Mutex
+	ckptBusy      atomic.Bool
+	ckptWG        sync.WaitGroup
+	ckptThreshold atomic.Int64
+	// recoveryNanos/recoveryRecords describe what OpenDir replayed (fixed
+	// after open; surfaced via Metrics and RecoveryStats).
+	recoveryNanos   int64
+	recoveryRecords int64
 	// plans caches prepared plans by normalized SQL + strategy (see cache.go).
 	plans *planCache
 	// parallelism is handed to each query's evaluator (see SetParallelism).
@@ -227,11 +242,22 @@ func (db *Database) ResourceStats() resource.GovernorStats { return db.gov.Stats
 // executions fail with resource.ErrClosed, and Close blocks until admitted
 // executions drain (only executions that went through admission control are
 // tracked, so that part is a no-op unless SetAdmission configured a cap)
-// and until any in-flight background vacuum pass finishes. The database's
-// in-memory catalog and storage remain readable.
-func (db *Database) Close() {
+// and until any in-flight background vacuum or checkpoint pass finishes.
+// On a durable database (OpenDir) the write-ahead log is then flushed,
+// fsynced, and closed, so a clean shutdown loses nothing under any
+// durability policy; further commits fail with wal.ErrClosed. The in-memory
+// catalog and storage remain readable.
+func (db *Database) Close() error {
 	db.gov.Close()
 	db.vacuumWG.Wait()
+	db.ckptWG.Wait()
+	if db.wal == nil {
+		return nil
+	}
+	// Durable databases also flush and fsync the write-ahead log before the
+	// segment file closes, so even under SyncNever nothing buffered is lost
+	// to a clean shutdown.
+	return db.wal.Close()
 }
 
 // Exec runs a script of DDL/DML statements separated by semicolons and
@@ -266,7 +292,14 @@ func (db *Database) execStmt(st sql.Statement) (int64, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execDDL(st)
+	n, err := db.execDDL(st)
+	if err == nil {
+		// Schema changes are logged as SQL text and made durable before the
+		// statement returns, whatever the commit fsync policy: DDL is rare
+		// and losing one desynchronizes every later record on its table.
+		err = db.logDDL(st)
+	}
+	return n, err
 }
 
 // execDDL handles schema statements under the database write lock.

@@ -90,6 +90,16 @@ func (t *Txn) Commit() error {
 			deletes++
 		}
 	}
+	// Log the commit while still holding the commit mutex: every stamp is
+	// final, and the record lands in the write-ahead log in commit-timestamp
+	// order. This only buffers — the fsync wait happens after the mutex is
+	// released, so the disk is never inside the commit critical section and
+	// concurrent committers share one group-commit fsync.
+	var walSeq uint64
+	var walErr error
+	if db.wal != nil {
+		walSeq, walErr = db.logCommitLocked(ts, t.writes)
+	}
 	db.commitTS.Store(ts)
 	db.commitMu.Unlock()
 	db.statsDirty.Store(true)
@@ -97,6 +107,17 @@ func (t *Txn) Commit() error {
 	if deletes > 0 {
 		db.garbage.Add(deletes)
 		db.maybeVacuum()
+	}
+	if db.wal != nil {
+		if walErr == nil {
+			walErr = db.wal.WaitDurable(walSeq)
+		}
+		db.maybeCheckpoint()
+		if walErr != nil {
+			// The commit is visible in memory but its durability is not
+			// guaranteed; surface that so the caller can stop trusting acks.
+			return fmt.Errorf("commit applied but not durable: %w", walErr)
+		}
 	}
 	return nil
 }

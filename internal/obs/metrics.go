@@ -119,6 +119,37 @@ type InternStats struct {
 	Misses int64 `json:"misses"`
 }
 
+// WALStats is the durability snapshot of a disk-backed database: write-ahead
+// log activity, checkpoint work, and what recovery-on-open replayed (the
+// dependency-free mirror of internal/wal's Stats — the engine copies field
+// by field; all zero for in-memory databases).
+type WALStats struct {
+	// Appends/AppendedBytes count framed log records buffered for write.
+	Appends       int64 `json:"appends"`
+	AppendedBytes int64 `json:"appended_bytes"`
+	// Fsyncs counts segment fsync calls; Synced the commit records those
+	// fsyncs covered. GroupCommitMean = Synced/Fsyncs is the mean
+	// group-commit batch size (1.0 means no batching happened).
+	Fsyncs          int64   `json:"fsyncs"`
+	Synced          int64   `json:"synced"`
+	GroupCommitMean float64 `json:"group_commit_mean"`
+	// Rotations counts log-segment rollovers (one per checkpoint attempt);
+	// Checkpoints committed checkpoint images, with the size and wall-clock
+	// of the most recent one.
+	Rotations       int64 `json:"rotations"`
+	Checkpoints     int64 `json:"checkpoints"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	CheckpointNanos int64 `json:"checkpoint_nanos"`
+	// SegmentBytes is the current segment's size — the distance to the next
+	// size-triggered checkpoint.
+	SegmentBytes int64 `json:"segment_bytes"`
+	// RecoveryNanos/RecoveryRecords describe the recovery OpenDir performed:
+	// wall-clock and log records (commits + DDL) replayed past the
+	// checkpoint image.
+	RecoveryNanos   int64 `json:"recovery_nanos"`
+	RecoveryRecords int64 `json:"recovery_records"`
+}
+
 // Metrics is a point-in-time snapshot of engine activity since Open (or the
 // last Reset): optimization volume and plan-choice outcomes of the paper's
 // §3.2 cost comparison (per prepared plan), execution volume and cumulative
@@ -197,6 +228,10 @@ type Metrics struct {
 	// Intern is the engine-wide string-intern table at snapshot time (filled
 	// by the engine from storage, not accumulated through the sink).
 	Intern InternStats `json:"intern"`
+	// WAL is the durability snapshot at snapshot time (filled by the engine
+	// from the write-ahead log, not accumulated through the sink; zero for
+	// in-memory databases).
+	WAL WALStats `json:"wal"`
 }
 
 // MetricsSink accumulates samples; Snapshot returns an independent Metrics

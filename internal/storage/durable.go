@@ -1,0 +1,64 @@
+// Durability hooks: the accessors the engine's WAL integration needs to
+// log commits, stream checkpoint images, and rebuild versions at recovery.
+// They follow the same locking rules as the rest of the MVCC layer — stamp
+// loads are atomic, captures pin the append-only backing arrays.
+package storage
+
+import (
+	"sync/atomic"
+
+	"starmagic/internal/datum"
+)
+
+// VersionData returns the stored row and current begin stamp of the version
+// at pos. The commit path logs the stored row (post type-widening), so
+// recovery re-appends byte-identical values.
+func (r *Relation) VersionData(pos int) (datum.Row, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rows[pos], atomic.LoadUint64(&r.begins[pos])
+}
+
+// DumpVisible streams the versions visible to snapshot s, with their begin
+// stamps, in position order. The backing arrays are captured under the read
+// lock and iterated outside it, so a checkpoint can stream a large relation
+// to disk without blocking writers; versions committed after the capture
+// are invisible to s and versions s can see are never vacuumed while the
+// engine holds s registered, so the dump is exact.
+func (r *Relation) DumpVisible(s Snap, fn func(row datum.Row, begin uint64) error) error {
+	c := r.capture(s, false)
+	for i := 0; i < c.n; i++ {
+		b := atomic.LoadUint64(&c.begins[i])
+		e := atomic.LoadUint64(&c.ends[i])
+		if !s.Visible(b, e) {
+			continue
+		}
+		if err := fn(c.rows[i], b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverVersions iterates every stored version with its stamps. Recovery
+// uses it to build the (begin stamp, row) → position map that resolves
+// logged deletes; it runs single-threaded before the database is published,
+// but takes the read lock anyway to keep the -race picture clean.
+func (r *Relation) RecoverVersions(fn func(pos int, row datum.Row, begin, end uint64)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for pos, row := range r.rows {
+		fn(pos, row, atomic.LoadUint64(&r.begins[pos]), atomic.LoadUint64(&r.ends[pos]))
+	}
+}
+
+// RecoverSetEnd re-applies a committed delete during recovery: the version
+// at pos gets end stamp ts, and the dirty count rises so visibility checks
+// and vacuum account for it. Unlike FinishDelete it does not touch the
+// in-flight count — recovered deletes were committed, never staged.
+func (r *Relation) RecoverSetEnd(pos int, ts uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	atomic.StoreUint64(&r.ends[pos], ts)
+	r.dirty.Add(1)
+}

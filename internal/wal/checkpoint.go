@@ -1,0 +1,347 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"starmagic/internal/datum"
+)
+
+// Checkpoint file layout: an 8-byte magic, the checkpoint's commit
+// timestamp, then tagged sections — 'T' opens a table (metadata), 'R' rows
+// belong to the last opened table (begin stamp + lossless row encoding),
+// 'V' is a view definition — terminated by 'Z' and a CRC32-C of everything
+// before it. The image is written to a temp file, fsynced, and renamed;
+// the manifest update that follows is the commit point.
+const ckptMagic = "SMWCKPT1"
+
+const (
+	secTable = 'T'
+	secRow   = 'R'
+	secView  = 'V'
+	secEnd   = 'Z'
+)
+
+// CheckpointWriter streams one checkpoint image. Produce it with
+// Log.BeginCheckpoint, feed it every table and view, then Commit (or Abort
+// to discard). Not safe for concurrent use.
+type CheckpointWriter struct {
+	l       *Log
+	gen     uint64
+	tmp     string
+	f       *os.File
+	bw      *bufio.Writer
+	crc     uint32
+	n       int64
+	start   time.Time
+	scratch []byte
+	err     error
+}
+
+// BeginCheckpoint starts writing the checkpoint image for generation gen
+// (the value a preceding Rotate returned) at commit timestamp ts.
+func (l *Log) BeginCheckpoint(gen, ts uint64) (*CheckpointWriter, error) {
+	tmp := checkpointPath(l.dir, gen) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: begin checkpoint: %w", err)
+	}
+	cw := &CheckpointWriter{l: l, gen: gen, tmp: tmp, f: f, bw: bufio.NewWriterSize(f, 1<<16), start: time.Now()}
+	cw.scratch = append(cw.scratch, ckptMagic...)
+	cw.scratch = binary.AppendUvarint(cw.scratch, ts)
+	cw.flushScratch()
+	return cw, nil
+}
+
+func (cw *CheckpointWriter) flushScratch() {
+	if cw.err == nil {
+		cw.crc = crc32.Update(cw.crc, crcTable, cw.scratch)
+		if _, err := cw.bw.Write(cw.scratch); err != nil {
+			cw.err = fmt.Errorf("wal: write checkpoint: %w", err)
+		}
+		cw.n += int64(len(cw.scratch))
+	}
+	cw.scratch = cw.scratch[:0]
+}
+
+// Table opens a table section; subsequent Row calls belong to it.
+func (cw *CheckpointWriter) Table(m TableMeta) error {
+	b := cw.scratch
+	b = append(b, secTable)
+	b = appendString(b, m.Name)
+	b = binary.AppendUvarint(b, uint64(len(m.Columns)))
+	for _, c := range m.Columns {
+		b = appendString(b, c.Name)
+		b = append(b, byte(c.Type))
+	}
+	b = appendOrdSets(b, m.Keys)
+	b = appendOrdSets(b, m.Indexes)
+	cw.scratch = b
+	cw.flushScratch()
+	return cw.err
+}
+
+// Row adds one visible row version, with its begin stamp, to the table
+// opened by the last Table call. Its signature matches the row callback of
+// the engine's relation dump, so it can be passed directly.
+func (cw *CheckpointWriter) Row(row datum.Row, begin uint64) error {
+	b := append(cw.scratch, secRow)
+	b = binary.AppendUvarint(b, begin)
+	cw.scratch = datum.AppendEncodedRow(b, row)
+	cw.flushScratch()
+	return cw.err
+}
+
+// View adds one view definition.
+func (cw *CheckpointWriter) View(v ViewMeta) error {
+	b := append(cw.scratch, secView)
+	b = appendString(b, v.Name)
+	b = binary.AppendUvarint(b, uint64(len(v.Columns)))
+	for _, c := range v.Columns {
+		b = appendString(b, c)
+	}
+	cw.scratch = appendString(b, v.SQL)
+	cw.flushScratch()
+	return cw.err
+}
+
+// Commit finishes the image and makes it the recovery baseline: end marker
+// and CRC, fsync, rename into place, manifest update, then deletion of the
+// segments and checkpoint the new image supersedes. After Commit returns
+// nil, recovery starts from this checkpoint.
+func (cw *CheckpointWriter) Commit() error {
+	cw.scratch = append(cw.scratch, secEnd)
+	cw.flushScratch()
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if cw.err == nil {
+		if _, err := cw.bw.Write(tail[:]); err != nil {
+			cw.err = fmt.Errorf("wal: write checkpoint: %w", err)
+		}
+		cw.n += 4
+	}
+	if cw.err == nil {
+		if err := cw.bw.Flush(); err != nil {
+			cw.err = fmt.Errorf("wal: write checkpoint: %w", err)
+		}
+	}
+	if cw.err == nil {
+		if err := cw.f.Sync(); err != nil {
+			cw.err = fmt.Errorf("wal: fsync checkpoint: %w", err)
+		}
+	}
+	if cerr := cw.f.Close(); cw.err == nil && cerr != nil {
+		cw.err = fmt.Errorf("wal: close checkpoint: %w", cerr)
+	}
+	if cw.err != nil {
+		os.Remove(cw.tmp)
+		return cw.err
+	}
+	if err := os.Rename(cw.tmp, checkpointPath(cw.l.dir, cw.gen)); err != nil {
+		return fmt.Errorf("wal: commit checkpoint: %w", err)
+	}
+	if err := syncDir(cw.l.dir); err != nil {
+		return err
+	}
+	if err := writeManifest(cw.l.dir, cw.gen); err != nil {
+		return err
+	}
+	// The manifest now points past them: older segments and the previous
+	// checkpoint are dead weight (failures here are retried by the next
+	// checkpoint's cleanup, and by cleanDir at open).
+	_ = cleanDir(cw.l.dir, cw.gen)
+	cw.l.checkpoints.Add(1)
+	cw.l.ckptBytes.Store(cw.n)
+	cw.l.ckptNanos.Store(time.Since(cw.start).Nanoseconds())
+	return nil
+}
+
+// Abort discards the partially-written image.
+func (cw *CheckpointWriter) Abort() {
+	cw.f.Close()
+	os.Remove(cw.tmp)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendOrdSets(b []byte, sets [][]int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(sets)))
+	for _, set := range sets {
+		b = binary.AppendUvarint(b, uint64(len(set)))
+		for _, ord := range set {
+			b = binary.AppendUvarint(b, uint64(ord))
+		}
+	}
+	return b
+}
+
+// readCheckpoint loads a committed checkpoint image and streams it into h.
+// The CRC is verified over the whole file before anything is delivered.
+func readCheckpoint(path string, h Handler) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < len(ckptMagic)+5 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return fmt.Errorf("wal: %s: not a checkpoint image", path)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("wal: %s: checkpoint CRC mismatch", path)
+	}
+	if body[len(body)-1] != secEnd {
+		return fmt.Errorf("wal: %s: checkpoint missing end marker", path)
+	}
+	rest := body[len(ckptMagic):]
+	ts, rest, err := takeUvarint(rest)
+	if err != nil {
+		return err
+	}
+	inTable := false
+	for {
+		if len(rest) == 0 {
+			return fmt.Errorf("wal: %s: truncated checkpoint", path)
+		}
+		tag := rest[0]
+		rest = rest[1:]
+		switch tag {
+		case secEnd:
+			if len(rest) != 0 {
+				return fmt.Errorf("wal: %s: data after end marker", path)
+			}
+			if h != nil {
+				return h.CheckpointDone(ts)
+			}
+			return nil
+		case secTable:
+			var m TableMeta
+			if m.Name, rest, err = takeString(rest); err != nil {
+				return err
+			}
+			var ncols uint64
+			if ncols, rest, err = takeUvarint(rest); err != nil {
+				return err
+			}
+			if ncols > uint64(len(rest)) {
+				return fmt.Errorf("wal: %s: corrupt table section", path)
+			}
+			m.Columns = make([]ColumnMeta, ncols)
+			for i := range m.Columns {
+				if m.Columns[i].Name, rest, err = takeString(rest); err != nil {
+					return err
+				}
+				if len(rest) == 0 {
+					return fmt.Errorf("wal: %s: truncated column type", path)
+				}
+				m.Columns[i].Type = datum.Type(rest[0])
+				rest = rest[1:]
+			}
+			if m.Keys, rest, err = takeOrdSets(rest); err != nil {
+				return err
+			}
+			if m.Indexes, rest, err = takeOrdSets(rest); err != nil {
+				return err
+			}
+			inTable = true
+			if h != nil {
+				if err := h.CheckpointTable(m); err != nil {
+					return err
+				}
+			}
+		case secRow:
+			if !inTable {
+				return fmt.Errorf("wal: %s: row outside a table section", path)
+			}
+			var begin uint64
+			if begin, rest, err = takeUvarint(rest); err != nil {
+				return err
+			}
+			var row datum.Row
+			if row, rest, err = datum.DecodeRow(rest); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			if h != nil {
+				if err := h.CheckpointRow(row, begin); err != nil {
+					return err
+				}
+			}
+		case secView:
+			inTable = false
+			var v ViewMeta
+			if v.Name, rest, err = takeString(rest); err != nil {
+				return err
+			}
+			var ncols uint64
+			if ncols, rest, err = takeUvarint(rest); err != nil {
+				return err
+			}
+			if ncols > uint64(len(rest)) {
+				return fmt.Errorf("wal: %s: corrupt view section", path)
+			}
+			v.Columns = make([]string, ncols)
+			for i := range v.Columns {
+				if v.Columns[i], rest, err = takeString(rest); err != nil {
+					return err
+				}
+			}
+			if v.SQL, rest, err = takeString(rest); err != nil {
+				return err
+			}
+			if h != nil {
+				if err := h.CheckpointView(v); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("wal: %s: unknown checkpoint section %q", path, tag)
+		}
+	}
+}
+
+func takeString(buf []byte) (string, []byte, error) {
+	n, rest, err := takeUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("wal: truncated string")
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+func takeOrdSets(buf []byte) ([][]int, []byte, error) {
+	n, rest, err := takeUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("wal: corrupt ordinal sets")
+	}
+	var sets [][]int
+	for i := uint64(0); i < n; i++ {
+		var sz uint64
+		if sz, rest, err = takeUvarint(rest); err != nil {
+			return nil, nil, err
+		}
+		if sz > uint64(len(rest)) {
+			return nil, nil, fmt.Errorf("wal: corrupt ordinal set")
+		}
+		set := make([]int, sz)
+		for j := range set {
+			var v uint64
+			if v, rest, err = takeUvarint(rest); err != nil {
+				return nil, nil, err
+			}
+			set[j] = int(v)
+		}
+		sets = append(sets, set)
+	}
+	return sets, rest, nil
+}

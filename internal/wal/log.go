@@ -1,0 +1,363 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when commits are fsynced. All three policies write
+// records to the OS before the commit returns, so every acknowledged commit
+// survives a crash of the database process (kill -9); the policies differ
+// in what survives an operating-system crash or power loss.
+type SyncPolicy int32
+
+// Fsync policies, strongest first.
+const (
+	// SyncCommit (the default) fsyncs before a commit is acknowledged,
+	// batched across concurrent committers (group commit). Acknowledged
+	// commits survive OS crash and power loss.
+	SyncCommit SyncPolicy = iota
+	// SyncInterval fsyncs on a background interval (Options.Interval). An
+	// OS crash can lose up to one interval of acknowledged commits.
+	SyncInterval
+	// SyncNever leaves fsync to segment rotation, checkpoints, and Close.
+	// An OS crash can lose any commit since the last of those.
+	SyncNever
+)
+
+// ErrClosed reports an append or sync on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+const defaultSyncInterval = 10 * time.Millisecond
+
+// Stats is a point-in-time snapshot of log activity counters.
+type Stats struct {
+	// Appends and AppendedBytes count framed records buffered for write.
+	Appends       int64
+	AppendedBytes int64
+	// Fsyncs counts fsync calls on segment files; Synced counts the
+	// records those fsyncs made durable, so Synced/Fsyncs is the mean
+	// group-commit batch size.
+	Fsyncs int64
+	Synced int64
+	// Rotations counts segment rollovers (one per checkpoint).
+	Rotations int64
+	// Checkpoints, CheckpointBytes, and CheckpointNanos cover committed
+	// checkpoint images (bytes and nanos are of the most recent one).
+	Checkpoints     int64
+	CheckpointBytes int64
+	CheckpointNanos int64
+	// SegmentBytes is the current segment's size including unflushed
+	// buffer; Gen is its generation.
+	SegmentBytes int64
+	Gen          uint64
+}
+
+// Log is an open write-ahead log. Appends buffer under a short mutex;
+// WaitDurable runs the group-commit protocol (see the package comment).
+// All methods are safe for concurrent use.
+type Log struct {
+	dir string
+
+	// mu guards the append state: current segment file, buffer, sequence.
+	mu       sync.Mutex
+	f        *os.File
+	gen      uint64
+	buf      []byte
+	spare    []byte // recycled flush buffer
+	seq      uint64 // sequence number of the last appended record
+	segBytes int64
+
+	// flushMu guards the group-commit state. flushing marks the current
+	// flush leader; written/durable are the highest record sequences
+	// written to the OS and fsynced; err is sticky (a log with a failed
+	// write cannot promise durability for anything after it).
+	flushMu  sync.Mutex
+	flushC   *sync.Cond
+	flushing bool
+	written  uint64
+	durable  uint64
+	err      error
+
+	policy   atomic.Int32
+	interval atomic.Int64 // SyncInterval period, nanoseconds
+
+	stopC    chan struct{}
+	stopOnce sync.Once
+	tickWG   sync.WaitGroup
+
+	appends     atomic.Int64
+	bytes       atomic.Int64
+	fsyncs      atomic.Int64
+	synced      atomic.Int64
+	rotations   atomic.Int64
+	checkpoints atomic.Int64
+	ckptBytes   atomic.Int64
+	ckptNanos   atomic.Int64
+}
+
+// SetPolicy changes the fsync policy for subsequent commits.
+func (l *Log) SetPolicy(p SyncPolicy) { l.policy.Store(int32(p)) }
+
+// Policy returns the current fsync policy.
+func (l *Log) Policy() SyncPolicy { return SyncPolicy(l.policy.Load()) }
+
+// Stats returns a snapshot of the log's activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	seg, gen := l.segBytes, l.gen
+	l.mu.Unlock()
+	return Stats{
+		Appends:         l.appends.Load(),
+		AppendedBytes:   l.bytes.Load(),
+		Fsyncs:          l.fsyncs.Load(),
+		Synced:          l.synced.Load(),
+		Rotations:       l.rotations.Load(),
+		Checkpoints:     l.checkpoints.Load(),
+		CheckpointBytes: l.ckptBytes.Load(),
+		CheckpointNanos: l.ckptNanos.Load(),
+		SegmentBytes:    seg,
+		Gen:             gen,
+	}
+}
+
+// SegmentBytes returns the current segment's size (the engine's checkpoint
+// trigger watches it).
+func (l *Log) SegmentBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segBytes
+}
+
+// AppendCommit buffers one committed transaction and returns its sequence
+// number for WaitDurable. The engine calls it under the commit mutex after
+// stamping the write set, so record order equals commit-timestamp order.
+func (l *Log) AppendCommit(ts uint64, ops []Op) (uint64, error) {
+	return l.append(func(b []byte) []byte { return appendCommitPayload(b, ts, ops) })
+}
+
+// AppendDDL buffers one schema statement and returns its sequence number
+// for WaitDurable.
+func (l *Log) AppendDDL(sqlText string) (uint64, error) {
+	return l.append(func(b []byte) []byte { return appendDDLPayload(b, sqlText) })
+}
+
+func (l *Log) append(encode func([]byte) []byte) (uint64, error) {
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	before := len(l.buf)
+	l.buf = appendRecord(l.buf, encode)
+	l.seq++
+	seq := l.seq
+	n := int64(len(l.buf) - before)
+	l.segBytes += n
+	l.mu.Unlock()
+	l.appends.Add(1)
+	l.bytes.Add(n)
+	return seq, nil
+}
+
+// WaitDurable blocks until the record is durable under the current policy:
+// fsynced under SyncCommit, written to the OS under SyncInterval and
+// SyncNever. The first waiter becomes the flush leader and covers every
+// record buffered so far in one write (and, under SyncCommit, one fsync);
+// later waiters sleep until a leader's pass covers them.
+func (l *Log) WaitDurable(seq uint64) error {
+	return l.wait(seq, l.Policy() == SyncCommit)
+}
+
+// Sync forces everything appended so far to disk, regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return l.wait(seq, true)
+}
+
+func (l *Log) wait(seq uint64, fsync bool) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if fsync {
+			if l.durable >= seq {
+				return nil
+			}
+		} else if l.written >= seq {
+			return nil
+		}
+		if l.flushing {
+			l.flushC.Wait()
+			continue
+		}
+		l.leadFlushLocked(fsync)
+	}
+}
+
+// leadFlushLocked runs one flush pass as the leader. Called with flushMu
+// held and flushing false; flushMu is released around the file I/O so
+// followers can queue and appenders are never blocked on the disk.
+func (l *Log) leadFlushLocked(fsync bool) {
+	l.flushing = true
+	l.flushMu.Unlock()
+	if fsync {
+		// Gather phase: committers woken by the previous fsync need a
+		// moment to append their next records; yielding the scheduler
+		// twice lets every runnable committer reach its append before
+		// this pass snapshots the buffer, so one fsync covers them all.
+		// A lone committer loses nothing — with no other runnable
+		// goroutines Gosched returns immediately.
+		runtime.Gosched()
+		runtime.Gosched()
+	}
+	covered, ferr := l.flushFile(fsync)
+	l.flushMu.Lock()
+	l.flushing = false
+	l.settleLocked(covered, fsync && ferr == nil, ferr)
+}
+
+// settleLocked publishes a flush pass's outcome and wakes followers.
+func (l *Log) settleLocked(covered uint64, fsynced bool, ferr error) {
+	if ferr == nil && covered > l.written {
+		l.written = covered
+	}
+	if fsynced && covered > l.durable {
+		l.synced.Add(int64(covered - l.durable))
+		l.durable = covered
+	}
+	if ferr != nil && l.err == nil {
+		l.err = ferr
+	}
+	l.flushC.Broadcast()
+}
+
+// flushFile drains the append buffer to the segment file and optionally
+// fsyncs. Only one flush runs at a time (leader exclusivity), so writes
+// hit the file in append order.
+func (l *Log) flushFile(fsync bool) (uint64, error) {
+	l.mu.Lock()
+	data := l.buf
+	covered := l.seq
+	f := l.f
+	if l.spare != nil {
+		l.buf = l.spare[:0]
+		l.spare = nil
+	} else {
+		l.buf = nil
+	}
+	l.mu.Unlock()
+	if f == nil {
+		return covered, ErrClosed
+	}
+	var err error
+	if len(data) > 0 {
+		_, err = f.Write(data)
+		l.mu.Lock()
+		if l.spare == nil {
+			l.spare = data[:0]
+		}
+		l.mu.Unlock()
+	}
+	if err != nil {
+		return covered, fmt.Errorf("wal: write segment: %w", err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			return covered, fmt.Errorf("wal: fsync segment: %w", err)
+		}
+		l.fsyncs.Add(1)
+	}
+	return covered, nil
+}
+
+// Rotate drains and fsyncs the current segment, then switches appends to a
+// fresh segment of the next generation, returning its generation. The
+// engine calls it under the commit mutex when starting a checkpoint, so the
+// old segments hold exactly the commits the checkpoint image covers.
+func (l *Log) Rotate() (uint64, error) {
+	// Take the flush-leader slot: no concurrent file I/O during the swap.
+	l.flushMu.Lock()
+	for l.flushing {
+		l.flushC.Wait()
+	}
+	if l.err != nil {
+		defer l.flushMu.Unlock()
+		return 0, l.err
+	}
+	l.flushing = true
+	l.flushMu.Unlock()
+
+	covered, err := l.flushFile(true)
+	var gen uint64
+	if err == nil {
+		l.mu.Lock()
+		gen = l.gen + 1
+		var nf *os.File
+		nf, err = os.OpenFile(segmentPath(l.dir, gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			l.mu.Unlock()
+			err = fmt.Errorf("wal: rotate: %w", err)
+		} else {
+			old := l.f
+			l.f, l.gen, l.segBytes = nf, gen, 0
+			l.mu.Unlock()
+			old.Close() // contents already fsynced above
+			err = syncDir(l.dir)
+		}
+	}
+
+	l.flushMu.Lock()
+	l.flushing = false
+	l.settleLocked(covered, err == nil, err)
+	l.flushMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	l.rotations.Add(1)
+	return gen, nil
+}
+
+// tickLoop drives the SyncInterval policy: a periodic fsync covering
+// whatever commits accumulated since the last one.
+func (l *Log) tickLoop() {
+	defer l.tickWG.Done()
+	for {
+		iv := time.Duration(l.interval.Load())
+		select {
+		case <-l.stopC:
+			return
+		case <-time.After(iv):
+			if l.Policy() == SyncInterval {
+				_ = l.Sync()
+			}
+		}
+	}
+}
+
+// Close fsyncs everything appended so far (any policy) and closes the
+// segment file. The log is unusable afterwards.
+func (l *Log) Close() error {
+	l.stopOnce.Do(func() { close(l.stopC) })
+	l.tickWG.Wait()
+	err := l.Sync()
+	l.mu.Lock()
+	f := l.f
+	l.f = nil
+	l.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

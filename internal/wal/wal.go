@@ -1,0 +1,338 @@
+// Package wal gives the engine's MVCC store durability: a write-ahead log
+// with group commit, periodic checkpoints, and recovery-on-open.
+//
+// A data directory holds three kinds of files:
+//
+//   - MANIFEST — one line naming the generation of the last committed
+//     checkpoint (0 until the first checkpoint). Updated atomically by
+//     write-to-temp + rename + directory fsync.
+//   - checkpoint-<gen>.ckpt — a full image of the database at one commit
+//     timestamp T: every table's metadata and the row versions visible at T
+//     (with their original begin stamps), plus the view definitions. Rows
+//     use the same lossless datum codec as the spill layer.
+//   - wal-<gen>.log — log segments. Segment <gen> holds exactly the commits
+//     stamped after checkpoint <gen>'s timestamp: taking a checkpoint
+//     rotates the log to a fresh segment under the engine's commit mutex,
+//     so the split is exact, and committing the checkpoint deletes the
+//     older segments.
+//
+// Log records carry whole transactions: one commit record per Commit (the
+// MVCC commit timestamp plus every insert/delete of the write set, in write
+// order) and one DDL record per schema statement. Aborted transactions
+// write nothing. Records are framed [4-byte length | 4-byte CRC32-C |
+// payload]; recovery replays every segment at or after the manifest's
+// checkpoint generation in order and truncates the final segment at the
+// first incomplete or corrupt record (a torn write from a crash mid-append).
+//
+// Group commit: Append* only buffers; WaitDurable makes the caller either
+// the flush leader — which writes and fsyncs everything buffered so far,
+// covering every record appended by concurrently-committing transactions —
+// or a follower that sleeps until a leader's fsync covers its record. One
+// fsync thus acknowledges a whole batch of commits (Stats.Synced/Fsyncs is
+// the mean batch size). See SyncPolicy for the weaker fsync policies.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"starmagic/internal/datum"
+)
+
+// Handler receives the recovered database state during Open, in replay
+// order: first the checkpoint image (if any), then every log record past it.
+// Any error aborts Open.
+type Handler interface {
+	// CheckpointTable opens a table section of the checkpoint image;
+	// CheckpointRow calls that follow belong to it.
+	CheckpointTable(meta TableMeta) error
+	// CheckpointRow delivers one row version visible at the checkpoint
+	// timestamp, with its original MVCC begin stamp (end stamps are implied
+	// Live: versions already deleted at the checkpoint are not stored).
+	CheckpointRow(row datum.Row, begin uint64) error
+	// CheckpointView delivers one view definition.
+	CheckpointView(v ViewMeta) error
+	// CheckpointDone closes the checkpoint image and reports its commit
+	// timestamp. Not called when no checkpoint exists.
+	CheckpointDone(ts uint64) error
+	// ReplayCommit delivers one committed transaction: its commit timestamp
+	// and write set in original order.
+	ReplayCommit(ts uint64, ops []Op) error
+	// ReplayDDL delivers one schema statement as SQL text.
+	ReplayDDL(sql string) error
+}
+
+// TableMeta is the schema of one checkpointed table: columns plus the key
+// and index column-ordinal sets (statistics are rebuilt by ANALYZE, not
+// persisted).
+type TableMeta struct {
+	Name    string
+	Columns []ColumnMeta
+	Keys    [][]int
+	Indexes [][]int
+}
+
+// ColumnMeta is one column of a checkpointed table.
+type ColumnMeta struct {
+	Name string
+	Type datum.Type
+}
+
+// ViewMeta is one checkpointed view definition.
+type ViewMeta struct {
+	Name    string
+	Columns []string
+	SQL     string
+}
+
+// Options configures an opened log.
+type Options struct {
+	// Policy is the initial fsync policy (default SyncCommit).
+	Policy SyncPolicy
+	// Interval is the background fsync period under SyncInterval
+	// (default 10ms).
+	Interval time.Duration
+}
+
+const manifestName = "MANIFEST"
+
+// Open opens (or creates) the write-ahead log in dir, replaying any
+// existing state into h: the last committed checkpoint first, then every
+// log record past it, in commit order. The final segment is truncated at
+// the first torn record. h may be nil (state is scanned but not delivered —
+// used by tests and tools). The returned log appends after the replayed
+// prefix.
+func Open(dir string, h Handler, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	ckptGen, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := cleanDir(dir, ckptGen); err != nil {
+		return nil, err
+	}
+	if ckptGen > 0 {
+		if err := readCheckpoint(checkpointPath(dir, ckptGen), h); err != nil {
+			return nil, err
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, stopC: make(chan struct{})}
+	l.flushC = sync.NewCond(&l.flushMu)
+	l.policy.Store(int32(opts.Policy))
+	iv := opts.Interval
+	if iv <= 0 {
+		iv = defaultSyncInterval
+	}
+	l.interval.Store(int64(iv))
+
+	var lastGen uint64
+	var lastValid int64
+	for i, gen := range segs {
+		data, err := os.ReadFile(segmentPath(dir, gen))
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		valid, err := scanRecords(data, func(rec Record) error {
+			return dispatch(h, rec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if valid < int64(len(data)) && i != len(segs)-1 {
+			return nil, fmt.Errorf("wal: segment %d torn mid-sequence (valid prefix %d of %d bytes)",
+				gen, valid, len(data))
+		}
+		lastGen, lastValid = gen, valid
+	}
+	if len(segs) == 0 {
+		gen := ckptGen
+		if gen == 0 {
+			gen = 1
+			if err := writeManifest(dir, 0); err != nil {
+				return nil, err
+			}
+		}
+		f, err := os.OpenFile(segmentPath(dir, gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f, l.gen = f, gen
+	} else {
+		f, err := os.OpenFile(segmentPath(dir, lastGen), os.O_WRONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		// Drop the torn tail so new records append to a clean prefix.
+		if err := f.Truncate(lastValid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(lastValid, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.gen, l.segBytes = f, lastGen, lastValid
+	}
+	l.tickWG.Add(1)
+	go l.tickLoop()
+	return l, nil
+}
+
+func dispatch(h Handler, rec Record) error {
+	if h == nil {
+		return nil
+	}
+	switch rec.Kind {
+	case RecCommit:
+		return h.ReplayCommit(rec.TS, rec.Ops)
+	case RecDDL:
+		return h.ReplayDDL(rec.SQL)
+	}
+	return fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+}
+
+func segmentPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+func checkpointPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%d.ckpt", gen))
+}
+
+// listSegments returns the generations of every wal-<gen>.log in dir,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var gens []uint64
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), "wal-", ".log"); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil || g == 0 {
+		return 0, false
+	}
+	return g, true
+}
+
+// cleanDir removes leftovers an interrupted checkpoint can strand: *.tmp
+// files, segments older than the committed checkpoint (their state is in
+// the checkpoint image), and orphan checkpoint files the manifest does not
+// point at (a crash between the checkpoint rename and the manifest update
+// leaves one; the manifest is the commit point, so it is dead).
+func cleanDir(dir string, ckptGen uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		stale := strings.HasSuffix(name, ".tmp")
+		if g, ok := parseGen(name, "wal-", ".log"); ok && g < ckptGen {
+			stale = true
+		}
+		if g, ok := parseGen(name, "checkpoint-", ".ckpt"); ok && g != ckptGen {
+			stale = true
+		}
+		if stale {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// readManifest returns the committed checkpoint generation (0 when no
+// checkpoint has been taken, or no manifest exists yet).
+func readManifest(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	var gen uint64
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "checkpoint "); ok {
+			gen, err = strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("wal: bad manifest: %w", err)
+			}
+			return gen, nil
+		}
+	}
+	return 0, fmt.Errorf("wal: bad manifest: no checkpoint line")
+}
+
+// writeManifest atomically replaces the manifest: temp file, fsync, rename,
+// directory fsync. After it returns, recovery will use checkpoint gen.
+func writeManifest(dir string, gen uint64) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	body := fmt.Sprintf("starmagic-wal v1\ncheckpoint %d\n", gen)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.WriteString(body); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, manifestName))
+	}
+	if err == nil {
+		err = syncDir(dir)
+	}
+	if err != nil {
+		return fmt.Errorf("wal: write manifest: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

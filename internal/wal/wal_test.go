@@ -1,0 +1,498 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"starmagic/internal/datum"
+)
+
+// collector is a Handler that records everything replayed into it.
+type collector struct {
+	tables  []TableMeta
+	rows    []datum.Row
+	begins  []uint64
+	views   []ViewMeta
+	ckptTS  uint64
+	commits []Record
+	ddl     []string
+}
+
+func (c *collector) CheckpointTable(m TableMeta) error { c.tables = append(c.tables, m); return nil }
+func (c *collector) CheckpointRow(row datum.Row, begin uint64) error {
+	c.rows = append(c.rows, row.Clone())
+	c.begins = append(c.begins, begin)
+	return nil
+}
+func (c *collector) CheckpointView(v ViewMeta) error { c.views = append(c.views, v); return nil }
+func (c *collector) CheckpointDone(ts uint64) error  { c.ckptTS = ts; return nil }
+func (c *collector) ReplayCommit(ts uint64, ops []Op) error {
+	c.commits = append(c.commits, Record{Kind: RecCommit, TS: ts, Ops: append([]Op(nil), ops...)})
+	return nil
+}
+func (c *collector) ReplayDDL(sqlText string) error { c.ddl = append(c.ddl, sqlText); return nil }
+
+func row(vs ...any) datum.Row {
+	r := make(datum.Row, len(vs))
+	for i, v := range vs {
+		switch x := v.(type) {
+		case int:
+			r[i] = datum.Int(int64(x))
+		case string:
+			r[i] = datum.String(x)
+		case float64:
+			r[i] = datum.Float(x)
+		default:
+			panic("unsupported test datum")
+		}
+	}
+	return r
+}
+
+// sameRow compares rows by their lossless encoding (the identity the log
+// itself uses).
+func sameRow(a, b datum.Row) bool {
+	return bytes.Equal(datum.AppendEncodedRow(nil, a), datum.AppendEncodedRow(nil, b))
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Table: "emp", Row: row(1, "alice", 3.5)},
+		{Table: "emp", Delete: true, Begin: 7, Row: row(2, "bob", 1.25)},
+	}
+	var buf []byte
+	buf = appendRecord(buf, func(b []byte) []byte { return appendCommitPayload(b, 42, ops) })
+	buf = appendRecord(buf, func(b []byte) []byte { return appendDDLPayload(b, "DROP TABLE emp") })
+
+	var got []Record
+	valid, err := scanRecords(buf, func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != int64(len(buf)) {
+		t.Fatalf("valid prefix %d, want %d", valid, len(buf))
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(got))
+	}
+	if got[0].Kind != RecCommit || got[0].TS != 42 || len(got[0].Ops) != 2 {
+		t.Fatalf("bad commit record: %+v", got[0])
+	}
+	if op := got[0].Ops[1]; !op.Delete || op.Begin != 7 || op.Table != "emp" {
+		t.Fatalf("bad delete op: %+v", op)
+	}
+	if !sameRow(got[0].Ops[0].Row, row(1, "alice", 3.5)) {
+		t.Fatalf("insert row mangled: %v", got[0].Ops[0].Row)
+	}
+	if got[1].Kind != RecDDL || got[1].SQL != "DROP TABLE emp" {
+		t.Fatalf("bad ddl record: %+v", got[1])
+	}
+}
+
+// TestScanTornTail checks that a truncated or corrupted final frame ends the
+// valid prefix at the last whole record, for every possible cut point.
+func TestScanTornTail(t *testing.T) {
+	var buf []byte
+	var bounds []int
+	for i := 0; i < 5; i++ {
+		buf = appendRecord(buf, func(b []byte) []byte {
+			return appendCommitPayload(b, uint64(i+1), []Op{{Table: "t", Row: row(i, "x")}})
+		})
+		bounds = append(bounds, len(buf))
+	}
+	wholeBefore := func(cut int) (n int, off int64) {
+		for i, b := range bounds {
+			if b <= cut {
+				n, off = i+1, int64(b)
+			}
+		}
+		return n, off
+	}
+	for cut := 0; cut <= len(buf); cut++ {
+		wantN, wantOff := wholeBefore(cut)
+		var n int
+		valid, err := scanRecords(buf[:cut], func(Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if n != wantN || valid != wantOff {
+			t.Fatalf("cut %d: got %d records / prefix %d, want %d / %d", cut, n, valid, wantN, wantOff)
+		}
+	}
+	// Flip one payload byte of the middle record: scan must stop before it.
+	corrupt := append([]byte(nil), buf...)
+	corrupt[bounds[1]+frameHeader] ^= 0xff
+	var n int
+	valid, err := scanRecords(corrupt, func(Record) error { n++; return nil })
+	if err != nil || n != 2 || valid != int64(bounds[1]) {
+		t.Fatalf("corrupt middle: n=%d valid=%d err=%v", n, valid, err)
+	}
+}
+
+func TestOpenAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.AppendCommit(1, []Op{{Table: "t", Row: row(1, "a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendDDL("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var c collector
+	l2, err := Open(dir, &c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(c.commits) != 1 || c.commits[0].TS != 1 {
+		t.Fatalf("replayed commits %+v", c.commits)
+	}
+	if len(c.ddl) != 1 || c.ddl[0] != "CREATE TABLE t (a INT)" {
+		t.Fatalf("replayed ddl %v", c.ddl)
+	}
+	// Appends after reopen extend the same segment.
+	seq, err = l2.AppendCommit(2, []Op{{Table: "t", Row: row(2, "b")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.WaitDurable(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c2 collector
+	l3, err := Open(dir, &c2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if len(c2.commits) != 2 || c2.commits[1].TS != 2 {
+		t.Fatalf("after extend, replayed commits %+v", c2.commits)
+	}
+}
+
+// TestOpenTruncatesTornTail crashes mid-record (simulated by appending junk
+// and a half frame) and checks reopen truncates to the committed prefix.
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCommit(1, []Op{{Table: "t", Row: row(1, "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := segmentPath(dir, 1)
+	good, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn frame: plausible length header, body missing.
+	torn := append(append([]byte(nil), good...), 0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3)
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var c collector
+	l2, err := Open(dir, &c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.commits) != 1 {
+		t.Fatalf("replayed %d commits, want 1", len(c.commits))
+	}
+	// The torn tail must be gone from disk and new appends must land after
+	// the valid prefix.
+	if _, err := l2.AppendCommit(2, []Op{{Table: "t", Row: row(2, "b")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, good) {
+		t.Fatal("valid prefix rewritten")
+	}
+	var n int
+	valid, err := scanRecords(data, func(Record) error { n++; return nil })
+	if err != nil || n != 2 || valid != int64(len(data)) {
+		t.Fatalf("after reopen+append: n=%d valid=%d len=%d err=%v", n, valid, len(data), err)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil, Options{Policy: SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seq, err := l.AppendCommit(uint64(w*perWriter+i+1), []Op{{Table: "t", Row: row(i, "v")}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.WaitDurable(seq); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.Appends != writers*perWriter {
+		t.Fatalf("appends = %d, want %d", s.Appends, writers*perWriter)
+	}
+	if s.Synced != s.Appends {
+		t.Fatalf("synced = %d, want %d (every commit acknowledged durable)", s.Synced, s.Appends)
+	}
+	if s.Fsyncs >= s.Appends {
+		t.Fatalf("fsyncs = %d for %d commits: group commit did not batch", s.Fsyncs, s.Appends)
+	}
+	t.Logf("group commit: %d commits, %d fsyncs (mean batch %.1f)",
+		s.Appends, s.Fsyncs, float64(s.Synced)/float64(s.Fsyncs))
+}
+
+func TestCheckpointRotateAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendDDL("CREATE TABLE t (a INT, b VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 3; ts++ {
+		if _, err := l.AppendCommit(ts, []Op{{Table: "t", Row: row(int(ts), "v")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Checkpoint at ts=3: rotate, then write the image for the new gen.
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("rotated to gen %d, want 2", gen)
+	}
+	cw, err := l.BeginCheckpoint(gen, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := TableMeta{
+		Name: "t",
+		Columns: []ColumnMeta{
+			{Name: "a", Type: datum.TInt}, {Name: "b", Type: datum.TString},
+		},
+		Keys:    [][]int{{0}},
+		Indexes: [][]int{{0}, {1}},
+	}
+	if err := cw.Table(meta); err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 3; ts++ {
+		if err := cw.Row(row(int(ts), "v"), ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.View(ViewMeta{Name: "va", Columns: []string{"x"}, SQL: "SELECT a FROM t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-checkpoint commit lands in the new segment.
+	if _, err := l.AppendCommit(4, []Op{{Table: "t", Row: row(4, "w")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The superseded segment is pruned.
+	if _, err := os.Stat(segmentPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 not pruned: %v", err)
+	}
+
+	var c collector
+	l2, err := Open(dir, &c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if c.ckptTS != 3 {
+		t.Fatalf("checkpoint ts %d, want 3", c.ckptTS)
+	}
+	if len(c.tables) != 1 || c.tables[0].Name != "t" || len(c.tables[0].Columns) != 2 {
+		t.Fatalf("checkpoint tables %+v", c.tables)
+	}
+	if got, want := fmt.Sprint(c.tables[0].Keys), fmt.Sprint(meta.Keys); got != want {
+		t.Fatalf("keys %s, want %s", got, want)
+	}
+	if got, want := fmt.Sprint(c.tables[0].Indexes), fmt.Sprint(meta.Indexes); got != want {
+		t.Fatalf("indexes %s, want %s", got, want)
+	}
+	if len(c.rows) != 3 || c.begins[2] != 3 {
+		t.Fatalf("checkpoint rows %v begins %v", c.rows, c.begins)
+	}
+	if len(c.views) != 1 || c.views[0].SQL != "SELECT a FROM t" {
+		t.Fatalf("checkpoint views %+v", c.views)
+	}
+	// Replay covers only the post-rotation record; the DDL and ts 1-3
+	// commits live in the image.
+	if len(c.ddl) != 0 {
+		t.Fatalf("ddl replayed from pruned segment: %v", c.ddl)
+	}
+	if len(c.commits) != 1 || c.commits[0].TS != 4 {
+		t.Fatalf("replayed commits %+v", c.commits)
+	}
+}
+
+// TestOrphanCheckpointIgnored simulates a crash between the checkpoint
+// rename and the manifest update: the orphan image must be discarded and
+// recovery must use the full log.
+func TestOrphanCheckpointIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCommit(1, []Op{{Table: "t", Row: row(1, "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Fabricate an orphan: a checkpoint file the manifest does not name.
+	if err := os.WriteFile(checkpointPath(dir, 9), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray.tmp"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var c collector
+	l2, err := Open(dir, &c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if c.ckptTS != 0 || len(c.tables) != 0 {
+		t.Fatalf("orphan checkpoint was loaded: ts=%d tables=%v", c.ckptTS, c.tables)
+	}
+	if len(c.commits) != 1 {
+		t.Fatalf("replayed %d commits, want 1", len(c.commits))
+	}
+	if _, err := os.Stat(checkpointPath(dir, 9)); !os.IsNotExist(err) {
+		t.Fatal("orphan checkpoint not cleaned")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stray.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stray temp file not cleaned")
+	}
+}
+
+func TestCheckpointCRCDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := l.BeginCheckpoint(gen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Table(TableMeta{Name: "t", Columns: []ColumnMeta{{Name: "a", Type: datum.TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Row(row(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := checkpointPath(dir, gen)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(ckptMagic)+3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil, Options{}); err == nil {
+		t.Fatal("corrupt checkpoint opened without error")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if gen, err := readManifest(dir); err != nil || gen != 0 {
+		t.Fatalf("empty dir: gen=%d err=%v", gen, err)
+	}
+	if err := writeManifest(dir, 17); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := readManifest(dir); err != nil || gen != 17 {
+		t.Fatalf("gen=%d err=%v, want 17", gen, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("starmagic-wal v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readManifest(dir); err == nil {
+		t.Fatal("manifest without checkpoint line accepted")
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCommit(1, nil); err != ErrClosed {
+		t.Fatalf("append on closed log: %v, want ErrClosed", err)
+	}
+}

@@ -48,6 +48,7 @@ package starmagic
 
 import (
 	"context"
+	"time"
 
 	"starmagic/internal/datum"
 	"starmagic/internal/engine"
@@ -56,9 +57,10 @@ import (
 	"starmagic/internal/resource"
 	"starmagic/internal/semant"
 	"starmagic/internal/sql"
+	"starmagic/internal/wal"
 )
 
-// DB is an in-memory starmagic database instance. It is safe for concurrent
+// DB is a starmagic database instance. It is safe for concurrent
 // use: storage is a versioned (MVCC) row store, every query executes against
 // a consistent snapshot taken when it starts, and writers never block
 // readers — an open streaming cursor holds no lock, so INSERT, UPDATE and
@@ -66,12 +68,70 @@ import (
 // snapshot isolation with first-updater-wins conflict detection; statements
 // outside a transaction autocommit through the same machinery. Only DDL
 // serializes against queries, and only for its own duration.
+// A DB from Open lives purely in memory; OpenDir adds a write-ahead log and
+// checkpointing underneath the same MVCC machinery, with identical
+// concurrency semantics.
 type DB struct {
 	eng *engine.Database
 }
 
-// Open creates an empty database.
+// Open creates an empty in-memory database. Nothing survives the process;
+// use OpenDir for a durable database backed by a data directory.
 func Open() *DB { return &DB{eng: engine.New()} }
+
+// OpenDir opens (or creates) a durable database rooted at dir. All committed
+// writes go through a write-ahead log with group commit; periodic
+// checkpoints bound recovery time; and opening an existing directory
+// recovers exactly the committed state — the last checkpoint image plus a
+// replay of every logged commit after it, with any torn final record from a
+// crash discarded. See SetDurability for the fsync policy (default: fsync
+// before every commit acknowledgment, batched across concurrent committers).
+func OpenDir(dir string) (*DB, error) {
+	eng, err := engine.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Durability selects when commits are fsynced (see SetDurability).
+type Durability = wal.SyncPolicy
+
+// Durability policies, strongest first. All three write the log record to
+// the OS before the commit returns, so acknowledged commits survive a crash
+// of the database process under every policy; they differ in what survives
+// an operating-system crash or power loss.
+const (
+	// SyncCommit (the default) fsyncs before acknowledging each commit,
+	// batched across concurrent committers (group commit).
+	SyncCommit = wal.SyncCommit
+	// SyncInterval fsyncs on a short background interval; an OS crash can
+	// lose up to one interval of acknowledged commits.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves fsync to checkpoints and Close; an OS crash can lose
+	// anything since the last of those.
+	SyncNever = wal.SyncNever
+)
+
+// SetDurability selects the commit fsync policy of a durable database
+// (no-op for in-memory databases).
+func (db *DB) SetDurability(p Durability) { db.eng.SetDurability(p) }
+
+// Checkpoint writes a full image of the committed state and retires the log
+// it supersedes, bounding recovery time. Checkpoints also run automatically
+// when the log outgrows a size threshold (SetCheckpointThreshold); explicit
+// calls are for tests and shutdown-sensitive callers. No-op for in-memory
+// databases.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// SetCheckpointThreshold sets the write-ahead-log segment size, in bytes,
+// that triggers an automatic background checkpoint (default 16 MiB; zero or
+// negative disables automatic checkpoints).
+func (db *DB) SetCheckpointThreshold(bytes int64) { db.eng.SetCheckpointThreshold(bytes) }
+
+// RecoveryStats reports what OpenDir replayed: recovery wall time and the
+// number of log records applied (both zero for in-memory databases).
+func (db *DB) RecoveryStats() (time.Duration, int64) { return db.eng.RecoveryStats() }
 
 // Strategy selects how queries are optimized and executed — the three
 // columns of the paper's Table 1.
@@ -366,9 +426,13 @@ func (db *DB) SetAdmission(maxConcurrent, maxQueue int) { db.eng.SetAdmission(ma
 func (db *DB) ResourceStats() GovernorStats { return db.eng.ResourceStats() }
 
 // Close shuts the database down for new work: queued executions are
-// rejected with ErrClosed and Close blocks until running executions drain.
-// It only has queues to drain when SetAdmission configured a cap.
-func (db *DB) Close() { db.eng.Close() }
+// rejected with ErrClosed and Close blocks until running executions and any
+// background vacuum or checkpoint pass drain. On a durable database
+// (OpenDir) Close then flushes, fsyncs, and closes the write-ahead log, so
+// a clean shutdown loses nothing under any durability policy; the returned
+// error reports a failure of that final flush (always nil for in-memory
+// databases).
+func (db *DB) Close() error { return db.eng.Close() }
 
 // Metrics is a snapshot of database-wide activity: plan/query volume, EMST
 // cost-comparison outcomes, cumulative executor counters, and rule fires.
